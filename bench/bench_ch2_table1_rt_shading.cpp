@@ -1,0 +1,51 @@
+// Table 1 (Chapter II): frames per second of the DPP ray tracer with
+// shading (WORKLOAD2) — the rasterization-equivalent rendering — across the
+// twelve data sets and six architectures.
+#include <cstdio>
+
+#include "common.hpp"
+#include "dpp/profiles.hpp"
+#include "math/colormap.hpp"
+#include "mesh/scenes.hpp"
+#include "render/rt/raytracer.hpp"
+
+using namespace isr;
+
+int main() {
+  bench::print_header("Table 1: ray tracing FPS with shading (WORKLOAD2)",
+                      "Rows: data sets. Columns: architectures (simulated device "
+                      "profiles standing in for the paper's hardware; DESIGN.md §3).");
+
+  const std::vector<std::pair<std::string, std::string>> archs = {
+      {"GPU1", "TitanBlack"}, {"GPU2", "GPU1"},     {"GPU3", "GTX750Ti"},
+      {"GPU4", "GT620M"},     {"CPU1", "i7-4770K"}, {"CPU2", "XeonE5"}};
+
+  // 1080p at scale 1.0.
+  const int width = bench::scaled(1920, 96);
+  const int height = bench::scaled(1080, 64);
+  const ColorTable colors = ColorTable::cool_warm();
+
+  std::printf("%-12s", "dataset");
+  for (const auto& [label, profile] : archs) std::printf(" %9s", label.c_str());
+  std::printf("   (FPS)\n");
+  bench::print_rule();
+
+  for (const mesh::SceneInfo& info : mesh::chapter2_scenes()) {
+    const mesh::TriMesh scene = mesh::make_scene(info.name, static_cast<float>(bench::scale()));
+    const Camera cam = Camera::framing(scene.bounds(), width, height, 1.1f);
+    std::printf("%-12s", info.name.c_str());
+    for (const auto& [label, profile] : archs) {
+      dpp::Device dev = dpp::Device::simulated(dpp::profile_by_name(profile));
+      render::RayTracer rt(scene, dev);
+      render::Image img;
+      render::RayTracerOptions opt;
+      opt.workload = render::RayTracerOptions::Workload::kShaded;
+      const render::RenderStats stats = rt.render(cam, colors, img, opt);
+      std::printf(" %9.1f", 1.0 / stats.total_seconds());
+    }
+    std::printf("   tris=%zu\n", scene.triangle_count());
+  }
+  std::printf("\nExpected shape: GPU1 > GPU2 > GPU3 >> GPU4; CPU2 > CPU1; all GPUs\n"
+              "(except the mobile GPU4) comfortably above the CPUs.\n");
+  return 0;
+}

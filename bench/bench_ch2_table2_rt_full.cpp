@@ -1,0 +1,42 @@
+// Table 2 (Chapter II): frames per second of the DPP ray tracer with all
+// features enabled (WORKLOAD3: ambient occlusion x4, shadows, 4-ray
+// anti-aliasing, stream compaction) on the paper's two headline devices.
+#include <cstdio>
+
+#include "common.hpp"
+#include "dpp/profiles.hpp"
+#include "math/colormap.hpp"
+#include "mesh/scenes.hpp"
+#include "render/rt/raytracer.hpp"
+
+using namespace isr;
+
+int main() {
+  bench::print_header("Table 2: ray tracing FPS, full algorithm (WORKLOAD3)",
+                      "AO(4 samples) + shadows + anti-aliasing + stream compaction.");
+
+  const int width = bench::scaled(1920, 96);
+  const int height = bench::scaled(1080, 64);
+  const ColorTable colors = ColorTable::cool_warm();
+
+  std::printf("%-12s %18s %20s\n", "dataset", "CPU2 (Intel Xeon)", "GPU1 (Titan Black)");
+  bench::print_rule();
+  for (const mesh::SceneInfo& info : mesh::chapter2_scenes()) {
+    const mesh::TriMesh scene = mesh::make_scene(info.name, static_cast<float>(bench::scale()));
+    const Camera cam = Camera::framing(scene.bounds(), width, height, 1.1f);
+    std::printf("%-12s", info.name.c_str());
+    for (const char* profile : {"XeonE5", "TitanBlack"}) {
+      dpp::Device dev = dpp::Device::simulated(dpp::profile_by_name(profile));
+      render::RayTracer rt(scene, dev);
+      render::Image img;
+      render::RayTracerOptions opt;
+      opt.workload = render::RayTracerOptions::Workload::kFull;
+      const render::RenderStats stats = rt.render(cam, colors, img, opt);
+      std::printf(" %18.1f", 1.0 / stats.total_seconds());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: roughly 3-6x slower than WORKLOAD2 (Table 1) on both\n"
+              "devices; the GPU stays ~5x ahead of the CPU.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4 (Chapter II): millions of rays per second (WORKLOAD1) of the DPP
+// ray tracer vs the tuned comparator (Embree stand-in) on the two CPU
+// profiles. Doubles as the DPP-abstraction-overhead ablation.
+#include <cstdio>
+
+#include "baseline/tuned_rt.hpp"
+#include "common.hpp"
+#include "dpp/profiles.hpp"
+#include "math/colormap.hpp"
+#include "mesh/scenes.hpp"
+#include "render/rt/raytracer.hpp"
+
+using namespace isr;
+
+int main() {
+  bench::print_header("Table 4: Mrays/s, DPP ray tracer vs Embree stand-in (CPUs)",
+                      "WORKLOAD1 (intersection only).");
+
+  const int width = bench::scaled(1920, 96);
+  const int height = bench::scaled(1080, 64);
+  const ColorTable colors = ColorTable::grayscale();
+
+  std::printf("%-12s %12s %12s %12s %12s %8s\n", "dataset", "i7:DPP", "i7:Tuned",
+              "Xeon:DPP", "Xeon:Tuned", "gap");
+  bench::print_rule();
+  double gap_sum = 0.0;
+  int gap_n = 0;
+  for (const mesh::SceneInfo& info : mesh::chapter2_scenes()) {
+    const mesh::TriMesh scene = mesh::make_scene(info.name, static_cast<float>(bench::scale()));
+    const Camera cam = Camera::framing(scene.bounds(), width, height, 1.1f);
+    const double mrays = static_cast<double>(cam.pixel_count()) / 1e6;
+    std::printf("%-12s", info.name.c_str());
+    double xeon_gap = 0.0;
+    for (const char* profile : {"i7-4770K", "XeonE5"}) {
+      dpp::Device dev = dpp::Device::simulated(dpp::profile_by_name(profile));
+      render::RayTracer rt(scene, dev);
+      render::Image img;
+      render::RayTracerOptions opt;
+      opt.workload = render::RayTracerOptions::Workload::kIntersect;
+      const double dpp_t = rt.render(cam, colors, img, opt).total_seconds();
+      baseline::TunedRayTracer tuned(scene, dev);
+      const double tuned_t = tuned.render_intersect(cam).total_seconds();
+      std::printf(" %12.2f %12.2f", mrays / dpp_t, mrays / tuned_t);
+      xeon_gap = dpp_t / tuned_t;
+    }
+    std::printf(" %8.2fx\n", xeon_gap);
+    gap_sum += xeon_gap;
+    ++gap_n;
+  }
+  std::printf("\nMean Xeon gap: %.2fx (paper: Embree ~2x across all configurations).\n",
+              gap_sum / gap_n);
+  return 0;
+}

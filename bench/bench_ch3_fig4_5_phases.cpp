@@ -1,0 +1,51 @@
+// Figures 4-5 (Chapter III): unstructured volume renderer phase breakdown
+// as a function of pass count, both camera positions, CPU and GPU profiles.
+// Prints the per-phase series the figures plot as stacked bars.
+#include <cstdio>
+
+#include "common.hpp"
+#include "dpp/profiles.hpp"
+#include "math/colormap.hpp"
+#include "render/uvr/unstructured.hpp"
+
+using namespace isr;
+
+int main() {
+  bench::print_header("Figures 4-5: UVR phase times vs pass count",
+                      "Per-phase seconds; passes = memory/time trade-off.");
+
+  const int edge = bench::scaled(1024, 96);
+  const int samples = bench::scaled(1000, 64);
+  const TransferFunction tf(ColorTable::cool_warm(), 0.0f, 0.25f);
+  const char* phases[] = {"initialization", "pass_selection", "screen_space", "sampling",
+                          "compositing"};
+
+  for (const char* profile : {"CPU1", "GPU1"}) {
+    for (const std::string& name : {std::string("Enzo-1M"), std::string("Enzo-10M")}) {
+      const mesh::TetMesh tets = bench::ch3_dataset(name);
+      std::printf("\n-- %s, %s (tets=%zu) --\n", profile, name.c_str(), tets.cell_count());
+      std::printf("%-6s %-6s %7s %7s %7s %7s %7s %8s\n", "passes", "view", "init", "sel",
+                  "ss", "samp", "comp", "TOT");
+      for (const int passes : {1, 2, 4, 8, 16}) {
+        for (const bool close : {true, false}) {
+          const Camera cam = close ? bench::close_camera(tets.bounds(), edge, edge)
+                                   : bench::far_camera(tets.bounds(), edge, edge);
+          dpp::Device dev = dpp::Device::simulated(dpp::profile_by_name(profile));
+          render::UnstructuredVolumeRenderer uvr(tets, dev);
+          render::Image img;
+          render::UnstructuredVROptions opt;
+          opt.num_passes = passes;
+          opt.samples_in_depth = samples;
+          const render::RenderStats stats = uvr.render(cam, tf, img, opt);
+          std::printf("%-6d %-6s", passes, close ? "close" : "far");
+          for (const char* phase : phases) std::printf(" %7.3f", stats.phase_seconds(phase));
+          std::printf(" %8.3f\n", stats.total_seconds());
+        }
+      }
+    }
+  }
+  std::printf("\nExpected shape: sampling dominates the CPU; compositing gains weight\n"
+              "on the GPU; pass-selection/screen-space overheads grow with pass count\n"
+              "while sampling stays roughly flat (Figures 4-5).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 9 (Chapter III): DPP unstructured volume renderer vs the
+// VisIt-style sampler, single core, four data sets x two camera positions.
+// Columns as in the paper: SS = screen-space transform, S = sampling,
+// C = compositing, TOT = total.
+#include <cstdio>
+
+#include "baseline/visit_sampler.hpp"
+#include "common.hpp"
+#include "math/colormap.hpp"
+#include "render/uvr/unstructured.hpp"
+
+using namespace isr;
+
+int main() {
+  bench::print_header("Table 9: DPP-VR vs VisIt-style sampler (single core)",
+                      "SS/S/C/TOT phase seconds per frame.");
+
+  const int edge = bench::scaled(1024, 96);
+  const int samples = bench::scaled(1000, 64);
+  const TransferFunction tf(ColorTable::cool_warm(), 0.0f, 0.25f);
+  dpp::Device dev = dpp::Device::serial();
+
+  std::printf("%-18s %-8s %8s %8s %8s %8s\n", "data & view", "SW", "SS", "S", "C", "TOT");
+  bench::print_rule();
+  for (const std::string& name : bench::ch3_dataset_names()) {
+    const mesh::TetMesh tets = bench::ch3_dataset(name);
+    for (const bool close : {false, true}) {
+      const Camera cam = close ? bench::close_camera(tets.bounds(), edge, edge)
+                               : bench::far_camera(tets.bounds(), edge, edge);
+      const std::string label = name + (close ? "/Close" : "/Far");
+
+      baseline::VisItSampler visit(tets, dev);
+      render::Image vi;
+      const render::RenderStats vs = visit.render(cam, tf, vi, samples);
+      std::printf("%-18s %-8s %8.3f %8.3f %8.3f %8.3f\n", label.c_str(), "VisIt",
+                  vs.phase_seconds("screen_space"), vs.phase_seconds("sampling"),
+                  vs.phase_seconds("compositing"), vs.total_seconds());
+
+      render::UnstructuredVolumeRenderer uvr(tets, dev);
+      render::Image ui;
+      render::UnstructuredVROptions opt;
+      opt.samples_in_depth = samples;
+      const render::RenderStats us = uvr.render(cam, tf, ui, opt);
+      std::printf("%-18s %-8s %8.3f %8.3f %8.3f %8.3f\n", label.c_str(), "DPP-VR",
+                  us.phase_seconds("screen_space"), us.phase_seconds("sampling"),
+                  us.phase_seconds("compositing"), us.total_seconds());
+    }
+  }
+  std::printf("\nExpected shape (paper Table 9): comparable on the small data set;\n"
+              "DPP-VR increasingly ahead as cells shrink (VisIt's per-cell overhead\n"
+              "stops amortizing), especially on the largest data sets.\n");
+  return 0;
+}

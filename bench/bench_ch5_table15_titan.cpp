@@ -1,0 +1,102 @@
+// Table 15 (Chapter V): evaluation on the leading-edge machine — train each
+// model on a small CloverLeaf3D corpus on the Titan-node profile (GPU2,
+// K20-like), then predict a run at much higher concurrency (1024 ranks) and
+// compare against the measured time of that configuration's slowest rank.
+#include <cstdio>
+
+#include "common.hpp"
+#include "comm/compositor.hpp"
+#include "conduit/blueprint.hpp"
+#include "dpp/profiles.hpp"
+#include "math/colormap.hpp"
+#include "mesh/external_faces.hpp"
+#include "model/study.hpp"
+#include "render/rast/rasterizer.hpp"
+#include "render/rt/raytracer.hpp"
+#include "render/vr/volume.hpp"
+#include "sims/cloverleaf.hpp"
+
+using namespace isr;
+using model::RendererKind;
+
+int main() {
+  bench::print_header("Table 15: train small on GPU2 (Titan), predict at 1024 ranks",
+                      "Training: CloverLeaf3D at 1-4 tasks; evaluation: the slowest of "
+                      "1024 virtual ranks at 2048^2-scaled resolution.");
+
+  // ---- Train on a small corpus --------------------------------------------
+  model::StudyConfig cfg;
+  cfg.archs = {"GPU2"};
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2, 4};
+  cfg.samples_per_config = 3;
+  // The paper evaluated inside its trained resolution range (2048^2 vs a
+  // 2880^2 training max); mirror that protocol at bench scale.
+  cfg.min_image = 256;
+  cfg.max_image = 800;
+  cfg.min_n = 20;
+  cfg.max_n = 40;
+  cfg.vr_samples = 200;
+  cfg.seed = 1015;
+  const auto obs = model::run_study(cfg);
+
+  // ---- Evaluate at scale ----------------------------------------------------
+  const int tasks = 1024;
+  const int n = bench::scaled(256, 24);   // paper: 16B cells total / 1024 nodes
+  const int edge = bench::scaled(2048, 128);
+  // Rank 512 sits mid-domain: representative (non-boundary) work.
+  sims::CloverLeaf proxy(n, n, n, 512, tasks);
+  proxy.step();
+  conduit::Node data;
+  proxy.describe(data);
+  mesh::StructuredGrid grid = conduit::blueprint::to_structured(data, "energy");
+  grid.normalize_scalars();
+  const mesh::TriMesh surface = mesh::external_faces(grid);
+  // Global camera: the full 1024-rank domain is the unit cube.
+  AABB global;
+  global.expand({0, 0, 0});
+  global.expand({1, 1, 1});
+  const Camera cam = Camera::framing(global, edge, edge, 0.8f);
+  const ColorTable colors = ColorTable::cool_warm();
+  const TransferFunction tf(colors, 0.05f, 0.3f);
+
+  std::printf("%-16s %12s %12s %12s %8s\n", "Technique", "Actual", "Predicted",
+              "Difference", "Samples");
+  bench::print_rule();
+  for (const RendererKind kind :
+       {RendererKind::kRayTrace, RendererKind::kVolume, RendererKind::kRasterize}) {
+    const auto samples = model::samples_for(obs, "GPU2", kind);
+    const model::PerfModel m = model::PerfModel::fit(kind, samples);
+
+    dpp::Device dev = dpp::Device::simulated(dpp::profile_gpu2(), 0x7174Au);
+    render::Image img;
+    render::RenderStats stats;
+    double build = 0.0;
+    if (kind == RendererKind::kRayTrace) {
+      render::RayTracer rt(surface, dev);
+      build = rt.bvh_build_stats().total_seconds();
+      stats = rt.render(cam, colors, img);
+    } else if (kind == RendererKind::kRasterize) {
+      render::Rasterizer rast(surface, dev);
+      stats = rast.render(cam, colors, img);
+    } else {
+      render::StructuredVolumeRenderer vr(grid, dev);
+      render::VolumeRenderOptions opt;
+      opt.samples = 200;
+      stats = vr.render(cam, tf, img, opt);
+    }
+    const double actual = stats.total_seconds() + build;
+    const model::ModelInputs in = {stats.objects,         stats.active_pixels,
+                                   stats.visible_objects, stats.pixels_per_tri,
+                                   stats.samples_per_ray, stats.cells_spanned};
+    const double predicted = m.predict(in);
+    std::printf("%-16s %11.5fs %11.5fs %+11.1f%% %8zu\n", model::renderer_name(kind),
+                actual, predicted, 100.0 * (predicted - actual) / actual, samples.size());
+  }
+  std::printf("\nExpected shape (paper Table 15): surface renderers predicted within\n"
+              "~6-19%%; volume rendering off the most (the small-render regime where\n"
+              "launch overhead dominates and the model extrapolates worst).\n"
+              "The compositing model is NOT evaluated at this scale (the paper also\n"
+              "declares its corpus inadequate at 1024 tasks).\n");
+  return 0;
+}

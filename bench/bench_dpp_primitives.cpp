@@ -1,0 +1,88 @@
+// Micro-benchmarks of the data-parallel primitives (google-benchmark).
+// Not a paper table; used to sanity-check the substrate's throughput and as
+// the baseline for the DPP-overhead ablation.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dpp/primitives.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using isr::dpp::Device;
+
+void BM_Map(benchmark::State& state) {
+  Device dev = Device::host();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> in(n, 1.5f), out(n);
+  for (auto _ : state) {
+    isr::dpp::for_each(dev, n, [&](std::size_t i) { out[i] = in[i] * 2.0f + 1.0f; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Map)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Reduce(benchmark::State& state) {
+  Device dev = Device::host();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> in(n, 0.5f);
+  for (auto _ : state) {
+    const float r = isr::dpp::reduce_sum(dev, in.data(), n);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ScanExclusive(benchmark::State& state) {
+  Device dev = Device::host();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<int> in(n, 1), out(n);
+  for (auto _ : state) {
+    isr::dpp::scan_exclusive(dev, in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SortPairs(benchmark::State& state) {
+  Device dev = Device::host();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  isr::Rng rng(1);
+  std::vector<std::uint32_t> keys(n);
+  std::vector<int> vals(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = rng.next_u32();
+      vals[i] = static_cast<int>(i);
+    }
+    state.ResumeTiming();
+    isr::dpp::sort_pairs(dev, keys, vals);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SortPairs)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_StreamCompaction(benchmark::State& state) {
+  Device dev = Device::host();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  isr::Rng rng(2);
+  std::vector<std::uint8_t> flags(n);
+  for (auto& f : flags) f = rng.next_float() < 0.5f ? 1 : 0;
+  for (auto _ : state) {
+    const auto idx = isr::dpp::compact_indices(dev, flags.data(), n);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_StreamCompaction)->Arg(1 << 12)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every binary prints the corresponding paper table's rows. Because the
+// suite runs on small machines, all data/image sizes are multiplied by
+// ISR_BENCH_SCALE (default 0.25; the paper's sizes correspond to 1.0).
+// Absolute numbers therefore differ from the paper; the reproduction target
+// is the *shape* (orderings, ratios, crossovers) — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dpp/device.hpp"
+#include "math/camera.hpp"
+#include "mesh/structured.hpp"
+#include "mesh/trimesh.hpp"
+#include "mesh/unstructured.hpp"
+
+namespace isr::bench {
+
+// ISR_BENCH_SCALE env var; default 0.25.
+double scale();
+
+// Scales a paper dimension (grid edge, image edge) by scale().
+int scaled(int paper_value, int min_value = 16);
+
+void print_header(const std::string& table, const std::string& caption);
+void print_rule(int width = 78);
+
+// A blobs-field tet mesh standing in for the Chapter III data sets
+// (Enzo-1M/10M, Nek5000, Enzo-80M): `edge` is the grid edge before scaling.
+mesh::TetMesh ch3_dataset(const std::string& name);
+std::vector<std::string> ch3_dataset_names();
+
+// "Zoomed out" (fill 0.45) and "close up" (fill 1.6) cameras, as in the
+// studies.
+Camera far_camera(const AABB& bounds, int width, int height);
+Camera close_camera(const AABB& bounds, int width, int height);
+
+}  // namespace isr::bench

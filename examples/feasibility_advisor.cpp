@@ -1,0 +1,67 @@
+// Feasibility advisor: the paper's §5.9 questions as a command-line tool.
+// Given a rendering configuration, fit the models from a quick calibration
+// study and report (a) predicted per-frame cost for each renderer, (b) how
+// many images fit a budget, and (c) the ray-tracing-vs-rasterization
+// recommendation.
+//
+//   $ ./feasibility_advisor [N_per_task=200] [tasks=32] [image_edge=1024]
+//                           [budget_seconds=60]
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/feasibility.hpp"
+#include "model/study.hpp"
+
+using namespace isr;
+using model::RendererKind;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int tasks = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int edge = argc > 3 ? std::atoi(argv[3]) : 1024;
+  const double budget = argc > 4 ? std::atof(argv[4]) : 60.0;
+
+  std::printf("calibrating models (small study corpus on CPU1/GPU1 profiles)...\n");
+  model::StudyConfig cfg;
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2, 4};
+  cfg.samples_per_config = 3;
+  cfg.min_image = 128;
+  cfg.max_image = 288;
+  cfg.min_n = 20;
+  cfg.max_n = 40;
+  cfg.vr_samples = 200;
+  const auto obs = model::run_study(cfg);
+
+  model::MappingConstants constants;
+  constants.spr_base = 0.93 * 200;
+  const double pixels = static_cast<double>(edge) * edge;
+
+  std::printf("\nconfiguration: %d^3 cells/task, %d tasks, %dx%d image, %.0fs budget\n\n",
+              n, tasks, edge, edge, budget);
+  std::printf("%-6s %-14s %14s %16s\n", "arch", "renderer", "sec/frame", "frames/budget");
+  for (const std::string arch : {"CPU1", "GPU1"}) {
+    for (const RendererKind kind :
+         {RendererKind::kRayTrace, RendererKind::kRasterize, RendererKind::kVolume}) {
+      const model::PerfModel m =
+          model::PerfModel::fit(kind, model::samples_for(obs, arch, kind));
+      const auto points = model::images_in_budget(m, budget, n, tasks, {edge}, constants);
+      std::printf("%-6s %-14s %14.4f %16ld\n", arch.c_str(), model::renderer_name(kind),
+                  points[0].frame_seconds, points[0].images_in_budget);
+    }
+  }
+
+  // RT vs rasterization recommendation at this configuration (100 frames).
+  const model::PerfModel rt = model::PerfModel::fit(
+      RendererKind::kRayTrace, model::samples_for(obs, "CPU1", RendererKind::kRayTrace));
+  const model::PerfModel rast = model::PerfModel::fit(
+      RendererKind::kRasterize, model::samples_for(obs, "CPU1", RendererKind::kRasterize));
+  const auto cells = model::rt_vs_rast(rt, rast, 100, tasks, {edge}, {n}, constants);
+  const double ratio = cells[0].ratio;
+  std::printf("\nsurface rendering recommendation (CPU1, 100 frames): %s\n",
+              ratio > 1.0 ? "RAY TRACING" : "RASTERIZATION");
+  std::printf("  T_RAST / T_RT = %.2f (RT %.2fs vs RAST %.2fs for 100 frames)\n", ratio,
+              cells[0].rt_seconds, cells[0].rast_seconds);
+  (void)pixels;
+  return 0;
+}

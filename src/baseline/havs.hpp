@@ -1,0 +1,34 @@
+// HAVS-like projected-tetrahedra volume renderer (the Chapter III GPU
+// comparator, Figure 6). Object-order: sort cells by view depth, then
+// rasterize each cell's footprint back-to-front, blending a per-pixel slab
+// contribution computed from the analytic entry/exit interval. The real
+// HAVS uses a k-buffer for out-of-order fragments; with a full visibility
+// sort the k-buffer is unnecessary, and the cost profile (sort + rasterize,
+// work ~ cells, little dependence on sample count) is preserved — which is
+// the property the Figure 6 comparison exercises.
+#pragma once
+
+#include "dpp/device.hpp"
+#include "math/camera.hpp"
+#include "math/colormap.hpp"
+#include "mesh/unstructured.hpp"
+#include "render/image.hpp"
+#include "render/stats.hpp"
+
+namespace isr::baseline {
+
+class HavsRenderer {
+ public:
+  HavsRenderer(const mesh::TetMesh& mesh, dpp::Device& dev) : mesh_(mesh), dev_(dev) {}
+
+  // `reference_samples` matches the sampling renderers' opacity scaling so
+  // images are comparable.
+  render::RenderStats render(const Camera& camera, const TransferFunction& tf,
+                             render::Image& out, int reference_samples = 400);
+
+ private:
+  const mesh::TetMesh& mesh_;
+  dpp::Device& dev_;
+};
+
+}  // namespace isr::baseline

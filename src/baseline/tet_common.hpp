@@ -1,0 +1,122 @@
+// Shared screen-space tetrahedron math for the unstructured-volume
+// comparators (HAVS-like projected tets, VisIt-like sampler): a tet
+// transformed into (pixel_x, pixel_y, sample_depth) space, with an analytic
+// per-pixel-column entry/exit interval from the barycentric half-space
+// constraints.
+#pragma once
+
+#include "math/camera.hpp"
+#include "mesh/unstructured.hpp"
+
+namespace isr::baseline {
+
+struct ScreenSpaceTet {
+  Vec3f v0;
+  float inv[9];  // inverse of [v1-v0 | v2-v0 | v3-v0], row-major
+  float scalar[4];
+  float min_x, max_x, min_y, max_y, min_s, max_s;
+  bool valid = false;
+
+  // Intersects the vertical line through (px, py) with the tet. On success
+  // returns the depth interval [s0, s1] (sample units) and the linearly
+  // interpolated field values at both ends.
+  bool column_interval(float px, float py, float& s0, float& s1, float& val0,
+                       float& val1) const {
+    // Barycentric coordinates are affine in the sample coordinate s:
+    // b_i(s) = base_i + slope_i * s.
+    const float dx = px - v0.x;
+    const float dy = py - v0.y;
+    const float dz0 = -v0.z;
+    float base[4], slope[4];
+    base[1] = inv[0] * dx + inv[1] * dy + inv[2] * dz0;
+    base[2] = inv[3] * dx + inv[4] * dy + inv[5] * dz0;
+    base[3] = inv[6] * dx + inv[7] * dy + inv[8] * dz0;
+    slope[1] = inv[2];
+    slope[2] = inv[5];
+    slope[3] = inv[8];
+    base[0] = 1.0f - base[1] - base[2] - base[3];
+    slope[0] = -slope[1] - slope[2] - slope[3];
+
+    // Intersect the four half-lines b_i(s) >= 0.
+    float lo = min_s, hi = max_s;
+    for (int i = 0; i < 4; ++i) {
+      if (slope[i] == 0.0f) {
+        if (base[i] < 0.0f) return false;
+      } else {
+        const float root = -base[i] / slope[i];
+        if (slope[i] > 0.0f)
+          lo = std::max(lo, root);
+        else
+          hi = std::min(hi, root);
+      }
+    }
+    if (lo >= hi) return false;
+    s0 = lo;
+    s1 = hi;
+    auto value_at = [&](float s) {
+      float v = 0.0f;
+      for (int i = 0; i < 4; ++i) v += (base[i] + slope[i] * s) * scalar[i];
+      return v;
+    };
+    val0 = value_at(lo);
+    val1 = value_at(hi);
+    return true;
+  }
+};
+
+// Transforms tet `t` into screen space; `sample_scale` converts eye depth
+// into sample units ((depth - depth_lo) * sample_scale).
+inline ScreenSpaceTet make_screen_tet(const mesh::TetMesh& mesh, std::size_t t,
+                                      const Camera& camera, const Mat4& vp, float depth_lo,
+                                      float sample_scale) {
+  ScreenSpaceTet out;
+  Vec3f v[4];
+  for (int c = 0; c < 4; ++c) {
+    const int pid = mesh.conn[t * 4 + static_cast<std::size_t>(c)];
+    const Vec4f s = camera.world_to_screen(mesh.points[static_cast<std::size_t>(pid)], vp);
+    if (s.w <= 0.0f) return out;
+    v[c] = {s.x, s.y, (s.z - depth_lo) * sample_scale};
+    out.scalar[c] = mesh.scalars[static_cast<std::size_t>(pid)];
+  }
+  const Vec3f c0 = v[1] - v[0];
+  const Vec3f c1 = v[2] - v[0];
+  const Vec3f c2 = v[3] - v[0];
+  const float det = c0.x * (c1.y * c2.z - c2.y * c1.z) - c1.x * (c0.y * c2.z - c2.y * c0.z) +
+                    c2.x * (c0.y * c1.z - c1.y * c0.z);
+  if (std::abs(det) < 1e-12f) return out;
+  const float id = 1.0f / det;
+  out.inv[0] = (c1.y * c2.z - c2.y * c1.z) * id;
+  out.inv[1] = (c2.x * c1.z - c1.x * c2.z) * id;
+  out.inv[2] = (c1.x * c2.y - c2.x * c1.y) * id;
+  out.inv[3] = (c2.y * c0.z - c0.y * c2.z) * id;
+  out.inv[4] = (c0.x * c2.z - c2.x * c0.z) * id;
+  out.inv[5] = (c2.x * c0.y - c0.x * c2.y) * id;
+  out.inv[6] = (c0.y * c1.z - c1.y * c0.z) * id;
+  out.inv[7] = (c1.x * c0.z - c0.x * c1.z) * id;
+  out.inv[8] = (c0.x * c1.y - c1.x * c0.y) * id;
+  out.v0 = v[0];
+  out.min_x = std::min({v[0].x, v[1].x, v[2].x, v[3].x});
+  out.max_x = std::max({v[0].x, v[1].x, v[2].x, v[3].x});
+  out.min_y = std::min({v[0].y, v[1].y, v[2].y, v[3].y});
+  out.max_y = std::max({v[0].y, v[1].y, v[2].y, v[3].y});
+  out.min_s = std::min({v[0].z, v[1].z, v[2].z, v[3].z});
+  out.max_s = std::max({v[0].z, v[1].z, v[2].z, v[3].z});
+  out.valid = true;
+  return out;
+}
+
+// Shared depth-range computation: eye-space depth bounds of a tet mesh.
+inline void depth_range(const mesh::TetMesh& mesh, const Camera& camera, const Mat4& vp,
+                        float& lo, float& hi) {
+  lo = 1e30f;
+  hi = -1e30f;
+  for (const Vec3f& p : mesh.points) {
+    const Vec4f s = camera.world_to_screen(p, vp);
+    if (s.w <= 0.0f) continue;
+    lo = std::min(lo, s.z);
+    hi = std::max(hi, s.z);
+  }
+  if (hi <= lo) hi = lo + 1.0f;
+}
+
+}  // namespace isr::baseline

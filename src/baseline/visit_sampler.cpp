@@ -1,0 +1,141 @@
+#include "baseline/visit_sampler.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "baseline/tet_common.hpp"
+#include "dpp/primitives.hpp"
+
+namespace isr::baseline {
+
+namespace {
+constexpr float kEmptySample = -1e30f;
+}
+
+render::RenderStats VisItSampler::render(const Camera& camera, const TransferFunction& tf,
+                                         render::Image& out, int samples_in_depth) {
+  dev_.reset_timings();
+  out.resize(camera.width, camera.height);
+  out.clear();
+
+  render::RenderStats stats;
+  const std::size_t n_tets = mesh_.cell_count();
+  stats.objects = static_cast<double>(n_tets);
+  if (n_tets == 0) {
+    stats.timings = dev_.timings();
+    return stats;
+  }
+
+  const Mat4 vp = camera.view_projection();
+  float depth_lo, depth_hi;
+  depth_range(mesh_, camera, vp, depth_lo, depth_hi);
+  const int S = samples_in_depth;
+  const float sample_scale = static_cast<float>(S) / (depth_hi - depth_lo);
+  const std::size_t n_pixels = static_cast<std::size_t>(camera.pixel_count());
+
+  // --- Screen-space transformation ----------------------------------------
+  std::vector<ScreenSpaceTet> st(n_tets);
+  {
+    dpp::ScopedPhase phase(dev_, "screen_space");
+    dpp::for_each(
+        dev_, n_tets,
+        [&](std::size_t t) { st[t] = make_screen_tet(mesh_, t, camera, vp, depth_lo, sample_scale); },
+        dpp::KernelCost{.flops_per_elem = 140, .bytes_per_elem = 150});
+  }
+
+  // --- Sampling: column rasterization into the sample buffer --------------
+  std::vector<float> samples(n_pixels * static_cast<std::size_t>(S), kEmptySample);
+  std::atomic<long long> written{0};
+  {
+    dpp::ScopedPhase phase(dev_, "sampling");
+    dpp::for_each_dyn(
+        dev_, n_tets,
+        [&](std::size_t t) {
+          const ScreenSpaceTet& s = st[t];
+          if (!s.valid) return;
+          const int x0 = std::max(0, static_cast<int>(std::floor(s.min_x)));
+          const int x1 = std::min(camera.width - 1, static_cast<int>(std::ceil(s.max_x)));
+          const int y0 = std::max(0, static_cast<int>(std::floor(s.min_y)));
+          const int y1 = std::min(camera.height - 1, static_cast<int>(std::ceil(s.max_y)));
+          long long local = 0;
+          for (int y = y0; y <= y1; ++y)
+            for (int x = x0; x <= x1; ++x) {
+              float s0, s1, v0, v1;
+              if (!s.column_interval(static_cast<float>(x) + 0.5f,
+                                     static_cast<float>(y) + 0.5f, s0, s1, v0, v1))
+                continue;
+              // Fill integer sample slots inside [s0, s1]; the value varies
+              // linearly along the column, amortizing the interval setup.
+              const int lo = std::max(0, static_cast<int>(std::ceil(s0 - 0.5f)));
+              const int hi = std::min(S - 1, static_cast<int>(std::floor(s1 - 0.5f)));
+              const float dv = s1 > s0 ? (v1 - v0) / (s1 - s0) : 0.0f;
+              const std::size_t pixel =
+                  static_cast<std::size_t>(y) * static_cast<std::size_t>(camera.width) + x;
+              for (int sm = lo; sm <= hi; ++sm) {
+                samples[static_cast<std::size_t>(sm) * n_pixels + pixel] =
+                    v0 + dv * (static_cast<float>(sm) + 0.5f - s0);
+                ++local;
+              }
+            }
+          written.fetch_add(local, std::memory_order_relaxed);
+        },
+        [&] {
+          const double per = static_cast<double>(written.load()) /
+                             static_cast<double>(std::max<std::size_t>(n_tets, 1));
+          // Interval setup ~60 flops per covered column; ~6 per filled
+          // sample (the amortization VisIt's rasterization buys).
+          return dpp::KernelCost{.flops_per_elem = 6.0 * per + 120.0,
+                                 .bytes_per_elem = 5.0 * per + 150.0,
+                                 .divergence = 1.2};
+        });
+  }
+
+  // --- Compositing with early ray termination ------------------------------
+  std::atomic<long long> blended{0};
+  {
+    dpp::ScopedPhase phase(dev_, "compositing");
+    dpp::for_each_dyn(
+        dev_, n_pixels,
+        [&](std::size_t p) {
+          Vec4f acc{0, 0, 0, 0};
+          float first = -1.0f;
+          long long local = 0;
+          for (int sm = 0; sm < S; ++sm) {
+            const float v = samples[static_cast<std::size_t>(sm) * n_pixels + p];
+            if (v == kEmptySample) continue;
+            ++local;
+            const Vec4f c = tf.sample(v);
+            const float alpha =
+                TransferFunction::correct_alpha(c.w, 400.0f / static_cast<float>(S)) *
+                (1.0f - acc.w);
+            acc.x += c.x * alpha;
+            acc.y += c.y * alpha;
+            acc.z += c.z * alpha;
+            acc.w += alpha;
+            if (first < 0.0f && alpha > 0.001f) first = static_cast<float>(sm);
+            if (acc.w >= 0.98f) break;  // early ray termination
+          }
+          blended.fetch_add(local, std::memory_order_relaxed);
+          if (acc.w > 0.0f) {
+            out.pixels()[p] = acc;
+            out.depths()[p] = depth_lo + first / sample_scale;
+          }
+        },
+        [&] {
+          const double per = static_cast<double>(blended.load()) /
+                             static_cast<double>(std::max<std::size_t>(n_pixels, 1));
+          return dpp::KernelCost{.flops_per_elem = 10.0 * per + 4.0 * S / 8.0,
+                                 .bytes_per_elem = 4.0 * S + 16.0,
+                                 .divergence = 1.1};
+        });
+  }
+
+  stats.active_pixels = static_cast<double>(out.active_pixel_count());
+  stats.samples_per_ray = stats.active_pixels > 0
+                              ? static_cast<double>(blended.load()) / stats.active_pixels
+                              : 0.0;
+  stats.timings = dev_.timings();
+  return stats;
+}
+
+}  // namespace isr::baseline

@@ -1,0 +1,53 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+
+namespace isr::comm {
+
+Comm::Comm(int nranks, NetworkModel net) : net_(net) {
+  clock_.assign(static_cast<std::size_t>(nranks), 0.0);
+}
+
+void Comm::add_compute(int rank, double seconds) {
+  clock_[static_cast<std::size_t>(rank)] += seconds;
+}
+
+void Comm::send(int from, int to, std::size_t bytes) {
+  const double transfer = net_.transfer_seconds(bytes);
+  const double arrive = clock_[static_cast<std::size_t>(from)] + transfer;
+  // The sender is busy for the injection overhead; the receiver cannot
+  // proceed before the data lands.
+  clock_[static_cast<std::size_t>(from)] += net_.latency_us * 1e-6;
+  clock_[static_cast<std::size_t>(to)] = std::max(clock_[static_cast<std::size_t>(to)], arrive);
+  bytes_sent_ += bytes;
+  ++messages_;
+}
+
+void Comm::exchange(int a, int b, std::size_t bytes_ab, std::size_t bytes_ba) {
+  const double start = std::max(clock_[static_cast<std::size_t>(a)],
+                                clock_[static_cast<std::size_t>(b)]);
+  const double done = start + net_.transfer_seconds(std::max(bytes_ab, bytes_ba));
+  clock_[static_cast<std::size_t>(a)] = done;
+  clock_[static_cast<std::size_t>(b)] = done;
+  bytes_sent_ += bytes_ab + bytes_ba;
+  messages_ += 2;
+}
+
+void Comm::barrier() {
+  const double m = max_clock();
+  std::fill(clock_.begin(), clock_.end(), m);
+}
+
+double Comm::max_clock() const {
+  double m = 0.0;
+  for (const double c : clock_) m = std::max(m, c);
+  return m;
+}
+
+void Comm::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  bytes_sent_ = 0;
+  messages_ = 0;
+}
+
+}  // namespace isr::comm

@@ -1,0 +1,58 @@
+// Virtual MPI: an in-process stand-in for a distributed communicator
+// (DESIGN.md §3 item 2). Ranks are logical; algorithms written against this
+// class really move and blend pixel data, while per-rank logical clocks
+// advance by an alpha/beta network model plus modeled local compute. The
+// maximum clock is the simulated parallel runtime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace isr::comm {
+
+struct NetworkModel {
+  double latency_us = 4.0;        // per-message alpha
+  double bandwidth_gbs = 5.0;     // per-link beta (bytes/s = 1e9 * this)
+  double blend_ns_per_pixel = 1.6;  // modeled cost of compositing one pixel
+
+  double transfer_seconds(std::size_t bytes) const {
+    return latency_us * 1e-6 + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+  }
+};
+
+class Comm {
+ public:
+  explicit Comm(int nranks, NetworkModel net = {});
+
+  int size() const { return static_cast<int>(clock_.size()); }
+  const NetworkModel& network() const { return net_; }
+
+  // Local computation on one rank.
+  void add_compute(int rank, double seconds);
+
+  // One-way message; the receiver's clock waits for arrival.
+  void send(int from, int to, std::size_t bytes);
+
+  // Pairwise simultaneous exchange (both directions overlap on the link
+  // pair); both clocks advance to the common completion time.
+  void exchange(int a, int b, std::size_t bytes_ab, std::size_t bytes_ba);
+
+  // All ranks wait for the slowest.
+  void barrier();
+
+  double clock(int rank) const { return clock_[static_cast<std::size_t>(rank)]; }
+  double max_clock() const;
+
+  std::size_t total_bytes_sent() const { return bytes_sent_; }
+  std::size_t message_count() const { return messages_; }
+
+  void reset();
+
+ private:
+  NetworkModel net_;
+  std::vector<double> clock_;
+  std::size_t bytes_sent_ = 0;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace isr::comm

@@ -1,0 +1,361 @@
+#include "comm/compositor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace isr::comm {
+
+namespace {
+
+bool pixel_active(const render::Image& img, std::size_t p) {
+  return img.pixels()[p].w > 0.0f || img.depths()[p] != render::kFarDepth;
+}
+
+// Working fragment: a pixel range of a partially composited image, plus the
+// contiguous block of visibility-sorted ranks it already accounts for.
+struct Buf {
+  std::size_t lo = 0, hi = 0;
+  int block_lo = 0;
+  int block_size = 1;
+  std::vector<Vec4f> rgba;
+  std::vector<float> depth;
+
+  std::size_t size() const { return hi - lo; }
+};
+
+Buf make_buf(const render::Image& img, std::size_t lo, std::size_t hi, int block_lo) {
+  Buf b;
+  b.lo = lo;
+  b.hi = hi;
+  b.block_lo = block_lo;
+  b.rgba.assign(img.pixels().begin() + static_cast<std::ptrdiff_t>(lo),
+                img.pixels().begin() + static_cast<std::ptrdiff_t>(hi));
+  b.depth.assign(img.depths().begin() + static_cast<std::ptrdiff_t>(lo),
+                 img.depths().begin() + static_cast<std::ptrdiff_t>(hi));
+  return b;
+}
+
+bool buf_active(const Buf& b, std::size_t i) {
+  return b.rgba[i].w > 0.0f || b.depth[i] != render::kFarDepth;
+}
+
+// Copies sub-range [lo, hi) (absolute pixel indices) out of a fragment.
+Buf make_sub(const Buf& b, std::size_t lo, std::size_t hi) {
+  Buf s;
+  s.lo = lo;
+  s.hi = hi;
+  s.block_lo = b.block_lo;
+  s.block_size = b.block_size;
+  s.rgba.assign(b.rgba.begin() + static_cast<std::ptrdiff_t>(lo - b.lo),
+                b.rgba.begin() + static_cast<std::ptrdiff_t>(hi - b.lo));
+  s.depth.assign(b.depth.begin() + static_cast<std::ptrdiff_t>(lo - b.lo),
+                 b.depth.begin() + static_cast<std::ptrdiff_t>(hi - b.lo));
+  return s;
+}
+
+// Wire size of sub-range [sub_lo, sub_hi) of a fragment: 8 bytes per
+// active/inactive run boundary plus a per-active-pixel payload (rgba8 for
+// volume, rgba8+depth for surface), as an IceT-style compressor would emit.
+std::size_t buf_compressed_bytes(const Buf& b, std::size_t sub_lo, std::size_t sub_hi,
+                                 CompositeMode mode) {
+  const std::size_t payload = mode == CompositeMode::kSurface ? 8 : 4;
+  std::size_t runs = 0, active = 0;
+  bool prev = false;
+  for (std::size_t i = sub_lo; i < sub_hi; ++i) {
+    const bool a = buf_active(b, i);
+    if (a != prev || i == sub_lo) ++runs;
+    if (a) ++active;
+    prev = a;
+  }
+  return 16 + runs * 8 + active * payload;
+}
+
+// Blends fragment `src` into `dst` over their overlapping pixel range.
+// `src_in_front` gives the visibility order for volume blending.
+void blend_into(Buf& dst, const Buf& src, CompositeMode mode, bool src_in_front) {
+  const std::size_t lo = std::max(dst.lo, src.lo);
+  const std::size_t hi = std::min(dst.hi, src.hi);
+  for (std::size_t p = lo; p < hi; ++p) {
+    const std::size_t di = p - dst.lo;
+    const std::size_t si = p - src.lo;
+    if (mode == CompositeMode::kSurface) {
+      if (src.depth[si] < dst.depth[di]) {
+        dst.depth[di] = src.depth[si];
+        dst.rgba[di] = src.rgba[si];
+      }
+    } else {
+      // Premultiplied "over": front + back * (1 - front.alpha).
+      const Vec4f front = src_in_front ? src.rgba[si] : dst.rgba[di];
+      const Vec4f back = src_in_front ? dst.rgba[di] : src.rgba[si];
+      const float rem = 1.0f - front.w;
+      dst.rgba[di] = {front.x + back.x * rem, front.y + back.y * rem,
+                      front.z + back.z * rem, front.w + back.w * rem};
+      dst.depth[di] = std::min(dst.depth[di], src.depth[si]);
+    }
+  }
+}
+
+double blend_cost(const Comm& comm, std::size_t pixels) {
+  return static_cast<double>(pixels) * comm.network().blend_ns_per_pixel * 1e-9;
+}
+
+// Sorted-by-depth order of the input images; index in the result is the
+// "virtual rank" every algorithm below operates on.
+std::vector<int> visibility_order(const std::vector<RankImage>& inputs) {
+  std::vector<int> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return inputs[static_cast<std::size_t>(a)].view_depth <
+           inputs[static_cast<std::size_t>(b)].view_depth;
+  });
+  return order;
+}
+
+void buf_to_image(const Buf& b, render::Image& img) {
+  std::copy(b.rgba.begin(), b.rgba.end(),
+            img.pixels().begin() + static_cast<std::ptrdiff_t>(b.lo));
+  std::copy(b.depth.begin(), b.depth.end(),
+            img.depths().begin() + static_cast<std::ptrdiff_t>(b.lo));
+}
+
+// Final collection: every rank ships its finished piece to rank 0.
+void gather_to_root(Comm& comm, const std::vector<Buf>& pieces, CompositeMode mode,
+                    render::Image& out) {
+  for (std::size_t r = 0; r < pieces.size(); ++r) {
+    const Buf& b = pieces[r];
+    if (b.size() == 0) continue;
+    if (r != 0) comm.send(static_cast<int>(r), 0, buf_compressed_bytes(b, 0, b.size(), mode));
+    buf_to_image(b, out);
+  }
+}
+
+std::vector<Buf> direct_send(Comm& comm, const std::vector<const render::Image*>& img,
+                             CompositeMode mode, std::size_t n_pixels) {
+  const int R = comm.size();
+  std::vector<Buf> result(static_cast<std::size_t>(R));
+  // Chunk d belongs to rank d.
+  auto chunk_lo = [&](int d) { return n_pixels * static_cast<std::size_t>(d) / static_cast<std::size_t>(R); };
+  for (int d = 0; d < R; ++d) {
+    const std::size_t lo = chunk_lo(d), hi = chunk_lo(d + 1);
+    // Fold chunks in strict visibility order (virtual rank 0 is closest to
+    // the camera), so the over operator composes correctly.
+    Buf acc = make_buf(*img[0], lo, hi, 0);
+    if (d != 0) comm.send(0, d, buf_compressed_bytes(acc, 0, acc.size(), mode));
+    for (int s = 1; s < R; ++s) {
+      Buf frag = make_buf(*img[static_cast<std::size_t>(s)], lo, hi, s);
+      if (s != d) comm.send(s, d, buf_compressed_bytes(frag, 0, frag.size(), mode));
+      blend_into(acc, frag, mode, /*src_in_front=*/false);
+      acc.block_size += 1;
+      comm.add_compute(d, blend_cost(comm, frag.size()));
+    }
+    result[static_cast<std::size_t>(d)] = std::move(acc);
+  }
+  return result;
+}
+
+std::vector<Buf> binary_swap(Comm& comm, const std::vector<const render::Image*>& img,
+                             CompositeMode mode, std::size_t n_pixels) {
+  const int R = comm.size();
+  if ((R & (R - 1)) != 0)
+    throw std::invalid_argument("binary swap requires a power-of-two rank count");
+  std::vector<Buf> bufs(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r)
+    bufs[static_cast<std::size_t>(r)] = make_buf(*img[static_cast<std::size_t>(r)], 0, n_pixels, r);
+
+  for (int bit = 0; (1 << bit) < R; ++bit) {
+    std::vector<Buf> next(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      const int partner = r ^ (1 << bit);
+      if (partner < r) continue;  // the lower rank of the pair fills next[r]
+      Buf& a = bufs[static_cast<std::size_t>(r)];
+      Buf& b = bufs[static_cast<std::size_t>(partner)];
+      const std::size_t half = a.size() / 2;
+      const std::size_t mid = a.lo + half;
+      // Lower rank keeps the first half, upper rank the second.
+      Buf a_keep = make_sub(a, a.lo, mid);
+      Buf a_send = make_sub(a, mid, a.hi);
+      Buf b_keep = make_sub(b, mid, b.hi);
+      Buf b_send = make_sub(b, b.lo, mid);
+      comm.exchange(r, partner,
+                    buf_compressed_bytes(a, mid - a.lo, a.size(), mode),
+                    buf_compressed_bytes(b, 0, mid - b.lo, mode));
+      const bool b_front = b.block_lo < a.block_lo;
+      blend_into(a_keep, b_send, mode, b_front);
+      blend_into(b_keep, a_send, mode, !b_front);
+      comm.add_compute(r, blend_cost(comm, a_keep.size()));
+      comm.add_compute(partner, blend_cost(comm, b_keep.size()));
+      const int merged_lo = std::min(a.block_lo, b.block_lo);
+      const int merged_size = a.block_size + b.block_size;
+      a_keep.block_lo = b_keep.block_lo = merged_lo;
+      a_keep.block_size = b_keep.block_size = merged_size;
+      next[static_cast<std::size_t>(r)] = std::move(a_keep);
+      next[static_cast<std::size_t>(partner)] = std::move(b_keep);
+    }
+    bufs = std::move(next);
+  }
+  return bufs;
+}
+
+std::vector<Buf> radix_k(Comm& comm, const std::vector<const render::Image*>& img,
+                         CompositeMode mode, std::size_t n_pixels, int radix) {
+  const int R = comm.size();
+  std::vector<Buf> bufs(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r)
+    bufs[static_cast<std::size_t>(r)] = make_buf(*img[static_cast<std::size_t>(r)], 0, n_pixels, r);
+
+  // Factor R into rounds of size <= radix.
+  std::vector<int> rounds;
+  int rem = R;
+  while (rem > 1) {
+    int k = std::gcd(rem, radix);
+    if (k == 1) {
+      // No factor <= radix divides rem; find the smallest prime factor.
+      k = rem;
+      for (int f = 2; f * f <= rem; ++f)
+        if (rem % f == 0) {
+          k = f;
+          break;
+        }
+    }
+    rounds.push_back(k);
+    rem /= k;
+  }
+
+  int stride = 1;
+  for (const int k : rounds) {
+    std::vector<Buf> next(static_cast<std::size_t>(R));
+    std::vector<bool> done(static_cast<std::size_t>(R), false);
+    for (int r = 0; r < R; ++r) {
+      if (done[static_cast<std::size_t>(r)]) continue;
+      const int m = (r / stride) % k;
+      const int base = r - m * stride;
+      // Gather the whole group once (when visiting its first member).
+      std::vector<int> group(static_cast<std::size_t>(k));
+      for (int j = 0; j < k; ++j) group[static_cast<std::size_t>(j)] = base + j * stride;
+      // Each member keeps piece `j == its index`, receives that piece from
+      // all others, and sends the other pieces out.
+      const Buf& ref = bufs[static_cast<std::size_t>(group[0])];
+      const std::size_t piece = ref.size() / static_cast<std::size_t>(k);
+      for (int j = 0; j < k; ++j) {
+        const int owner = group[static_cast<std::size_t>(j)];
+        const std::size_t plo = ref.lo + piece * static_cast<std::size_t>(j);
+        const std::size_t phi = (j == k - 1) ? ref.hi : plo + piece;
+        // Group members' blocks are ordered by their index (member jj holds
+        // visibility block [base + jj*stride, ...)), so folding jj ascending
+        // is strict front-to-back order.
+        Buf acc = make_sub(bufs[static_cast<std::size_t>(group[0])], plo, phi);
+        if (group[0] != owner) {
+          const Buf& sb = bufs[static_cast<std::size_t>(group[0])];
+          comm.send(group[0], owner,
+                    buf_compressed_bytes(sb, plo - sb.lo, phi - sb.lo, mode));
+        }
+        int merged_size = acc.block_size;
+        for (int jj = 1; jj < k; ++jj) {
+          const int src = group[static_cast<std::size_t>(jj)];
+          const Buf& sb = bufs[static_cast<std::size_t>(src)];
+          Buf frag = make_sub(sb, plo, phi);
+          if (src != owner)
+            comm.send(src, owner, buf_compressed_bytes(sb, plo - sb.lo, phi - sb.lo, mode));
+          blend_into(acc, frag, mode, /*src_in_front=*/false);
+          merged_size += sb.block_size;
+          comm.add_compute(owner, blend_cost(comm, frag.size()));
+        }
+        acc.block_size = merged_size;
+        next[static_cast<std::size_t>(owner)] = std::move(acc);
+        done[static_cast<std::size_t>(owner)] = true;
+      }
+    }
+    bufs = std::move(next);
+    stride *= k;
+  }
+  return bufs;
+}
+
+}  // namespace
+
+CompositeResult composite(Comm& comm, const std::vector<RankImage>& inputs,
+                          CompositeMode mode, CompositeAlgorithm algorithm, int radix) {
+  if (inputs.empty()) return {};
+  if (static_cast<int>(inputs.size()) != comm.size())
+    throw std::invalid_argument("composite: rank image count != comm size");
+  const int width = inputs.front().image.width();
+  const int height = inputs.front().image.height();
+  const std::size_t n_pixels = inputs.front().image.pixel_count();
+  for (const RankImage& ri : inputs)
+    if (ri.image.pixel_count() != n_pixels)
+      throw std::invalid_argument("composite: mismatched image sizes");
+
+  comm.reset();
+
+  // Visibility ordering (virtual rank = sorted index).
+  const std::vector<int> order = visibility_order(inputs);
+  std::vector<const render::Image*> img(inputs.size());
+  double total_active = 0.0;
+  for (std::size_t v = 0; v < order.size(); ++v) {
+    img[v] = &inputs[static_cast<std::size_t>(order[v])].image;
+    total_active += static_cast<double>(img[v]->active_pixel_count());
+  }
+
+  std::vector<Buf> pieces;
+  switch (algorithm) {
+    case CompositeAlgorithm::kDirectSend: pieces = direct_send(comm, img, mode, n_pixels); break;
+    case CompositeAlgorithm::kBinarySwap: pieces = binary_swap(comm, img, mode, n_pixels); break;
+    case CompositeAlgorithm::kRadixK: pieces = radix_k(comm, img, mode, n_pixels, radix); break;
+  }
+  comm.barrier();
+
+  CompositeResult result;
+  result.image.resize(width, height);
+  gather_to_root(comm, pieces, mode, result.image);
+  result.simulated_seconds = comm.max_clock();
+  result.bytes_sent = comm.total_bytes_sent();
+  result.messages = comm.message_count();
+  result.avg_active_pixels = total_active / static_cast<double>(inputs.size());
+  return result;
+}
+
+render::Image composite_reference(const std::vector<RankImage>& inputs, CompositeMode mode) {
+  render::Image out;
+  if (inputs.empty()) return out;
+  out.resize(inputs.front().image.width(), inputs.front().image.height());
+  const std::vector<int> order = visibility_order(inputs);
+  const std::size_t n = out.pixel_count();
+  for (std::size_t p = 0; p < n; ++p) {
+    Vec4f acc{0, 0, 0, 0};
+    float depth = render::kFarDepth;
+    for (const int r : order) {
+      const render::Image& img = inputs[static_cast<std::size_t>(r)].image;
+      if (!pixel_active(img, p)) continue;
+      if (mode == CompositeMode::kSurface) {
+        if (img.depths()[p] < depth) {
+          depth = img.depths()[p];
+          acc = img.pixels()[p];
+        }
+      } else {
+        const Vec4f back = img.pixels()[p];
+        const float rem = 1.0f - acc.w;
+        acc = {acc.x + back.x * rem, acc.y + back.y * rem, acc.z + back.z * rem,
+               acc.w + back.w * rem};
+        depth = std::min(depth, img.depths()[p]);
+      }
+    }
+    out.pixels()[p] = acc;
+    out.depths()[p] = depth;
+  }
+  return out;
+}
+
+std::size_t compressed_bytes(const render::Image& image, std::size_t lo, std::size_t hi) {
+  std::size_t runs = 0, active = 0;
+  bool prev = false;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const bool a = pixel_active(image, i);
+    if (a != prev || i == lo) ++runs;
+    if (a) ++active;
+    prev = a;
+  }
+  return 16 + runs * 8 + active * 8;
+}
+
+}  // namespace isr::comm

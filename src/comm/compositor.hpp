@@ -1,0 +1,58 @@
+// Sort-last image compositing over the virtual MPI layer — the IceT
+// stand-in (dissertation §4.2/§5.6). Implements direct send, binary swap,
+// and radix-k; the SC16 study composited with radix-k.
+//
+// Sub-images are exchanged with active-pixel run-length compression (like
+// IceT), so communication volume scales with active pixels — the behavior
+// the compositing model T_COMP = c0*avg(AP) + c1*Pixels + c2 captures.
+#pragma once
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "render/image.hpp"
+
+namespace isr::comm {
+
+enum class CompositeMode {
+  kSurface,  // z-buffer min (ray tracing / rasterization)
+  kVolume,   // ordered over-blend by domain visibility (volume rendering)
+};
+
+enum class CompositeAlgorithm {
+  kDirectSend,
+  kBinarySwap,  // rank count must be a power of two
+  kRadixK,
+};
+
+struct RankImage {
+  render::Image image;
+  // Distance of the producing domain from the camera; establishes the
+  // visibility order volume compositing needs.
+  float view_depth = 0.0f;
+};
+
+struct CompositeResult {
+  render::Image image;       // the final composited image
+  double simulated_seconds = 0.0;  // max rank clock: the T_COMP measurement
+  std::size_t bytes_sent = 0;
+  std::size_t messages = 0;
+  // Average active (non-empty) pixels per rank before compositing.
+  double avg_active_pixels = 0.0;
+};
+
+// Composites rank sub-images. All images must share the final resolution.
+// `radix` is the per-round group size for kRadixK (the factorization uses
+// `radix` until the remainder, matching common IceT configurations).
+CompositeResult composite(Comm& comm, const std::vector<RankImage>& inputs,
+                          CompositeMode mode, CompositeAlgorithm algorithm, int radix = 8);
+
+// Serial reference: composite everything on one rank with no communication.
+// Used by tests to check the parallel algorithms bit-for-bit.
+render::Image composite_reference(const std::vector<RankImage>& inputs, CompositeMode mode);
+
+// RLE-compressed size in bytes of a pixel range: what a rank would actually
+// put on the wire for image[lo, hi).
+std::size_t compressed_bytes(const render::Image& image, std::size_t lo, std::size_t hi);
+
+}  // namespace isr::comm

@@ -1,0 +1,164 @@
+#include "conduit/blueprint.hpp"
+
+#include <cmath>
+
+namespace isr::conduit::blueprint {
+
+namespace {
+
+bool fail(std::string& error, const std::string& msg) {
+  error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool verify_mesh(const Node& mesh, std::string& error) {
+  if (!mesh.has_path("coords/type")) return fail(error, "missing coords/type");
+  const std::string ctype = mesh["coords/type"].as_string();
+  if (ctype == "uniform") {
+    for (const char* p : {"coords/dims/i", "coords/dims/j", "coords/dims/k"})
+      if (!mesh.has_path(p)) return fail(error, std::string("missing ") + p);
+  } else if (ctype == "explicit") {
+    for (const char* p : {"coords/x", "coords/y", "coords/z"}) {
+      if (!mesh.has_path(p)) return fail(error, std::string("missing ") + p);
+      if (mesh[p].element_count() == 0) return fail(error, std::string("empty ") + p);
+    }
+    const std::size_t n = mesh["coords/x"].element_count();
+    if (mesh["coords/y"].element_count() != n || mesh["coords/z"].element_count() != n)
+      return fail(error, "coords arrays have mismatched lengths");
+  } else {
+    return fail(error, "unknown coords/type: " + ctype);
+  }
+
+  if (!mesh.has_path("topology/type")) return fail(error, "missing topology/type");
+  const std::string ttype = mesh["topology/type"].as_string();
+  if (ttype == "unstructured") {
+    if (!mesh.has_path("topology/elements/shape"))
+      return fail(error, "missing topology/elements/shape");
+    if (mesh["topology/elements/shape"].as_string() != "hexs")
+      return fail(error, "unsupported element shape");
+    if (!mesh.has_path("topology/elements/connectivity"))
+      return fail(error, "missing topology/elements/connectivity");
+    if (mesh["topology/elements/connectivity"].element_count() % 8 != 0)
+      return fail(error, "hex connectivity length not a multiple of 8");
+  } else if (ttype != "uniform") {
+    return fail(error, "unknown topology/type: " + ttype);
+  }
+
+  if (mesh.has_path("fields")) {
+    const Node& fields = mesh["fields"];
+    for (std::size_t i = 0; i < fields.child_count(); ++i) {
+      const Node& f = fields.child(i);
+      const std::string name = fields.child_name(i);
+      if (!f.has_path("values")) return fail(error, "field " + name + " missing values");
+      if (!f.has_path("association"))
+        return fail(error, "field " + name + " missing association");
+      const std::string assoc = f["association"].as_string();
+      if (assoc != "vertex" && assoc != "element")
+        return fail(error, "field " + name + " has unknown association " + assoc);
+    }
+  }
+  error.clear();
+  return true;
+}
+
+void describe_uniform(Node& out, int nx, int ny, int nz, float origin[3], float spacing[3]) {
+  out["coords/type"] = "uniform";
+  out["coords/dims/i"] = nx;
+  out["coords/dims/j"] = ny;
+  out["coords/dims/k"] = nz;
+  out["coords/origin/x"] = static_cast<double>(origin[0]);
+  out["coords/origin/y"] = static_cast<double>(origin[1]);
+  out["coords/origin/z"] = static_cast<double>(origin[2]);
+  out["coords/spacing/dx"] = static_cast<double>(spacing[0]);
+  out["coords/spacing/dy"] = static_cast<double>(spacing[1]);
+  out["coords/spacing/dz"] = static_cast<double>(spacing[2]);
+  out["topology/type"] = "uniform";
+}
+
+mesh::StructuredGrid to_structured(const Node& n, const std::string& field) {
+  const int nx = static_cast<int>(n["coords/dims/i"].to_int64());
+  const int ny = static_cast<int>(n["coords/dims/j"].to_int64());
+  const int nz = static_cast<int>(n["coords/dims/k"].to_int64());
+  Vec3f origin{0, 0, 0}, spacing{1, 1, 1};
+  if (n.has_path("coords/origin/x")) {
+    origin = {static_cast<float>(n["coords/origin/x"].to_float64()),
+              static_cast<float>(n["coords/origin/y"].to_float64()),
+              static_cast<float>(n["coords/origin/z"].to_float64())};
+  }
+  if (n.has_path("coords/spacing/dx")) {
+    spacing = {static_cast<float>(n["coords/spacing/dx"].to_float64()),
+               static_cast<float>(n["coords/spacing/dy"].to_float64()),
+               static_cast<float>(n["coords/spacing/dz"].to_float64())};
+  }
+  mesh::StructuredGrid grid(nx, ny, nz, origin, spacing);
+
+  const Node& f = n["fields"][field];
+  const std::vector<float> values = f["values"].to_float32_vector();
+  if (f["association"].as_string() == "vertex") {
+    if (values.size() != grid.point_count())
+      throw std::runtime_error("blueprint: vertex field size mismatch");
+    grid.scalars() = values;
+  } else {
+    // Element-centered: average the 8 surrounding cells onto each vertex.
+    if (values.size() != grid.cell_count())
+      throw std::runtime_error("blueprint: element field size mismatch");
+    auto cell_index = [&](int i, int j, int k) {
+      return static_cast<std::size_t>(i) +
+             static_cast<std::size_t>(nx) *
+                 (static_cast<std::size_t>(j) + static_cast<std::size_t>(ny) * k);
+    };
+    for (int k = 0; k <= nz; ++k)
+      for (int j = 0; j <= ny; ++j)
+        for (int i = 0; i <= nx; ++i) {
+          float sum = 0.0f;
+          int count = 0;
+          for (int dk = -1; dk <= 0; ++dk)
+            for (int dj = -1; dj <= 0; ++dj)
+              for (int di = -1; di <= 0; ++di) {
+                const int ci = i + di, cj = j + dj, ck = k + dk;
+                if (ci < 0 || cj < 0 || ck < 0 || ci >= nx || cj >= ny || ck >= nz) continue;
+                sum += values[cell_index(ci, cj, ck)];
+                ++count;
+              }
+          grid.scalars()[grid.point_index(i, j, k)] = count > 0 ? sum / static_cast<float>(count) : 0.0f;
+        }
+  }
+  return grid;
+}
+
+mesh::HexMesh to_hex_mesh(const Node& n, const std::string& field) {
+  mesh::HexMesh out;
+  const auto x = n["coords/x"].to_float32_vector();
+  const auto y = n["coords/y"].to_float32_vector();
+  const auto z = n["coords/z"].to_float32_vector();
+  out.points.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out.points[i] = {x[i], y[i], z[i]};
+  out.conn = n["topology/elements/connectivity"].to_int32_vector();
+
+  const Node& f = n["fields"][field];
+  const std::vector<float> values = f["values"].to_float32_vector();
+  if (f["association"].as_string() == "vertex") {
+    if (values.size() != out.points.size())
+      throw std::runtime_error("blueprint: vertex field size mismatch");
+    out.scalars = values;
+  } else {
+    // Element field: accumulate to vertices.
+    if (values.size() != out.cell_count())
+      throw std::runtime_error("blueprint: element field size mismatch");
+    out.scalars.assign(out.points.size(), 0.0f);
+    std::vector<int> touch(out.points.size(), 0);
+    for (std::size_t c = 0; c < out.cell_count(); ++c)
+      for (int v = 0; v < 8; ++v) {
+        const auto p = static_cast<std::size_t>(out.conn[c * 8 + static_cast<std::size_t>(v)]);
+        out.scalars[p] += values[c];
+        ++touch[p];
+      }
+    for (std::size_t p = 0; p < out.points.size(); ++p)
+      if (touch[p] > 0) out.scalars[p] /= static_cast<float>(touch[p]);
+  }
+  return out;
+}
+
+}  // namespace isr::conduit::blueprint

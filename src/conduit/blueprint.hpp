@@ -1,0 +1,40 @@
+// Mesh description conventions over conduit::Node (the paper's "set of
+// conventions to describe mesh data using Conduit", §4.3), plus converters
+// the in situ pipeline uses at Publish time.
+//
+// Supported conventions (a small subset of the real Conduit blueprint):
+//
+//   coords/type            "uniform" | "explicit"
+//   uniform:  coords/dims/{i,j,k}   (cell counts)
+//             coords/origin/{x,y,z}, coords/spacing/{dx,dy,dz}
+//   explicit: coords/x, coords/y, coords/z   (float arrays, per point)
+//   topology/type          "uniform" | "unstructured"
+//   unstructured: topology/elements/shape = "hexs"
+//                 topology/elements/connectivity (int32 array, 8 per hex)
+//   fields/<name>/association   "vertex" | "element"
+//   fields/<name>/values        numeric array
+//   state/{time,cycle,domain}   optional scalars
+#pragma once
+
+#include <string>
+
+#include "conduit/node.hpp"
+#include "mesh/structured.hpp"
+#include "mesh/unstructured.hpp"
+
+namespace isr::conduit::blueprint {
+
+// Validates the conventions above; on failure returns false and fills
+// `error` with the first problem found.
+bool verify_mesh(const Node& mesh, std::string& error);
+
+// Describes a uniform grid (no field) into `out` following the conventions.
+void describe_uniform(Node& out, int nx, int ny, int nz, float origin[3], float spacing[3]);
+
+// Converters used by the in situ runtime. Element-centered fields are
+// averaged to the vertices (renderers interpolate point scalars). The copy
+// made here stands in for the host-to-device transfer of a real deployment.
+mesh::StructuredGrid to_structured(const Node& mesh, const std::string& field);
+mesh::HexMesh to_hex_mesh(const Node& mesh, const std::string& field);
+
+}  // namespace isr::conduit::blueprint

@@ -1,0 +1,307 @@
+#include "conduit/node.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace isr::conduit {
+
+namespace {
+
+std::pair<std::string, std::string> split_head(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  if (slash == std::string::npos) return {path, ""};
+  return {path.substr(0, slash), path.substr(slash + 1)};
+}
+
+}  // namespace
+
+Node& Node::operator[](const std::string& path) {
+  auto [head, rest] = split_head(path);
+  Node& c = fetch_or_create(head);
+  return rest.empty() ? c : c[rest];
+}
+
+Node& Node::fetch_or_create(const std::string& name) {
+  if (type_ == Type::kEmpty) type_ = Type::kObject;
+  if (type_ != Type::kObject && type_ != Type::kList)
+    throw std::runtime_error("Node: cannot add child '" + name + "' to a leaf node");
+  for (auto& [n, child] : children_)
+    if (n == name) return *child;
+  children_.emplace_back(name, std::make_unique<Node>());
+  return *children_.back().second;
+}
+
+const Node& Node::fetch_existing(const std::string& path) const {
+  auto [head, rest] = split_head(path);
+  for (const auto& [n, child] : children_)
+    if (n == head) return rest.empty() ? *child : child->fetch_existing(rest);
+  throw std::runtime_error("Node: missing path '" + path + "'");
+}
+
+bool Node::has_path(const std::string& path) const {
+  auto [head, rest] = split_head(path);
+  for (const auto& [n, child] : children_)
+    if (n == head) return rest.empty() ? true : child->has_path(rest);
+  return false;
+}
+
+Node& Node::append() {
+  if (type_ == Type::kEmpty) type_ = Type::kList;
+  if (type_ != Type::kList && type_ != Type::kObject)
+    throw std::runtime_error("Node: append on a leaf node");
+  children_.emplace_back(std::to_string(children_.size()), std::make_unique<Node>());
+  return *children_.back().second;
+}
+
+std::vector<std::string> Node::child_names() const {
+  std::vector<std::string> names;
+  names.reserve(children_.size());
+  for (const auto& [n, child] : children_) names.push_back(n);
+  return names;
+}
+
+void Node::reset_value() {
+  owned_.clear();
+  ext_ptr_ = nullptr;
+  count_ = 0;
+  external_ = false;
+  string_value_.clear();
+}
+
+void Node::set(std::int64_t v) {
+  reset_value();
+  type_ = Type::kInt64;
+  int_value_ = v;
+}
+
+void Node::set(double v) {
+  reset_value();
+  type_ = Type::kFloat64;
+  float_value_ = v;
+}
+
+void Node::set(const std::string& v) {
+  reset_value();
+  type_ = Type::kString;
+  string_value_ = v;
+}
+
+void Node::set_array(Type t, const void* data, std::size_t count, std::size_t elem_size,
+                     bool external) {
+  reset_value();
+  type_ = t;
+  count_ = count;
+  external_ = external;
+  if (external) {
+    ext_ptr_ = data;
+  } else {
+    owned_.resize(count * elem_size);
+    std::memcpy(owned_.data(), data, count * elem_size);
+  }
+}
+
+void Node::set(const std::int32_t* d, std::size_t n) { set_array(Type::kInt32Array, d, n, 4, false); }
+void Node::set(const std::int64_t* d, std::size_t n) { set_array(Type::kInt64Array, d, n, 8, false); }
+void Node::set(const float* d, std::size_t n) { set_array(Type::kFloat32Array, d, n, 4, false); }
+void Node::set(const double* d, std::size_t n) { set_array(Type::kFloat64Array, d, n, 8, false); }
+
+void Node::set_external(const std::int32_t* d, std::size_t n) { set_array(Type::kInt32Array, d, n, 4, true); }
+void Node::set_external(const std::int64_t* d, std::size_t n) { set_array(Type::kInt64Array, d, n, 8, true); }
+void Node::set_external(const float* d, std::size_t n) { set_array(Type::kFloat32Array, d, n, 4, true); }
+void Node::set_external(const double* d, std::size_t n) { set_array(Type::kFloat64Array, d, n, 8, true); }
+
+std::int64_t Node::as_int64() const {
+  if (type_ != Type::kInt64) throw std::runtime_error("Node: not an int64");
+  return int_value_;
+}
+
+double Node::as_float64() const {
+  if (type_ != Type::kFloat64) throw std::runtime_error("Node: not a float64");
+  return float_value_;
+}
+
+double Node::to_float64() const {
+  switch (type_) {
+    case Type::kInt64: return static_cast<double>(int_value_);
+    case Type::kFloat64: return float_value_;
+    case Type::kFloat32Array:
+      if (count_ == 1) return static_cast<double>(as_float32_array()[0]);
+      break;
+    case Type::kFloat64Array:
+      if (count_ == 1) return as_float64_array()[0];
+      break;
+    case Type::kInt64Array:
+      if (count_ == 1) return static_cast<double>(as_int64_array()[0]);
+      break;
+    default: break;
+  }
+  throw std::runtime_error("Node: cannot coerce to float64");
+}
+
+std::int64_t Node::to_int64() const {
+  switch (type_) {
+    case Type::kInt64: return int_value_;
+    case Type::kFloat64: return static_cast<std::int64_t>(float_value_);
+    case Type::kInt64Array:
+      if (count_ == 1) return as_int64_array()[0];
+      break;
+    case Type::kInt32Array:
+      if (count_ == 1) return as_int32_array()[0];
+      break;
+    default: break;
+  }
+  throw std::runtime_error("Node: cannot coerce to int64");
+}
+
+const std::string& Node::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("Node: not a string");
+  return string_value_;
+}
+
+std::span<const std::int32_t> Node::as_int32_array() const {
+  if (type_ != Type::kInt32Array) throw std::runtime_error("Node: not an int32 array");
+  return {static_cast<const std::int32_t*>(data_ptr()), count_};
+}
+
+std::span<const std::int64_t> Node::as_int64_array() const {
+  if (type_ != Type::kInt64Array) throw std::runtime_error("Node: not an int64 array");
+  return {static_cast<const std::int64_t*>(data_ptr()), count_};
+}
+
+std::span<const float> Node::as_float32_array() const {
+  if (type_ != Type::kFloat32Array) throw std::runtime_error("Node: not a float32 array");
+  return {static_cast<const float*>(data_ptr()), count_};
+}
+
+std::span<const double> Node::as_float64_array() const {
+  if (type_ != Type::kFloat64Array) throw std::runtime_error("Node: not a float64 array");
+  return {static_cast<const double*>(data_ptr()), count_};
+}
+
+std::vector<float> Node::to_float32_vector() const {
+  std::vector<float> out;
+  switch (type_) {
+    case Type::kFloat32Array: {
+      const auto s = as_float32_array();
+      out.assign(s.begin(), s.end());
+      break;
+    }
+    case Type::kFloat64Array: {
+      const auto s = as_float64_array();
+      out.reserve(s.size());
+      for (const double v : s) out.push_back(static_cast<float>(v));
+      break;
+    }
+    case Type::kInt32Array: {
+      const auto s = as_int32_array();
+      out.reserve(s.size());
+      for (const std::int32_t v : s) out.push_back(static_cast<float>(v));
+      break;
+    }
+    default:
+      throw std::runtime_error("Node: cannot coerce to float32 array");
+  }
+  return out;
+}
+
+std::vector<int> Node::to_int32_vector() const {
+  std::vector<int> out;
+  switch (type_) {
+    case Type::kInt32Array: {
+      const auto s = as_int32_array();
+      out.assign(s.begin(), s.end());
+      break;
+    }
+    case Type::kInt64Array: {
+      const auto s = as_int64_array();
+      out.reserve(s.size());
+      for (const std::int64_t v : s) out.push_back(static_cast<int>(v));
+      break;
+    }
+    default:
+      throw std::runtime_error("Node: cannot coerce to int32 array");
+  }
+  return out;
+}
+
+namespace {
+std::size_t elem_size_of(Node::Type t) {
+  switch (t) {
+    case Node::Type::kInt32Array:
+    case Node::Type::kFloat32Array: return 4;
+    case Node::Type::kInt64Array:
+    case Node::Type::kFloat64Array: return 8;
+    default: return 0;
+  }
+}
+}  // namespace
+
+std::size_t Node::total_bytes() const {
+  std::size_t bytes = count_ * elem_size_of(type_) + string_value_.size();
+  if (type_ == Type::kInt64 || type_ == Type::kFloat64) bytes += 8;
+  for (const auto& [n, child] : children_) bytes += child->total_bytes();
+  return bytes;
+}
+
+std::size_t Node::owned_bytes() const {
+  std::size_t bytes = owned_.size() + string_value_.size();
+  for (const auto& [n, child] : children_) bytes += child->owned_bytes();
+  return bytes;
+}
+
+const char* Node::type_name(Type t) {
+  switch (t) {
+    case Type::kEmpty: return "empty";
+    case Type::kObject: return "object";
+    case Type::kList: return "list";
+    case Type::kInt64: return "int64";
+    case Type::kFloat64: return "float64";
+    case Type::kString: return "string";
+    case Type::kInt32Array: return "int32[]";
+    case Type::kInt64Array: return "int64[]";
+    case Type::kFloat32Array: return "float32[]";
+    case Type::kFloat64Array: return "float64[]";
+  }
+  return "?";
+}
+
+std::string Node::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::ostringstream os;
+  switch (type_) {
+    case Type::kEmpty: os << "null"; break;
+    case Type::kInt64: os << int_value_; break;
+    case Type::kFloat64: os << float_value_; break;
+    case Type::kString: os << '"' << string_value_ << '"'; break;
+    case Type::kObject: {
+      os << "{\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        os << pad << "  \"" << children_[i].first
+           << "\": " << children_[i].second->to_json(indent + 1);
+        if (i + 1 < children_.size()) os << ",";
+        os << "\n";
+      }
+      os << pad << "}";
+      break;
+    }
+    case Type::kList: {
+      os << "[\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        os << pad << "  " << children_[i].second->to_json(indent + 1);
+        if (i + 1 < children_.size()) os << ",";
+        os << "\n";
+      }
+      os << pad << "]";
+      break;
+    }
+    default: {
+      // Arrays: print type, count, locality; not the data (can be huge).
+      os << "{\"dtype\": \"" << type_name(type_) << "\", \"count\": " << count_
+         << ", \"external\": " << (external_ ? "true" : "false") << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace isr::conduit

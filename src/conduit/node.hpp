@@ -1,0 +1,143 @@
+// Hierarchical in-core data description, modeled on LLNL's Conduit
+// (dissertation §4.2): a JSON-like tree with bit-width-typed leaves,
+// zero-copy "external" array views, a path-based API, and runtime
+// introspection. Simulations describe their meshes with it and pass the
+// tree to the in situ runtime (Listings 4.1-4.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace isr::conduit {
+
+class Node {
+ public:
+  enum class Type {
+    kEmpty,
+    kObject,
+    kList,
+    kInt64,
+    kFloat64,
+    kString,
+    kInt32Array,
+    kInt64Array,
+    kFloat32Array,
+    kFloat64Array,
+  };
+
+  Node() = default;
+  Node(const Node&) = delete;  // trees are identity objects; copy via set(Node)
+  Node& operator=(const Node&) = delete;
+  Node(Node&&) = default;
+  Node& operator=(Node&&) = default;
+
+  // --- Tree navigation ----------------------------------------------------
+  // operator[] walks (and creates) slash-separated paths: n["fields/e/values"].
+  Node& operator[](const std::string& path);
+  Node& operator[](const char* path) { return (*this)[std::string(path)]; }
+  const Node& operator[](const std::string& path) const { return fetch_existing(path); }
+  const Node& operator[](const char* path) const { return fetch_existing(path); }
+
+  const Node& fetch_existing(const std::string& path) const;  // throws if absent
+  bool has_path(const std::string& path) const;
+
+  // List semantics: append a new child (used for action lists).
+  Node& append();
+
+  std::size_t child_count() const { return children_.size(); }
+  Node& child(std::size_t i) { return *children_[i].second; }
+  const Node& child(std::size_t i) const { return *children_[i].second; }
+  const std::string& child_name(std::size_t i) const { return children_[i].first; }
+  std::vector<std::string> child_names() const;
+
+  // --- Scalar setters (assignment sugar matches the paper's listings) -----
+  void set(std::int64_t v);
+  void set(int v) { set(static_cast<std::int64_t>(v)); }
+  void set(double v);
+  void set(const std::string& v);
+  void set(const char* v) { set(std::string(v)); }
+
+  Node& operator=(std::int64_t v) { set(v); return *this; }
+  Node& operator=(int v) { set(v); return *this; }
+  Node& operator=(double v) { set(v); return *this; }
+  Node& operator=(const std::string& v) { set(v); return *this; }
+  Node& operator=(const char* v) { set(v); return *this; }
+
+  // --- Array setters -------------------------------------------------------
+  // set(): deep copy owned by the node. set_external(): zero-copy view of
+  // simulation-owned memory (the node never frees it; §4.3 R5/R11).
+  void set(const std::int32_t* data, std::size_t count);
+  void set(const std::int64_t* data, std::size_t count);
+  void set(const float* data, std::size_t count);
+  void set(const double* data, std::size_t count);
+  template <class T>
+  void set(const std::vector<T>& v) {
+    set(v.data(), v.size());
+  }
+
+  void set_external(const std::int32_t* data, std::size_t count);
+  void set_external(const std::int64_t* data, std::size_t count);
+  void set_external(const float* data, std::size_t count);
+  void set_external(const double* data, std::size_t count);
+  void set_external(const std::int64_t* scalar) { set_external(scalar, 1); }
+  void set_external(const double* scalar) { set_external(scalar, 1); }
+  void set_external(const float* scalar) { set_external(scalar, 1); }
+  template <class T>
+  void set_external(const std::vector<T>& v) {
+    set_external(v.data(), v.size());
+  }
+
+  // --- Accessors -----------------------------------------------------------
+  Type type() const { return type_; }
+  bool is_external() const { return external_; }
+  std::size_t element_count() const { return count_; }
+
+  std::int64_t as_int64() const;
+  double as_float64() const;
+  // Numeric coercion across scalar types (Conduit's to_* helpers).
+  double to_float64() const;
+  std::int64_t to_int64() const;
+  const std::string& as_string() const;
+
+  std::span<const std::int32_t> as_int32_array() const;
+  std::span<const std::int64_t> as_int64_array() const;
+  std::span<const float> as_float32_array() const;
+  std::span<const double> as_float64_array() const;
+  // Coerce any numeric array to float32 (copies unless already float32).
+  std::vector<float> to_float32_vector() const;
+  std::vector<int> to_int32_vector() const;
+
+  // --- Introspection ---------------------------------------------------
+  // Total bytes described by the subtree (owned + external).
+  std::size_t total_bytes() const;
+  // Bytes physically owned (copied) by the subtree; external data is free.
+  std::size_t owned_bytes() const;
+  std::string to_json(int indent = 0) const;
+
+  static const char* type_name(Type t);
+
+ private:
+  Node& fetch_or_create(const std::string& name);
+  const void* data_ptr() const { return external_ ? ext_ptr_ : owned_.data(); }
+  void reset_value();
+  void set_array(Type t, const void* data, std::size_t count, std::size_t elem_size,
+                 bool external);
+
+  Type type_ = Type::kEmpty;
+  std::int64_t int_value_ = 0;
+  double float_value_ = 0.0;
+  std::string string_value_;
+
+  const void* ext_ptr_ = nullptr;
+  std::vector<std::uint8_t> owned_;
+  std::size_t count_ = 0;
+  bool external_ = false;
+
+  std::vector<std::pair<std::string, std::unique_ptr<Node>>> children_;
+};
+
+}  // namespace isr::conduit

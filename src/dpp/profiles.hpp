@@ -1,0 +1,41 @@
+// Named device profiles for the architectures the dissertation studies.
+//
+// These are the documented hardware substitution (DESIGN.md §3): each
+// profile parameterizes the simulated-device cost model so one host machine
+// can stand in for the paper's CPU/GPU/MIC fleet. Parameters were chosen so
+// relative throughputs match the paper's observed orderings (Titan Black >
+// K40 > 750Ti > 620M; Xeon > i7; ISPC-MIC >> OpenMP-MIC), not to match any
+// vendor datasheet exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpp/device.hpp"
+
+namespace isr::dpp {
+
+// Chapter V study architectures.
+DeviceProfile profile_cpu1();  // 2x Sandy Bridge E5-2670, 16 TBB threads
+DeviceProfile profile_gpu1();  // NVIDIA K40m
+DeviceProfile profile_gpu2();  // NVIDIA K20 (Titan evaluation, §5.7)
+
+// Chapter II study architectures.
+DeviceProfile profile_titan_black();  // GeForce GTX Titan Black
+DeviceProfile profile_gtx750ti();     // GeForce GTX 750 Ti
+DeviceProfile profile_gt620m();       // GeForce GT 620M
+DeviceProfile profile_i7();           // Intel i7 4770K (4 cores)
+DeviceProfile profile_xeon();         // Intel Xeon E5-2680v2 (10 cores)
+DeviceProfile profile_mic_omp();      // Xeon Phi 3120, scalar OpenMP back-end
+DeviceProfile profile_mic_ispc();     // Xeon Phi 3120, ISPC (vectorized) back-end
+
+// A simulated multi-core CPU with a given thread count; used by the strong
+// scaling study (Table 8), which needs 1..24 cores on a 1-core host.
+DeviceProfile profile_cpu_threads(int threads);
+
+// All Chapter V study devices by the names used in the paper.
+DeviceProfile profile_by_name(const std::string& name);
+
+std::vector<std::string> all_profile_names();
+
+}  // namespace isr::dpp

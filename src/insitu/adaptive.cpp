@@ -1,0 +1,104 @@
+#include "insitu/adaptive.hpp"
+
+namespace isr::insitu {
+
+using model::ModelInputs;
+using model::RendererKind;
+
+AdaptivePlanner::AdaptivePlanner()
+    : models_{model::OnlineModel(RendererKind::kRayTrace),
+              model::OnlineModel(RendererKind::kRasterize),
+              model::OnlineModel(RendererKind::kVolume)} {}
+
+namespace {
+std::size_t index_of(RendererKind kind) {
+  switch (kind) {
+    case RendererKind::kRayTrace: return 0;
+    case RendererKind::kRasterize: return 1;
+    case RendererKind::kVolume: return 2;
+  }
+  return 0;
+}
+}  // namespace
+
+void AdaptivePlanner::observe(RendererKind kind, const model::RenderSample& sample) {
+  model_mut(kind).observe(sample);
+}
+
+model::OnlineModel& AdaptivePlanner::model_mut(RendererKind kind) {
+  return models_[index_of(kind)];
+}
+
+const model::OnlineModel& AdaptivePlanner::model(RendererKind kind) const {
+  return models_[index_of(kind)];
+}
+
+double AdaptivePlanner::estimate_bytes(RendererKind kind, const ModelInputs& in,
+                                       double pixels) {
+  switch (kind) {
+    case RendererKind::kRayTrace:
+      // BVH (two AABBs + links per internal node ~ 64 B/triangle after the
+      // Morton sort's scratch is freed) plus per-ray state (~48 B).
+      return 64.0 * in.objects + 48.0 * pixels;
+    case RendererKind::kRasterize:
+      // Screen-space triangle cache + packed atomic framebuffer.
+      return 40.0 * in.objects + 16.0 * pixels;
+    case RendererKind::kVolume:
+      // Ray state only; the grid belongs to the simulation (zero-copy).
+      return 32.0 * pixels;
+  }
+  return 0.0;
+}
+
+Decision AdaptivePlanner::plan(int n_per_task, int tasks, double pixels,
+                               bool include_volume, int frames,
+                               const model::MappingConstants& constants) const {
+  const double nf = static_cast<double>(frames < 1 ? 1 : frames);
+  Decision best;
+  Decision cheapest;
+  cheapest.predicted_seconds = std::numeric_limits<double>::infinity();
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  bool any_model = false;
+
+  for (const RendererKind kind :
+       {RendererKind::kRasterize, RendererKind::kRayTrace, RendererKind::kVolume}) {
+    if (kind == RendererKind::kVolume && !include_volume) continue;
+    const model::OnlineModel& m = model(kind);
+    if (!m.ready()) continue;
+    any_model = true;
+    const ModelInputs in = model::map_configuration(kind, n_per_task, tasks, pixels, constants);
+    // Per-frame cost with one-time work (BVH build) amortized over the batch.
+    // OnlineModel::predict includes the build; subtract the amortized share.
+    model::PerfModel batch = model::PerfModel::fit(kind, m.corpus());
+    const double seconds = batch.ok()
+                               ? batch.predict_render(in) + batch.predict_build(in) / nf
+                               : m.predict(in);
+    const double bytes = estimate_bytes(kind, in, pixels);
+
+    if (seconds < cheapest.predicted_seconds) {
+      cheapest.kind = kind;
+      cheapest.predicted_seconds = seconds;
+      cheapest.predicted_bytes = bytes;
+    }
+    const bool fits =
+        seconds <= constraints_.max_seconds && bytes <= constraints_.max_bytes;
+    if (fits && seconds < best.predicted_seconds) {
+      best.kind = kind;
+      best.predicted_seconds = seconds;
+      best.predicted_bytes = bytes;
+      best.feasible = true;
+    }
+  }
+
+  if (!best.feasible) {
+    // Nothing satisfies the constraints: report the cheapest option so the
+    // simulation can decide (render less often, smaller images, ...).
+    best = cheapest;
+    best.feasible = false;
+  }
+  best.calibrated = any_model;
+  if (!any_model) best.predicted_seconds = 0.0;
+  return best;
+}
+
+}  // namespace isr::insitu

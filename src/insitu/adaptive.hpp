@@ -1,0 +1,69 @@
+// Adaptive in situ layer (dissertation Chapter VI, §6.3): the simulation
+// registers its constraints (time it is willing to give to visualization,
+// memory it can spare) and the layer chooses rendering algorithms from the
+// performance models' estimates — "the adaptive layer would choose
+// visualization algorithms based on the input from the simulation."
+//
+// Models are the on-line kind (model/online.hpp), so the planner improves
+// as the run produces more measurements.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <string>
+
+#include "model/mapping.hpp"
+#include "model/online.hpp"
+
+namespace isr::insitu {
+
+struct Constraints {
+  // Maximum seconds per frame the simulation grants to rendering.
+  double max_seconds = std::numeric_limits<double>::infinity();
+  // Maximum bytes of extra memory rendering may allocate.
+  double max_bytes = std::numeric_limits<double>::infinity();
+};
+
+struct Decision {
+  model::RendererKind kind = model::RendererKind::kRasterize;
+  double predicted_seconds = 0.0;
+  double predicted_bytes = 0.0;
+  bool feasible = false;    // something satisfied the constraints
+  bool calibrated = false;  // models had enough observations to predict
+};
+
+class AdaptivePlanner {
+ public:
+  AdaptivePlanner();
+
+  void set_constraints(const Constraints& constraints) { constraints_ = constraints; }
+  const Constraints& constraints() const { return constraints_; }
+
+  // Feed a measurement for one renderer (e.g. from Strawman's PerfLog).
+  void observe(model::RendererKind kind, const model::RenderSample& sample);
+
+  // Rough working-set estimate for a renderer at the given inputs: the
+  // memory constraint's other half (BVH + ray state for ray tracing; packed
+  // framebuffer for rasterization; sample state for volume rendering).
+  static double estimate_bytes(model::RendererKind kind, const model::ModelInputs& in,
+                               double pixels);
+
+  // Picks the cheapest renderer that satisfies the constraints for the
+  // given configuration (surface renderers; volume optional since it
+  // answers a different question). `frames` amortizes one-time costs (the
+  // ray tracer's BVH build) over a batch, as in the paper's image-database
+  // scenario; predicted_seconds is per frame. Falls back to the cheapest
+  // overall with feasible=false when nothing fits.
+  Decision plan(int n_per_task, int tasks, double pixels, bool include_volume = false,
+                int frames = 1, const model::MappingConstants& constants = {}) const;
+
+  const model::OnlineModel& model(model::RendererKind kind) const;
+
+ private:
+  model::OnlineModel& model_mut(model::RendererKind kind);
+
+  Constraints constraints_;
+  std::array<model::OnlineModel, 3> models_;
+};
+
+}  // namespace isr::insitu

@@ -1,0 +1,184 @@
+#include "insitu/strawman.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "conduit/blueprint.hpp"
+#include "dpp/profiles.hpp"
+#include "math/camera.hpp"
+#include "math/colormap.hpp"
+#include "mesh/external_faces.hpp"
+#include "mesh/tetrahedralize.hpp"
+#include "render/rast/rasterizer.hpp"
+#include "render/rt/raytracer.hpp"
+#include "render/uvr/unstructured.hpp"
+#include "render/vr/volume.hpp"
+
+namespace isr::insitu {
+
+std::string PerfLog::to_csv() const {
+  std::ostringstream os;
+  os << "cycle,renderer,field,width,height,objects,active_pixels,visible_objects,"
+        "pixels_per_tri,samples_per_ray,cells_spanned,total_seconds\n";
+  for (const PerfRecord& r : records_) {
+    os << r.cycle << "," << r.renderer << "," << r.field << "," << r.width << ","
+       << r.height << "," << r.stats.objects << "," << r.stats.active_pixels << ","
+       << r.stats.visible_objects << "," << r.stats.pixels_per_tri << ","
+       << r.stats.samples_per_ray << "," << r.stats.cells_spanned << ","
+       << r.total_seconds << "\n";
+  }
+  return os.str();
+}
+
+Strawman::Strawman() = default;
+Strawman::~Strawman() = default;
+
+void Strawman::open(const conduit::Node& options) {
+  if (options.has_path("output_dir")) output_dir_ = options["output_dir"].as_string();
+  if (options.has_path("web/stream"))
+    web_stream_ = options["web/stream"].as_string() == "true";
+  if (options.has_path("device")) {
+    const std::string name = options["device"].as_string();
+    if (name == "host")
+      device_ = std::make_unique<dpp::Device>(dpp::Device::host());
+    else if (name == "serial")
+      device_ = std::make_unique<dpp::Device>(dpp::Device::serial());
+    else
+      device_ = std::make_unique<dpp::Device>(
+          dpp::Device::simulated(dpp::profile_by_name(name)));
+  } else {
+    device_ = std::make_unique<dpp::Device>(dpp::Device::host());
+  }
+  opened_ = true;
+}
+
+void Strawman::publish(const conduit::Node& data) {
+  if (!opened_) throw std::runtime_error("Strawman: publish before open");
+  std::string error;
+  if (!conduit::blueprint::verify_mesh(data, error))
+    throw std::runtime_error("Strawman: published data fails blueprint verify: " + error);
+  published_ = &data;
+}
+
+void Strawman::execute(const conduit::Node& actions) {
+  if (!opened_) throw std::runtime_error("Strawman: execute before open");
+  for (std::size_t i = 0; i < actions.child_count(); ++i) {
+    const conduit::Node& a = actions.child(i);
+    const std::string action = a["action"].as_string();
+    if (action == "AddPlot") {
+      Plot p;
+      p.field = a["var"].as_string();
+      p.renderer = a.has_path("renderer") ? a["renderer"].as_string() : "raytracer";
+      plots_.push_back(p);
+      drawn_ = false;
+    } else if (action == "DrawPlots") {
+      drawn_ = true;
+    } else if (action == "SaveImage") {
+      const int width = a.has_path("width") ? static_cast<int>(a["width"].to_int64()) : 512;
+      const int height = a.has_path("height") ? static_cast<int>(a["height"].to_int64()) : 512;
+      render_plots(width, height);
+      const std::string format = a.has_path("format") ? a["format"].as_string() : "png";
+      const std::string stem = a["fileName"].as_string();
+      const std::string path = output_dir_ + "/" + stem + "." + format;
+      const bool ok = format == "ppm" ? image_.write_ppm(path) : image_.write_png(path);
+      if (!ok) throw std::runtime_error("Strawman: failed to write " + path);
+      saved_images_.push_back(stem + "." + format);
+      if (web_stream_) write_stream_index();
+    } else {
+      throw std::runtime_error("Strawman: unknown action " + action);
+    }
+  }
+}
+
+void Strawman::render_plots(int width, int height) {
+  if (!published_) throw std::runtime_error("Strawman: no published data");
+  if (plots_.empty()) throw std::runtime_error("Strawman: no plots added");
+  if (!drawn_) throw std::runtime_error("Strawman: SaveImage before DrawPlots");
+  const conduit::Node& data = *published_;
+  const Plot& plot = plots_.back();  // the most recent plot drives the frame
+
+  const int cycle =
+      data.has_path("state/cycle") ? static_cast<int>(data["state/cycle"].to_int64()) : 0;
+  const std::string ctype = data["coords/type"].as_string();
+  const ColorTable colors = ColorTable::cool_warm();
+
+  if (ctype == "uniform") {
+    mesh::StructuredGrid grid =
+        conduit::blueprint::to_structured(data, plot.field);
+    grid.normalize_scalars();
+    const Camera cam = Camera::framing(grid.bounds(), width, height);
+    view_depth_ = length(grid.bounds().center() - cam.position);
+    if (plot.renderer == "volume") {
+      TransferFunction tf(colors, 0.0f, 0.25f);
+      render::StructuredVolumeRenderer vr(grid, *device_);
+      stats_ = vr.render(cam, tf, image_);
+    } else {
+      const mesh::TriMesh surface = mesh::external_faces(grid);
+      if (plot.renderer == "rasterizer") {
+        render::Rasterizer rast(surface, *device_);
+        stats_ = rast.render(cam, colors, image_);
+      } else {
+        render::RayTracer rt(surface, *device_);
+        stats_ = rt.render(cam, colors, image_);
+      }
+    }
+  } else {
+    mesh::HexMesh hexes = conduit::blueprint::to_hex_mesh(data, plot.field);
+    // Normalize scalars for the color map.
+    float lo = 1e30f, hi = -1e30f;
+    for (const float v : hexes.scalars) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi > lo)
+      for (float& v : hexes.scalars) v = (v - lo) / (hi - lo);
+    const Camera cam = Camera::framing(hexes.bounds(), width, height);
+    view_depth_ = length(hexes.bounds().center() - cam.position);
+    if (plot.renderer == "volume") {
+      const mesh::TetMesh tets = mesh::tetrahedralize(hexes);
+      TransferFunction tf(colors, 0.0f, 0.25f);
+      render::UnstructuredVolumeRenderer uvr(tets, *device_);
+      stats_ = uvr.render(cam, tf, image_);
+    } else {
+      const mesh::TriMesh surface = mesh::external_faces(hexes);
+      if (plot.renderer == "rasterizer") {
+        render::Rasterizer rast(surface, *device_);
+        stats_ = rast.render(cam, colors, image_);
+      } else {
+        render::RayTracer rt(surface, *device_);
+        stats_ = rt.render(cam, colors, image_);
+      }
+    }
+  }
+
+  PerfRecord rec;
+  rec.cycle = cycle;
+  rec.renderer = plot.renderer;
+  rec.field = plot.field;
+  rec.width = width;
+  rec.height = height;
+  rec.stats = stats_;
+  rec.total_seconds = stats_.total_seconds();
+  log_.append(std::move(rec));
+}
+
+void Strawman::write_stream_index() const {
+  // WebSocket-streaming substitute: a static HTML page that shows the most
+  // recent images (R8's "streaming to a web browser" delivery mechanism).
+  std::ofstream os(output_dir_ + "/stream.html");
+  os << "<!doctype html><html><head><title>strawman stream</title>"
+     << "<meta http-equiv=\"refresh\" content=\"1\"></head><body>\n";
+  const std::size_t first = saved_images_.size() > 8 ? saved_images_.size() - 8 : 0;
+  for (std::size_t i = saved_images_.size(); i > first; --i)
+    os << "<img src=\"" << saved_images_[i - 1] << "\" width=\"45%\">\n";
+  os << "</body></html>\n";
+}
+
+void Strawman::close() {
+  published_ = nullptr;
+  plots_.clear();
+  opened_ = false;
+}
+
+}  // namespace isr::insitu

@@ -1,0 +1,105 @@
+// Strawman-like in situ visualization runtime (dissertation Chapter IV).
+//
+// The simulation-facing API is four calls — Open, Publish, Execute, Close —
+// with all mesh data and actions described as conduit::Node trees, exactly
+// as in Listings 4.1-4.3:
+//
+//   Strawman strawman;
+//   conduit::Node options;
+//   options["output_dir"] = ".";
+//   strawman.open(options);
+//   strawman.publish(data);      // blueprint-conventions mesh description
+//   strawman.execute(actions);   // AddPlot / DrawPlots / SaveImage
+//   strawman.close();
+//
+// Supported actions:
+//   {action: "AddPlot",   var: <field>, renderer: "raytracer" (default) |
+//                                        "rasterizer" | "volume"}
+//   {action: "DrawPlots"}
+//   {action: "SaveImage", fileName: <stem>, format: "png"|"ppm",
+//                         width: W, height: H}
+//
+// Every Execute records phase timings and model input variables into the
+// PerfLog — the per-run "data gathering infrastructure" sketched in the
+// dissertation's Chapter VI.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "conduit/node.hpp"
+#include "dpp/device.hpp"
+#include "render/image.hpp"
+#include "render/stats.hpp"
+
+namespace isr::insitu {
+
+struct PerfRecord {
+  int cycle = 0;
+  std::string renderer;
+  std::string field;
+  int width = 0, height = 0;
+  render::RenderStats stats;
+  double total_seconds = 0.0;
+};
+
+class PerfLog {
+ public:
+  void append(PerfRecord rec) { records_.push_back(std::move(rec)); }
+  const std::vector<PerfRecord>& records() const { return records_; }
+  // One CSV row per render: cycle, renderer, variables, phase times.
+  std::string to_csv() const;
+
+ private:
+  std::vector<PerfRecord> records_;
+};
+
+class Strawman {
+ public:
+  Strawman();
+  ~Strawman();
+
+  // options: "output_dir" (default "."), "device" (profile name, default
+  // the host CPU), "web/stream" ("true" writes an HTML image index).
+  void open(const conduit::Node& options);
+
+  // Publishes (does not copy) the simulation's mesh description; the node
+  // must stay alive until close() or the next publish(). Verification
+  // against the blueprint conventions happens here.
+  void publish(const conduit::Node& data);
+
+  void execute(const conduit::Node& actions);
+
+  void close();
+
+  const PerfLog& perf_log() const { return log_; }
+  const render::Image& last_image() const { return image_; }
+  const render::RenderStats& last_stats() const { return stats_; }
+  // Camera depth of the published domain (for external compositing).
+  float last_view_depth() const { return view_depth_; }
+
+ private:
+  struct Plot {
+    std::string field;
+    std::string renderer;  // "raytracer" | "rasterizer" | "volume"
+  };
+
+  void render_plots(int width, int height);
+  void write_stream_index() const;
+
+  bool opened_ = false;
+  std::string output_dir_ = ".";
+  bool web_stream_ = false;
+  std::unique_ptr<dpp::Device> device_;
+  const conduit::Node* published_ = nullptr;
+  std::vector<Plot> plots_;
+  bool drawn_ = false;
+  render::Image image_;
+  render::RenderStats stats_;
+  float view_depth_ = 0.0f;
+  PerfLog log_;
+  std::vector<std::string> saved_images_;
+};
+
+}  // namespace isr::insitu

@@ -1,0 +1,68 @@
+// Axis-aligned bounding box with the slab ray test used by the BVH
+// traversal and the structured volume renderer.
+#pragma once
+
+#include <limits>
+
+#include "math/vec.hpp"
+
+namespace isr {
+
+struct AABB {
+  Vec3f lo{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec3f hi{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest()};
+
+  void expand(Vec3f p) {
+    lo = vmin(lo, p);
+    hi = vmax(hi, p);
+  }
+
+  void expand(const AABB& o) {
+    lo = vmin(lo, o.lo);
+    hi = vmax(hi, o.hi);
+  }
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  Vec3f center() const { return (lo + hi) * 0.5f; }
+  Vec3f extent() const { return hi - lo; }
+
+  float surface_area() const {
+    if (!valid()) return 0.0f;
+    const Vec3f e = extent();
+    return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+
+  bool contains(Vec3f p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+           p.z <= hi.z;
+  }
+
+  bool contains(const AABB& o) const {
+    return o.lo.x >= lo.x && o.hi.x <= hi.x && o.lo.y >= lo.y && o.hi.y <= hi.y &&
+           o.lo.z >= lo.z && o.hi.z <= hi.z;
+  }
+
+  // Slab test against a ray given its origin and inverse direction.
+  // Returns true and the entry/exit parameters when [tmin_out, tmax_out]
+  // overlaps [tmin, tmax].
+  bool intersect(Vec3f origin, Vec3f inv_dir, float tmin, float tmax, float& tmin_out,
+                 float& tmax_out) const {
+    float t0 = tmin, t1 = tmax;
+    for (int a = 0; a < 3; ++a) {
+      float near = (lo[a] - origin[a]) * inv_dir[a];
+      float far = (hi[a] - origin[a]) * inv_dir[a];
+      if (near > far) std::swap(near, far);
+      t0 = near > t0 ? near : t0;
+      t1 = far < t1 ? far : t1;
+      if (t0 > t1) return false;
+    }
+    tmin_out = t0;
+    tmax_out = t1;
+    return true;
+  }
+};
+
+}  // namespace isr

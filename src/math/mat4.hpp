@@ -1,0 +1,106 @@
+// 4x4 row-major matrix with the view/projection factories the renderers
+// share. Conventions follow OpenGL: right-handed eye space looking down -z,
+// clip-space depth in [-1, 1] after perspective divide.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "math/vec.hpp"
+
+namespace isr {
+
+struct Mat4 {
+  // m[row][col], row-major.
+  std::array<std::array<float, 4>, 4> m{};
+
+  static Mat4 identity() {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) r.m[i][i] = 1.0f;
+    return r;
+  }
+
+  Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        float s = 0.0f;
+        for (int k = 0; k < 4; ++k) s += m[i][k] * o.m[k][j];
+        r.m[i][j] = s;
+      }
+    return r;
+  }
+
+  Vec4f operator*(Vec4f v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+            m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w};
+  }
+
+  Vec3f transform_point(Vec3f p) const {
+    const Vec4f r = (*this) * Vec4f(p, 1.0f);
+    return r.xyz();
+  }
+
+  Vec3f transform_vector(Vec3f v) const {
+    const Vec4f r = (*this) * Vec4f(v, 0.0f);
+    return r.xyz();
+  }
+
+  // Right-handed look-at: eye space has +x right, +y up, -z forward.
+  static Mat4 look_at(Vec3f eye, Vec3f center, Vec3f up) {
+    const Vec3f f = normalize(center - eye);
+    const Vec3f s = normalize(cross(f, up));
+    const Vec3f u = cross(s, f);
+    Mat4 r = identity();
+    r.m[0][0] = s.x;  r.m[0][1] = s.y;  r.m[0][2] = s.z;
+    r.m[1][0] = u.x;  r.m[1][1] = u.y;  r.m[1][2] = u.z;
+    r.m[2][0] = -f.x; r.m[2][1] = -f.y; r.m[2][2] = -f.z;
+    r.m[0][3] = -dot(s, eye);
+    r.m[1][3] = -dot(u, eye);
+    r.m[2][3] = dot(f, eye);
+    return r;
+  }
+
+  // GL-style perspective; fovy in radians.
+  static Mat4 perspective(float fovy, float aspect, float znear, float zfar) {
+    const float t = 1.0f / std::tan(fovy * 0.5f);
+    Mat4 r;
+    r.m[0][0] = t / aspect;
+    r.m[1][1] = t;
+    r.m[2][2] = (zfar + znear) / (znear - zfar);
+    r.m[2][3] = (2.0f * zfar * znear) / (znear - zfar);
+    r.m[3][2] = -1.0f;
+    return r;
+  }
+
+  // General inverse via Gauss-Jordan; adequate for camera matrices.
+  Mat4 inverse() const {
+    std::array<std::array<double, 8>, 4> a{};
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) a[i][j] = m[i][j];
+      a[i][4 + i] = 1.0;
+    }
+    for (int col = 0; col < 4; ++col) {
+      int pivot = col;
+      for (int r = col + 1; r < 4; ++r)
+        if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+      std::swap(a[col], a[pivot]);
+      const double d = a[col][col];
+      if (d == 0.0) return identity();  // singular; callers pass regular matrices
+      for (int j = 0; j < 8; ++j) a[col][j] /= d;
+      for (int r = 0; r < 4; ++r) {
+        if (r == col) continue;
+        const double f = a[r][col];
+        for (int j = 0; j < 8; ++j) a[r][j] -= f * a[col][j];
+      }
+    }
+    Mat4 out;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) out.m[i][j] = static_cast<float>(a[i][4 + j]);
+    return out;
+  }
+};
+
+}  // namespace isr

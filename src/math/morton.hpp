@@ -1,0 +1,55 @@
+// Morton (Z-order) codes. 30-bit 3-D codes drive the LBVH build and 2-D
+// codes order camera rays for memory coherence, as in the paper's ray
+// tracer (Chapter II: "rays ordered by a Morton-curve traversal of the
+// framebuffer").
+#pragma once
+
+#include <cstdint>
+
+namespace isr {
+
+// Spreads the low 10 bits of v so there are two zero bits between each.
+inline std::uint32_t morton_expand_bits_10(std::uint32_t v) {
+  v = (v * 0x00010001u) & 0xFF0000FFu;
+  v = (v * 0x00000101u) & 0x0F00F00Fu;
+  v = (v * 0x00000011u) & 0xC30C30C3u;
+  v = (v * 0x00000005u) & 0x49249249u;
+  return v;
+}
+
+// 30-bit 3-D Morton code from coordinates already scaled to [0, 1023].
+inline std::uint32_t morton3d(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (morton_expand_bits_10(x) << 2) | (morton_expand_bits_10(y) << 1) |
+         morton_expand_bits_10(z);
+}
+
+// Spreads the low 16 bits of v with one zero bit between each.
+inline std::uint32_t morton_expand_bits_16(std::uint32_t v) {
+  v = (v | (v << 8)) & 0x00FF00FFu;
+  v = (v | (v << 4)) & 0x0F0F0F0Fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+// 32-bit 2-D Morton code for framebuffer traversal order.
+inline std::uint32_t morton2d(std::uint32_t x, std::uint32_t y) {
+  return morton_expand_bits_16(x) | (morton_expand_bits_16(y) << 1);
+}
+
+// Inverse of morton_expand_bits_16.
+inline std::uint32_t morton_compact_bits_16(std::uint32_t v) {
+  v &= 0x55555555u;
+  v = (v | (v >> 1)) & 0x33333333u;
+  v = (v | (v >> 2)) & 0x0F0F0F0Fu;
+  v = (v | (v >> 4)) & 0x00FF00FFu;
+  v = (v | (v >> 8)) & 0x0000FFFFu;
+  return v;
+}
+
+inline void morton2d_decode(std::uint32_t code, std::uint32_t& x, std::uint32_t& y) {
+  x = morton_compact_bits_16(code);
+  y = morton_compact_bits_16(code >> 1);
+}
+
+}  // namespace isr

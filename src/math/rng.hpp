@@ -1,0 +1,55 @@
+// Deterministic PRNG (xoshiro-style) plus the sampling helpers the ray
+// tracer's ambient-occlusion pass needs. std::mt19937 is avoided in kernels
+// because its state is too large to keep per-ray.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "math/vec.hpp"
+
+namespace isr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed | 1ull) {}
+
+  std::uint64_t next_u64() {
+    // splitmix64: small, fast, passes BigCrush for this use.
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, 1).
+  float next_float() { return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f); }
+  double next_double() { return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Uniform in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+  int uniform_int(int lo, int hi) {  // inclusive range [lo, hi]
+    return lo + static_cast<int>(next_u64() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Cosine-weighted hemisphere sample around normal n; u1,u2 in [0,1).
+inline Vec3f sample_hemisphere(Vec3f n, float u1, float u2) {
+  const float r = std::sqrt(u1);
+  const float phi = 6.28318530718f * u2;
+  const float x = r * std::cos(phi);
+  const float y = r * std::sin(phi);
+  const float z = std::sqrt(std::max(0.0f, 1.0f - u1));
+  // Build an orthonormal basis around n (Frisvad-style branchless variant).
+  const Vec3f a = std::abs(n.x) > 0.9f ? Vec3f{0, 1, 0} : Vec3f{1, 0, 0};
+  const Vec3f t = normalize(cross(a, n));
+  const Vec3f b = cross(n, t);
+  return normalize(t * x + b * y + n * z);
+}
+
+}  // namespace isr

@@ -1,0 +1,118 @@
+// Small fixed-size vector types used throughout the renderers.
+//
+// These are deliberately plain aggregates (no virtual functions, no
+// alignment tricks) so structs-of-arrays layouts in the DPP kernels can
+// reinterpret them freely and the compiler can vectorize the hot loops.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace isr {
+
+template <class T>
+struct Vec2 {
+  T x{}, y{};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(T xx, T yy) : x(xx), y(yy) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(T s) const { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+};
+
+template <class T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T xx, T yy, T zz) : x(xx), y(yy), z(zz) {}
+  static constexpr Vec3 all(T v) { return {v, v, v}; }
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator*(Vec3 o) const { return {x * o.x, y * o.y, z * o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(Vec3 o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr T operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr T& axis(int i) { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+template <class T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+
+  constexpr Vec4() = default;
+  constexpr Vec4(T xx, T yy, T zz, T ww) : x(xx), y(yy), z(zz), w(ww) {}
+  constexpr Vec4(Vec3<T> v, T ww) : x(v.x), y(v.y), z(v.z), w(ww) {}
+
+  constexpr Vec3<T> xyz() const { return {x, y, z}; }
+  constexpr Vec4 operator+(Vec4 o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+  constexpr Vec4 operator-(Vec4 o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+  constexpr Vec4 operator*(T s) const { return {x * s, y * s, z * s, w * s}; }
+  constexpr bool operator==(const Vec4&) const = default;
+};
+
+using Vec2f = Vec2<float>;
+using Vec3f = Vec3<float>;
+using Vec4f = Vec4<float>;
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<int>;
+
+template <class T>
+constexpr T dot(Vec3<T> a, Vec3<T> b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+template <class T>
+constexpr Vec3<T> cross(Vec3<T> a, Vec3<T> b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+template <class T>
+T length(Vec3<T> v) {
+  return std::sqrt(dot(v, v));
+}
+
+template <class T>
+Vec3<T> normalize(Vec3<T> v) {
+  const T len = length(v);
+  return len > T(0) ? v / len : v;
+}
+
+template <class T>
+constexpr Vec3<T> vmin(Vec3<T> a, Vec3<T> b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+template <class T>
+constexpr Vec3<T> vmax(Vec3<T> a, Vec3<T> b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+template <class T>
+constexpr Vec3<T> lerp(Vec3<T> a, Vec3<T> b, T t) {
+  return a + (b - a) * t;
+}
+
+template <class T>
+constexpr T clamp01(T v) {
+  return std::clamp(v, T(0), T(1));
+}
+
+template <class T>
+std::ostream& operator<<(std::ostream& os, Vec3<T> v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace isr

@@ -1,0 +1,20 @@
+// External-face extraction: the visualization operation the SC16 study uses
+// to produce surface geometry from volumetric domains ("we used an external
+// faces operation to generate triangles on each MPI task"; an N^3 block
+// yields 12*N^2 triangles).
+#pragma once
+
+#include "mesh/structured.hpp"
+#include "mesh/trimesh.hpp"
+#include "mesh/unstructured.hpp"
+
+namespace isr::mesh {
+
+// Boundary faces of a structured grid as triangles; scalars carried from the
+// grid's point field.
+TriMesh external_faces(const StructuredGrid& grid);
+
+// Faces referenced by exactly one hexahedron (true unstructured externals).
+TriMesh external_faces(const HexMesh& hexes);
+
+}  // namespace isr::mesh

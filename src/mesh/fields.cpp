@@ -1,0 +1,124 @@
+#include "mesh/fields.hpp"
+
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace isr::mesh::fields {
+
+namespace {
+
+// Evaluates f at every grid point with (i, j, k) normalized to [0, 1].
+template <class F>
+void fill(StructuredGrid& grid, F&& f) {
+  const int nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  const float ix = nx > 0 ? 1.0f / static_cast<float>(nx) : 1.0f;
+  const float iy = ny > 0 ? 1.0f / static_cast<float>(ny) : 1.0f;
+  const float iz = nz > 0 ? 1.0f / static_cast<float>(nz) : 1.0f;
+  auto& s = grid.scalars();
+  std::size_t idx = 0;
+  for (int k = 0; k <= nz; ++k)
+    for (int j = 0; j <= ny; ++j)
+      for (int i = 0; i <= nx; ++i)
+        s[idx++] = f(Vec3f{static_cast<float>(i) * ix, static_cast<float>(j) * iy,
+                           static_cast<float>(k) * iz});
+  grid.normalize_scalars();
+}
+
+}  // namespace
+
+void fill_interface(StructuredGrid& grid, int modes, std::uint64_t seed) {
+  Rng rng(seed);
+  struct Mode {
+    float kx, ky, phase, amp;
+  };
+  std::vector<Mode> m(static_cast<std::size_t>(modes));
+  for (auto& mm : m) {
+    mm.kx = rng.uniform(2.0f, 9.0f) * 3.14159265f;
+    mm.ky = rng.uniform(2.0f, 9.0f) * 3.14159265f;
+    mm.phase = rng.uniform(0.0f, 6.2831853f);
+    mm.amp = rng.uniform(0.02f, 0.08f);
+  }
+  fill(grid, [&](Vec3f p) {
+    float interface_z = 0.5f;
+    for (const auto& mm : m)
+      interface_z += mm.amp * std::sin(mm.kx * p.x + mm.phase) * std::cos(mm.ky * p.y);
+    // Smooth step across the perturbed interface; secondary ripple gives the
+    // surface fine-scale structure like the RM roll-ups.
+    const float d = (p.z - interface_z) * 10.0f;
+    const float ripple =
+        0.15f * std::sin(24.0f * p.x + 13.0f * p.z) * std::sin(21.0f * p.y - 9.0f * p.z);
+    return 1.0f / (1.0f + std::exp(-d)) + ripple;
+  });
+}
+
+void fill_lattice(StructuredGrid& grid, int cells_per_axis, float sharpness) {
+  const float n = static_cast<float>(cells_per_axis);
+  fill(grid, [&](Vec3f p) {
+    // Distance to the nearest lattice site of an n^3 array, folded into the
+    // unit cell; Gaussian falloff makes closed shells around each site.
+    const Vec3f q = {p.x * n - std::floor(p.x * n) - 0.5f,
+                     p.y * n - std::floor(p.y * n) - 0.5f,
+                     p.z * n - std::floor(p.z * n) - 0.5f};
+    return std::exp(-sharpness * dot(q, q));
+  });
+}
+
+void fill_turbulence(StructuredGrid& grid, int octaves, std::uint64_t seed) {
+  Rng rng(seed);
+  struct Octave {
+    Vec3f k;
+    float phase, amp;
+  };
+  std::vector<Octave> waves;
+  float freq = 2.0f, amp = 1.0f;
+  for (int o = 0; o < octaves; ++o) {
+    for (int w = 0; w < 3; ++w) {
+      Octave ov;
+      ov.k = normalize(Vec3f{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)}) *
+             (freq * 3.14159265f);
+      ov.phase = rng.uniform(0.0f, 6.2831853f);
+      ov.amp = amp;
+      waves.push_back(ov);
+    }
+    freq *= 2.1f;
+    amp *= 0.55f;
+  }
+  fill(grid, [&](Vec3f p) {
+    float v = 0.0f;
+    for (const auto& w : waves) v += w.amp * std::sin(dot(w.k, p) + w.phase);
+    return v;
+  });
+}
+
+void fill_blobs(StructuredGrid& grid, int blobs, std::uint64_t seed) {
+  Rng rng(seed);
+  struct Blob {
+    Vec3f c;
+    float inv_r2, w;
+  };
+  std::vector<Blob> bs(static_cast<std::size_t>(blobs));
+  for (auto& b : bs) {
+    b.c = {rng.uniform(0.2f, 0.8f), rng.uniform(0.2f, 0.8f), rng.uniform(0.2f, 0.8f)};
+    const float r = rng.uniform(0.08f, 0.25f);
+    b.inv_r2 = 1.0f / (r * r);
+    b.w = rng.uniform(0.5f, 1.0f);
+  }
+  fill(grid, [&](Vec3f p) {
+    float v = 0.0f;
+    for (const auto& b : bs) {
+      const Vec3f d = p - b.c;
+      v += b.w * std::exp(-dot(d, d) * b.inv_r2);
+    }
+    return v;
+  });
+}
+
+void fill_radial(StructuredGrid& grid) {
+  fill(grid, [](Vec3f p) {
+    const Vec3f d = p - Vec3f{0.5f, 0.5f, 0.5f};
+    return 1.0f - 2.0f * length(d);
+  });
+}
+
+}  // namespace isr::mesh::fields

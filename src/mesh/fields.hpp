@@ -1,0 +1,38 @@
+// Procedural scalar fields.
+//
+// The paper's volumetric data came from production simulations and closed
+// data sets (Richtmyer-Meshkov, PbTe charge density, Enzo cosmology,
+// Nek5000). These generators produce fields with comparable isosurface
+// complexity and value distributions so the rendering workloads (triangle
+// counts, active pixels, samples per ray) land in the same regimes. See
+// DESIGN.md §3 item 3.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/structured.hpp"
+
+namespace isr::mesh::fields {
+
+// Richtmyer-Meshkov-like: a perturbed interface between two "fluids"; the
+// 0.5-isosurface is a wavy multi-lobed sheet like the paper's Figure 2.
+void fill_interface(StructuredGrid& grid, int modes = 6,
+                    std::uint64_t seed = 0x524Du);
+
+// Crystal-lattice-like (PbTe stand-in): periodic lattice of Gaussian blobs;
+// mid-value isosurfaces are disjoint closed shells.
+void fill_lattice(StructuredGrid& grid, int cells_per_axis = 4, float sharpness = 40.0f);
+
+// Turbulence-like (Seismic / Enzo stand-in): sum of randomized trigonometric
+// octaves; isosurfaces are large tangled sheets.
+void fill_turbulence(StructuredGrid& grid, int octaves = 4,
+                     std::uint64_t seed = 0x7E55u);
+
+// Sum of n random Gaussian blobs (generic test field; "metaball" shapes).
+void fill_blobs(StructuredGrid& grid, int blobs = 8, std::uint64_t seed = 0xB10Bu);
+
+// Smooth radial falloff from the center (simple, fully predictable; used by
+// unit tests).
+void fill_radial(StructuredGrid& grid);
+
+}  // namespace isr::mesh::fields

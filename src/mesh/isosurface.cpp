@@ -1,0 +1,152 @@
+#include "mesh/isosurface.hpp"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+namespace isr::mesh {
+
+namespace {
+
+// Same 6-tet split as tetrahedralize.cpp so surfaces line up with the
+// unstructured pipeline.
+constexpr std::array<std::array<int, 4>, 6> kHexToTets = {{
+    {0, 1, 2, 6},
+    {0, 2, 3, 6},
+    {0, 3, 7, 6},
+    {0, 7, 4, 6},
+    {0, 4, 5, 6},
+    {0, 5, 1, 6},
+}};
+
+struct Builder {
+  const StructuredGrid& grid;
+  const std::vector<float>* color_field;
+  float iso;
+  TriMesh out;
+  // Vertices are created on grid edges; keyed by the two global point ids so
+  // neighboring tets share them exactly (watertight surface).
+  std::unordered_map<std::uint64_t, int> edge_vertex;
+  float z_lo = 0.0f, inv_z_span = 1.0f;
+
+  int vertex_on_edge(std::size_t a, std::size_t b, float va, float vb, Vec3f pa, Vec3f pb) {
+    if (a > b) {
+      std::swap(a, b);
+      std::swap(va, vb);
+      std::swap(pa, pb);
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto [it, inserted] = edge_vertex.try_emplace(key, static_cast<int>(out.points.size()));
+    if (inserted) {
+      const float denom = vb - va;
+      const float t = denom != 0.0f ? clamp01((iso - va) / denom) : 0.5f;
+      const Vec3f p = lerp(pa, pb, t);
+      out.points.push_back(p);
+      if (color_field) {
+        const float ca = (*color_field)[a];
+        const float cb = (*color_field)[b];
+        out.scalars.push_back(ca + (cb - ca) * t);
+      } else {
+        out.scalars.push_back((p.z - z_lo) * inv_z_span);
+      }
+    }
+    return it->second;
+  }
+
+  void emit_tet(const std::size_t gid[4], const float val[4], const Vec3f pos[4]) {
+    int inside_mask = 0;
+    for (int i = 0; i < 4; ++i)
+      if (val[i] >= iso) inside_mask |= 1 << i;
+    if (inside_mask == 0 || inside_mask == 15) return;
+
+    // Collect corners on each side.
+    int in_ids[4], out_ids[4];
+    int n_in = 0, n_out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (inside_mask & (1 << i))
+        in_ids[n_in++] = i;
+      else
+        out_ids[n_out++] = i;
+    }
+
+    auto edge = [&](int i, int j) {
+      return vertex_on_edge(gid[i], gid[j], val[i], val[j], pos[i], pos[j]);
+    };
+
+    if (n_in == 1) {
+      const int a = in_ids[0];
+      const int v0 = edge(a, out_ids[0]);
+      const int v1 = edge(a, out_ids[1]);
+      const int v2 = edge(a, out_ids[2]);
+      out.tris.insert(out.tris.end(), {v0, v1, v2});
+    } else if (n_in == 3) {
+      const int a = out_ids[0];
+      const int v0 = edge(a, in_ids[0]);
+      const int v1 = edge(a, in_ids[1]);
+      const int v2 = edge(a, in_ids[2]);
+      out.tris.insert(out.tris.end(), {v0, v2, v1});
+    } else {  // n_in == 2: quad between the four crossed edges
+      const int a = in_ids[0], b = in_ids[1];
+      const int c = out_ids[0], d = out_ids[1];
+      const int vac = edge(a, c);
+      const int vad = edge(a, d);
+      const int vbc = edge(b, c);
+      const int vbd = edge(b, d);
+      out.tris.insert(out.tris.end(), {vac, vad, vbd});
+      out.tris.insert(out.tris.end(), {vac, vbd, vbc});
+    }
+  }
+};
+
+}  // namespace
+
+TriMesh isosurface(const StructuredGrid& grid, float isovalue,
+                   const std::vector<float>* color_field) {
+  Builder b{grid, color_field, isovalue, {}, {}, 0.0f, 1.0f};
+  const AABB bounds = grid.bounds();
+  b.z_lo = bounds.lo.z;
+  const float span = bounds.hi.z - bounds.lo.z;
+  b.inv_z_span = span > 0.0f ? 1.0f / span : 1.0f;
+
+  const int nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        const std::size_t corner[8] = {
+            grid.point_index(i, j, k),         grid.point_index(i + 1, j, k),
+            grid.point_index(i + 1, j + 1, k), grid.point_index(i, j + 1, k),
+            grid.point_index(i, j, k + 1),     grid.point_index(i + 1, j, k + 1),
+            grid.point_index(i + 1, j + 1, k + 1), grid.point_index(i, j + 1, k + 1)};
+        // Quick reject: cell entirely on one side.
+        bool any_in = false, any_out = false;
+        float cv[8];
+        for (int c = 0; c < 8; ++c) {
+          cv[c] = grid.scalars()[corner[c]];
+          (cv[c] >= isovalue ? any_in : any_out) = true;
+        }
+        if (!any_in || !any_out) continue;
+
+        Vec3f cp[8];
+        cp[0] = grid.point(i, j, k);
+        cp[1] = grid.point(i + 1, j, k);
+        cp[2] = grid.point(i + 1, j + 1, k);
+        cp[3] = grid.point(i, j + 1, k);
+        cp[4] = grid.point(i, j, k + 1);
+        cp[5] = grid.point(i + 1, j, k + 1);
+        cp[6] = grid.point(i + 1, j + 1, k + 1);
+        cp[7] = grid.point(i, j + 1, k + 1);
+
+        for (const auto& tet : kHexToTets) {
+          const std::size_t gid[4] = {corner[tet[0]], corner[tet[1]], corner[tet[2]],
+                                      corner[tet[3]]};
+          const float val[4] = {cv[tet[0]], cv[tet[1]], cv[tet[2]], cv[tet[3]]};
+          const Vec3f pos[4] = {cp[tet[0]], cp[tet[1]], cp[tet[2]], cp[tet[3]]};
+          b.emit_tet(gid, val, pos);
+        }
+      }
+
+  b.out.compute_vertex_normals();
+  return b.out;
+}
+
+}  // namespace isr::mesh

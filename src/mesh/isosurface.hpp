@@ -1,0 +1,21 @@
+// Isosurface extraction via marching tetrahedra.
+//
+// The paper's Chapter II data sets are isosurfaces (Richtmyer-Meshkov
+// density, PbTe charge density). We extract comparable surfaces from our
+// procedural fields. Marching tetrahedra is used instead of marching cubes:
+// it needs no 256-entry case table, is watertight across the consistent
+// 6-tet cell split, and produces the same order of triangle counts.
+#pragma once
+
+#include "mesh/structured.hpp"
+#include "mesh/trimesh.hpp"
+
+namespace isr::mesh {
+
+// Extract the isovalue surface of the grid's point scalars. The output
+// scalar field is the normalized height (z) of each vertex unless a
+// secondary per-point field of grid.point_count() entries is given.
+TriMesh isosurface(const StructuredGrid& grid, float isovalue,
+                   const std::vector<float>* color_field = nullptr);
+
+}  // namespace isr::mesh

@@ -1,0 +1,225 @@
+#include "mesh/scenes.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "math/rng.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/isosurface.hpp"
+#include "mesh/structured.hpp"
+
+namespace isr::mesh {
+
+namespace {
+
+// Builds an isosurface scene on an (n*scale)^3-ish grid.
+TriMesh iso_scene(int nx, int ny, int nz, float scale, float isovalue,
+                  void (*field)(StructuredGrid&, int, std::uint64_t), int arg,
+                  std::uint64_t seed) {
+  const auto dim = [scale](int n) { return std::max(8, static_cast<int>(n * scale)); };
+  StructuredGrid grid(dim(nx), dim(ny), dim(nz), {0, 0, 0},
+                      {1.0f / dim(nx), 1.0f / dim(ny), 1.0f / dim(nz)});
+  field(grid, arg, seed);
+  return isosurface(grid, isovalue);
+}
+
+void lattice_adapter(StructuredGrid& g, int cells, std::uint64_t) {
+  fields::fill_lattice(g, cells);
+}
+
+}  // namespace
+
+std::vector<SceneInfo> chapter2_scenes() {
+  return {
+      {"RM 3.2M", "interface isosurface, 400x400x256 grid"},
+      {"RM 1.7M", "interface isosurface, 256^3 grid"},
+      {"RM 970K", "interface isosurface, 200^3 grid"},
+      {"RM 650K", "interface isosurface, 192x144x144 grid"},
+      {"RM 350K", "interface isosurface, 128^3 grid"},
+      {"LT 350K", "lattice isosurface, 113x113x133 grid"},
+      {"LT 372K", "lattice isosurface (denser), 113x113x133 grid"},
+      {"Seismic", "turbulence isosurface, 280^3 grid"},
+      {"Dragon", "sphere flake, depth 3"},
+      {"Conference", "box room"},
+      {"Sponza", "box room (sparser)"},
+      {"Buddha", "blob isosurface, 220^3 grid"},
+  };
+}
+
+TriMesh make_scene(const std::string& name, float scale) {
+  if (name == "RM 3.2M")
+    return iso_scene(400, 400, 256, scale, 0.5f, fields::fill_interface, 6, 0x524D1u);
+  if (name == "RM 1.7M")
+    return iso_scene(256, 256, 256, scale, 0.5f, fields::fill_interface, 6, 0x524D2u);
+  if (name == "RM 970K")
+    return iso_scene(200, 200, 200, scale, 0.5f, fields::fill_interface, 6, 0x524D3u);
+  if (name == "RM 650K")
+    return iso_scene(192, 144, 144, scale, 0.5f, fields::fill_interface, 6, 0x524D4u);
+  if (name == "RM 350K")
+    return iso_scene(128, 128, 128, scale, 0.5f, fields::fill_interface, 6, 0x524D5u);
+  if (name == "LT 350K")
+    return iso_scene(113, 113, 133, scale, 0.35f, lattice_adapter, 4, 0);
+  if (name == "LT 372K")
+    return iso_scene(113, 113, 133, scale, 0.30f, lattice_adapter, 5, 0);
+  if (name == "Seismic")
+    return iso_scene(280, 280, 280, scale, 0.55f, fields::fill_turbulence, 4, 0x5E15u);
+  if (name == "Dragon")
+    return make_sphere_flake({0.5f, 0.5f, 0.5f}, 0.25f,
+                             std::max(1, static_cast<int>(3 * std::sqrt(scale) + 0.5f)));
+  if (name == "Conference") return make_room(std::max(3, static_cast<int>(32 * scale)));
+  if (name == "Sponza") return make_room(std::max(3, static_cast<int>(14 * scale)));
+  if (name == "Buddha") {
+    StructuredGrid grid(std::max(8, static_cast<int>(220 * scale)),
+                        std::max(8, static_cast<int>(220 * scale)),
+                        std::max(8, static_cast<int>(220 * scale)), {0, 0, 0},
+                        {1.0f / 220, 1.0f / 220, 1.0f / 220});
+    fields::fill_blobs(grid, 24, 0xB0DAu);
+    return isosurface(grid, 0.45f);
+  }
+  throw std::invalid_argument("unknown scene: " + name);
+}
+
+TriMesh make_icosphere(Vec3f center, float radius, int subdivisions) {
+  // Icosahedron, then midpoint subdivision projected to the sphere.
+  const float t = (1.0f + std::sqrt(5.0f)) / 2.0f;
+  std::vector<Vec3f> verts = {
+      {-1, t, 0}, {1, t, 0}, {-1, -t, 0}, {1, -t, 0}, {0, -1, t}, {0, 1, t},
+      {0, -1, -t}, {0, 1, -t}, {t, 0, -1}, {t, 0, 1}, {-t, 0, -1}, {-t, 0, 1}};
+  for (Vec3f& v : verts) v = normalize(v);
+  std::vector<int> tris = {0, 11, 5,  0, 5,  1,  0, 1, 7,  0, 7,  10, 0, 10, 11,
+                           1, 5,  9,  5, 11, 4,  11, 10, 2, 10, 7,  6, 7, 1,  8,
+                           3, 9,  4,  3, 4,  2,  3, 2, 6,  3, 6,  8,  3, 8,  9,
+                           4, 9,  5,  2, 4,  11, 6, 2, 10, 8, 6,  7,  9, 8,  1};
+
+  for (int s = 0; s < subdivisions; ++s) {
+    std::unordered_map<std::uint64_t, int> midpoint;
+    auto mid = [&](int a, int b) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(a, b)) << 32) | static_cast<std::uint64_t>(std::max(a, b));
+      auto [it, inserted] = midpoint.try_emplace(key, static_cast<int>(verts.size()));
+      if (inserted)
+        verts.push_back(normalize((verts[static_cast<std::size_t>(a)] +
+                                   verts[static_cast<std::size_t>(b)]) *
+                                  0.5f));
+      return it->second;
+    };
+    std::vector<int> next;
+    next.reserve(tris.size() * 4);
+    for (std::size_t i = 0; i < tris.size(); i += 3) {
+      const int a = tris[i], b = tris[i + 1], c = tris[i + 2];
+      const int ab = mid(a, b), bc = mid(b, c), ca = mid(c, a);
+      const int quads[12] = {a, ab, ca, b, bc, ab, c, ca, bc, ab, bc, ca};
+      next.insert(next.end(), quads, quads + 12);
+    }
+    tris = std::move(next);
+  }
+
+  TriMesh out;
+  out.points.reserve(verts.size());
+  out.scalars.reserve(verts.size());
+  for (const Vec3f& v : verts) {
+    out.points.push_back(center + v * radius);
+    out.scalars.push_back(0.5f + 0.5f * v.y);
+  }
+  out.tris = std::move(tris);
+  out.compute_vertex_normals();
+  return out;
+}
+
+TriMesh make_box(const AABB& box) {
+  TriMesh out;
+  const Vec3f l = box.lo, h = box.hi;
+  out.points = {{l.x, l.y, l.z}, {h.x, l.y, l.z}, {h.x, h.y, l.z}, {l.x, h.y, l.z},
+                {l.x, l.y, h.z}, {h.x, l.y, h.z}, {h.x, h.y, h.z}, {l.x, h.y, h.z}};
+  out.scalars.assign(8, 0.5f);
+  out.tris = {0, 2, 1, 0, 3, 2,  4, 5, 6, 4, 6, 7,  0, 1, 5, 0, 5, 4,
+              1, 2, 6, 1, 6, 5,  2, 3, 7, 2, 7, 6,  3, 0, 4, 3, 4, 7};
+  out.compute_vertex_normals();
+  return out;
+}
+
+namespace {
+void flake_recurse(TriMesh& out, Vec3f center, float radius, int depth, int subdiv) {
+  out.append(make_icosphere(center, radius, subdiv));
+  if (depth == 0) return;
+  const float child_r = radius * 0.45f;
+  const float d = radius + child_r;
+  const Vec3f dirs[6] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  for (const Vec3f& dir : dirs)
+    flake_recurse(out, center + dir * d, child_r, depth - 1, subdiv);
+}
+}  // namespace
+
+TriMesh make_sphere_flake(Vec3f center, float radius, int depth, int sphere_subdiv) {
+  TriMesh out;
+  flake_recurse(out, center, radius, depth, sphere_subdiv);
+  return out;
+}
+
+TriMesh make_room(int objects_per_side) {
+  // An open box interior with a grid of furniture-like objects (boxes and
+  // curved icosphere pieces), like the Conference/Sponza interiors. The
+  // spheres keep the triangle counts in the paper's 60K-331K range at full
+  // scale.
+  TriMesh out = make_box({{0, 0, 0}, {1, 0.4f, 1}});
+  Rng rng(0x4001u);
+  const float cell = 1.0f / static_cast<float>(objects_per_side);
+  for (int j = 0; j < objects_per_side; ++j)
+    for (int i = 0; i < objects_per_side; ++i) {
+      const float cx = (static_cast<float>(i) + 0.5f) * cell;
+      const float cz = (static_cast<float>(j) + 0.5f) * cell;
+      const float w = cell * rng.uniform(0.15f, 0.4f);
+      const float h = rng.uniform(0.05f, 0.3f);
+      if ((i + j) % 2 == 0) {
+        AABB b;
+        b.expand({cx - w, 0.0f, cz - w});
+        b.expand({cx + w, h, cz + w});
+        out.append(make_box(b));
+      } else {
+        out.append(make_icosphere({cx, h, cz}, w, 2));
+      }
+    }
+  return out;
+}
+
+TriMesh make_terrain(int resolution, std::uint64_t seed) {
+  Rng rng(seed);
+  struct Wave {
+    float kx, kz, phase, amp;
+  };
+  std::vector<Wave> waves;
+  float freq = 2.0f, amp = 0.12f;
+  for (int o = 0; o < 4; ++o) {
+    waves.push_back({rng.uniform(1.0f, 2.0f) * freq, rng.uniform(1.0f, 2.0f) * freq,
+                     rng.uniform(0.0f, 6.28f), amp});
+    freq *= 2.0f;
+    amp *= 0.5f;
+  }
+  TriMesh out;
+  const int n = resolution;
+  out.points.reserve(static_cast<std::size_t>(n + 1) * (n + 1));
+  for (int j = 0; j <= n; ++j)
+    for (int i = 0; i <= n; ++i) {
+      const float x = static_cast<float>(i) / n;
+      const float z = static_cast<float>(j) / n;
+      float y = 0.0f;
+      for (const auto& w : waves) y += w.amp * std::sin(w.kx * x + w.phase) * std::cos(w.kz * z);
+      out.points.push_back({x, y + 0.3f, z});
+      out.scalars.push_back(clamp01(y * 2.0f + 0.5f));
+    }
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      const int a = j * (n + 1) + i;
+      const int b = a + 1;
+      const int c = a + n + 1;
+      const int d = c + 1;
+      out.tris.insert(out.tris.end(), {a, b, d});
+      out.tris.insert(out.tris.end(), {a, d, c});
+    }
+  out.compute_vertex_normals();
+  return out;
+}
+
+}  // namespace isr::mesh

@@ -1,0 +1,36 @@
+// Named test scenes matching the Chapter II study's data sets.
+//
+// Originals are proprietary or large external downloads; each is replaced by
+// a procedural equivalent whose triangle count has the same order of
+// magnitude at scale = 1 (DESIGN.md §3 item 3). `scale` shrinks grid
+// resolutions / recursion depths so benchmarks complete on small machines;
+// triangle counts shrink roughly with scale^2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/trimesh.hpp"
+
+namespace isr::mesh {
+
+struct SceneInfo {
+  std::string name;        // paper's data set name, e.g. "RM 3.2M"
+  std::string substitute;  // what we generate instead
+};
+
+// The twelve Chapter II data sets, in the paper's table order.
+std::vector<SceneInfo> chapter2_scenes();
+
+// Build a scene by its paper name ("RM 3.2M", "Dragon", ...). Throws
+// std::invalid_argument for unknown names.
+TriMesh make_scene(const std::string& name, float scale = 1.0f);
+
+// Geometry helpers (also used by tests and examples).
+TriMesh make_icosphere(Vec3f center, float radius, int subdivisions);
+TriMesh make_box(const AABB& box);
+TriMesh make_sphere_flake(Vec3f center, float radius, int depth, int sphere_subdiv = 2);
+TriMesh make_room(int boxes_per_side = 6);
+TriMesh make_terrain(int resolution, std::uint64_t seed = 0x7E44u);
+
+}  // namespace isr::mesh

@@ -1,0 +1,73 @@
+#include "mesh/structured.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace isr::mesh {
+
+StructuredGrid::StructuredGrid(int nx, int ny, int nz, Vec3f origin, Vec3f spacing)
+    : nx_(nx), ny_(ny), nz_(nz), origin_(origin), spacing_(spacing) {
+  scalars_.assign(point_count(), 0.0f);
+}
+
+AABB StructuredGrid::bounds() const {
+  AABB b;
+  b.expand(origin_);
+  b.expand(origin_ + Vec3f{spacing_.x * nx_, spacing_.y * ny_, spacing_.z * nz_});
+  return b;
+}
+
+bool StructuredGrid::sample(Vec3f p, float& value) const {
+  const Vec3f local = {(p.x - origin_.x) / spacing_.x, (p.y - origin_.y) / spacing_.y,
+                       (p.z - origin_.z) / spacing_.z};
+  if (local.x < 0 || local.y < 0 || local.z < 0 || local.x > static_cast<float>(nx_) ||
+      local.y > static_cast<float>(ny_) || local.z > static_cast<float>(nz_))
+    return false;
+  const int i = std::min(static_cast<int>(local.x), nx_ - 1);
+  const int j = std::min(static_cast<int>(local.y), ny_ - 1);
+  const int k = std::min(static_cast<int>(local.z), nz_ - 1);
+  const float fx = local.x - static_cast<float>(i);
+  const float fy = local.y - static_cast<float>(j);
+  const float fz = local.z - static_cast<float>(k);
+
+  const float c000 = scalar_at(i, j, k);
+  const float c100 = scalar_at(i + 1, j, k);
+  const float c010 = scalar_at(i, j + 1, k);
+  const float c110 = scalar_at(i + 1, j + 1, k);
+  const float c001 = scalar_at(i, j, k + 1);
+  const float c101 = scalar_at(i + 1, j, k + 1);
+  const float c011 = scalar_at(i, j + 1, k + 1);
+  const float c111 = scalar_at(i + 1, j + 1, k + 1);
+
+  const float c00 = c000 + (c100 - c000) * fx;
+  const float c10 = c010 + (c110 - c010) * fx;
+  const float c01 = c001 + (c101 - c001) * fx;
+  const float c11 = c011 + (c111 - c011) * fx;
+  const float c0 = c00 + (c10 - c00) * fy;
+  const float c1 = c01 + (c11 - c01) * fy;
+  value = c0 + (c1 - c0) * fz;
+  return true;
+}
+
+void StructuredGrid::scalar_range(float& lo, float& hi) const {
+  lo = 0.0f;
+  hi = 0.0f;
+  if (scalars_.empty()) return;
+  lo = std::numeric_limits<float>::max();
+  hi = std::numeric_limits<float>::lowest();
+  for (const float v : scalars_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+}
+
+void StructuredGrid::normalize_scalars() {
+  float lo, hi;
+  scalar_range(lo, hi);
+  const float span = hi - lo;
+  if (span <= 0.0f) return;
+  for (float& v : scalars_) v = (v - lo) / span;
+}
+
+}  // namespace isr::mesh

@@ -1,0 +1,66 @@
+// Structured (uniform) grids — the mesh type Kripke and CloverLeaf3D publish
+// and the structured volume renderer consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "math/vec.hpp"
+
+namespace isr::mesh {
+
+// A uniform grid of nx*ny*nz cells ((nx+1)*(ny+1)*(nz+1) points) with one
+// named point-centered scalar field. Scalars are stored x-fastest.
+class StructuredGrid {
+ public:
+  StructuredGrid() = default;
+  StructuredGrid(int nx, int ny, int nz, Vec3f origin, Vec3f spacing);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+  std::size_t point_count() const {
+    return static_cast<std::size_t>(nx_ + 1) * (ny_ + 1) * (nz_ + 1);
+  }
+
+  Vec3f origin() const { return origin_; }
+  Vec3f spacing() const { return spacing_; }
+  AABB bounds() const;
+
+  std::size_t point_index(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(nx_ + 1) *
+               (static_cast<std::size_t>(j) + static_cast<std::size_t>(ny_ + 1) * k);
+  }
+
+  Vec3f point(int i, int j, int k) const {
+    return origin_ + Vec3f{spacing_.x * i, spacing_.y * j, spacing_.z * k};
+  }
+
+  std::vector<float>& scalars() { return scalars_; }
+  const std::vector<float>& scalars() const { return scalars_; }
+  float scalar_at(int i, int j, int k) const { return scalars_[point_index(i, j, k)]; }
+
+  // Trilinear interpolation at a world-space position; returns false when p
+  // is outside the grid.
+  bool sample(Vec3f p, float& value) const;
+
+  // Min/max of the scalar field (0,0 when empty).
+  void scalar_range(float& lo, float& hi) const;
+
+  // Rescales the field to [0, 1].
+  void normalize_scalars();
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  Vec3f origin_{0, 0, 0};
+  Vec3f spacing_{1, 1, 1};
+  std::vector<float> scalars_;
+};
+
+}  // namespace isr::mesh

@@ -1,0 +1,65 @@
+#include "mesh/tetrahedralize.hpp"
+
+#include <array>
+
+namespace isr::mesh {
+
+namespace {
+
+// Six tets around the 0-6 diagonal of a hex in VTK ordering. Every face
+// diagonal is consistent between neighbors because the split only depends on
+// local corner labels.
+constexpr std::array<std::array<int, 4>, 6> kHexToTets = {{
+    {0, 1, 2, 6},
+    {0, 2, 3, 6},
+    {0, 3, 7, 6},
+    {0, 7, 4, 6},
+    {0, 4, 5, 6},
+    {0, 5, 1, 6},
+}};
+
+}  // namespace
+
+TetMesh tetrahedralize(const StructuredGrid& grid) {
+  TetMesh out;
+  out.points.reserve(grid.point_count());
+  const int nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  for (int k = 0; k <= nz; ++k)
+    for (int j = 0; j <= ny; ++j)
+      for (int i = 0; i <= nx; ++i) out.points.push_back(grid.point(i, j, k));
+  out.scalars = grid.scalars();
+
+  out.conn.reserve(grid.cell_count() * 24);
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        // VTK hex corner ordering for this cell.
+        const int corner[8] = {
+            static_cast<int>(grid.point_index(i, j, k)),
+            static_cast<int>(grid.point_index(i + 1, j, k)),
+            static_cast<int>(grid.point_index(i + 1, j + 1, k)),
+            static_cast<int>(grid.point_index(i, j + 1, k)),
+            static_cast<int>(grid.point_index(i, j, k + 1)),
+            static_cast<int>(grid.point_index(i + 1, j, k + 1)),
+            static_cast<int>(grid.point_index(i + 1, j + 1, k + 1)),
+            static_cast<int>(grid.point_index(i, j + 1, k + 1)),
+        };
+        for (const auto& tet : kHexToTets)
+          for (const int c : tet) out.conn.push_back(corner[c]);
+      }
+  return out;
+}
+
+TetMesh tetrahedralize(const HexMesh& hexes) {
+  TetMesh out;
+  out.points = hexes.points;
+  out.scalars = hexes.scalars;
+  out.conn.reserve(hexes.cell_count() * 24);
+  for (std::size_t c = 0; c < hexes.cell_count(); ++c)
+    for (const auto& tet : kHexToTets)
+      for (const int corner : tet)
+        out.conn.push_back(hexes.conn[c * 8 + static_cast<std::size_t>(corner)]);
+  return out;
+}
+
+}  // namespace isr::mesh

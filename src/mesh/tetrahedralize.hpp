@@ -1,0 +1,18 @@
+// Hex -> tet decomposition. The Chapter III study tetrahedralized every data
+// set ("This data set was natively on a rectilinear grid, which we then
+// decomposed into tetrahedrons"); we do the same with a consistent 6-tet
+// split so shared faces match between neighbors.
+#pragma once
+
+#include "mesh/structured.hpp"
+#include "mesh/unstructured.hpp"
+
+namespace isr::mesh {
+
+// 6 tets per cell; scalars carried from the grid's point field.
+TetMesh tetrahedralize(const StructuredGrid& grid);
+
+// 6 tets per hex.
+TetMesh tetrahedralize(const HexMesh& hexes);
+
+}  // namespace isr::mesh

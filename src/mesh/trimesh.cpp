@@ -1,0 +1,27 @@
+#include "mesh/trimesh.hpp"
+
+namespace isr::mesh {
+
+void TriMesh::compute_vertex_normals() {
+  normals.assign(points.size(), Vec3f{0, 0, 0});
+  for (std::size_t t = 0; t < triangle_count(); ++t) {
+    const Vec3f a = vertex(t, 0);
+    const Vec3f b = vertex(t, 1);
+    const Vec3f c = vertex(t, 2);
+    const Vec3f n = cross(b - a, c - a);  // area-weighted (not normalized)
+    for (int corner = 0; corner < 3; ++corner)
+      normals[static_cast<std::size_t>(tris[t * 3 + static_cast<std::size_t>(corner)])] += n;
+  }
+  for (Vec3f& n : normals) n = normalize(n);
+}
+
+void TriMesh::append(const TriMesh& other) {
+  const int base = static_cast<int>(points.size());
+  points.insert(points.end(), other.points.begin(), other.points.end());
+  scalars.insert(scalars.end(), other.scalars.begin(), other.scalars.end());
+  normals.insert(normals.end(), other.normals.begin(), other.normals.end());
+  tris.reserve(tris.size() + other.tris.size());
+  for (const int idx : other.tris) tris.push_back(idx + base);
+}
+
+}  // namespace isr::mesh

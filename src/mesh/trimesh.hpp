@@ -1,0 +1,45 @@
+// Triangle surface mesh: the geometry the ray tracer and rasterizer render.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "math/vec.hpp"
+
+namespace isr::mesh {
+
+struct TriMesh {
+  std::vector<Vec3f> points;
+  std::vector<int> tris;           // 3 indices per triangle
+  std::vector<float> scalars;      // per-point scalar, drives the color map
+  std::vector<Vec3f> normals;      // per-point smooth normals (optional)
+
+  std::size_t triangle_count() const { return tris.size() / 3; }
+
+  Vec3f vertex(std::size_t tri, int corner) const {
+    return points[static_cast<std::size_t>(tris[tri * 3 + static_cast<std::size_t>(corner)])];
+  }
+
+  AABB bounds() const {
+    AABB b;
+    for (const Vec3f& p : points) b.expand(p);
+    return b;
+  }
+
+  AABB triangle_bounds(std::size_t tri) const {
+    AABB b;
+    b.expand(vertex(tri, 0));
+    b.expand(vertex(tri, 1));
+    b.expand(vertex(tri, 2));
+    return b;
+  }
+
+  // Accumulate area-weighted vertex normals; call after geometry changes.
+  void compute_vertex_normals();
+
+  // Append another mesh (indices re-based).
+  void append(const TriMesh& other);
+};
+
+}  // namespace isr::mesh

@@ -1,0 +1,47 @@
+// Unstructured meshes: hexahedral (LULESH publishes one) and tetrahedral
+// (the Chapter III volume renderer consumes one).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "math/vec.hpp"
+
+namespace isr::mesh {
+
+struct HexMesh {
+  std::vector<Vec3f> points;
+  std::vector<int> conn;       // 8 indices per hex, VTK ordering
+  std::vector<float> scalars;  // per-point
+
+  std::size_t cell_count() const { return conn.size() / 8; }
+  AABB bounds() const {
+    AABB b;
+    for (const Vec3f& p : points) b.expand(p);
+    return b;
+  }
+};
+
+struct TetMesh {
+  std::vector<Vec3f> points;
+  std::vector<int> conn;       // 4 indices per tet
+  std::vector<float> scalars;  // per-point
+
+  std::size_t cell_count() const { return conn.size() / 4; }
+
+  Vec3f vertex(std::size_t tet, int corner) const {
+    return points[static_cast<std::size_t>(conn[tet * 4 + static_cast<std::size_t>(corner)])];
+  }
+  float scalar(std::size_t tet, int corner) const {
+    return scalars[static_cast<std::size_t>(conn[tet * 4 + static_cast<std::size_t>(corner)])];
+  }
+
+  AABB bounds() const {
+    AABB b;
+    for (const Vec3f& p : points) b.expand(p);
+    return b;
+  }
+};
+
+}  // namespace isr::mesh

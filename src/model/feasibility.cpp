@@ -1,0 +1,56 @@
+#include "model/feasibility.hpp"
+
+#include <cmath>
+
+namespace isr::model {
+
+std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_seconds,
+                                          int n_per_task, int tasks,
+                                          const std::vector<int>& image_edges,
+                                          const MappingConstants& constants) {
+  std::vector<BudgetPoint> out;
+  out.reserve(image_edges.size());
+  for (const int edge : image_edges) {
+    const double pixels = static_cast<double>(edge) * edge;
+    const ModelInputs in = map_configuration(model.kind(), n_per_task, tasks, pixels, constants);
+    BudgetPoint p;
+    p.image_edge = edge;
+    p.frame_seconds = model.predict_render(in);
+    // One build at the start of the batch (ray tracing only).
+    const double build = model.predict_build(in);
+    p.images_in_budget =
+        p.frame_seconds > 0.0
+            ? static_cast<long>(std::max(0.0, (budget_seconds - build) / p.frame_seconds))
+            : 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<RatioCell> rt_vs_rast(const PerfModel& rt, const PerfModel& rast, int frames,
+                                  int tasks, const std::vector<int>& image_edges,
+                                  const std::vector<int>& data_sizes,
+                                  const MappingConstants& constants) {
+  std::vector<RatioCell> out;
+  out.reserve(image_edges.size() * data_sizes.size());
+  for (const int n : data_sizes) {
+    for (const int edge : image_edges) {
+      const double pixels = static_cast<double>(edge) * edge;
+      const ModelInputs rt_in =
+          map_configuration(RendererKind::kRayTrace, n, tasks, pixels, constants);
+      const ModelInputs rast_in =
+          map_configuration(RendererKind::kRasterize, n, tasks, pixels, constants);
+      RatioCell cell;
+      cell.image_edge = edge;
+      cell.n_per_task = n;
+      cell.rt_seconds =
+          rt.predict_build(rt_in) + static_cast<double>(frames) * rt.predict_render(rt_in);
+      cell.rast_seconds = static_cast<double>(frames) * rast.predict_render(rast_in);
+      cell.ratio = cell.rt_seconds > 0.0 ? cell.rast_seconds / cell.rt_seconds : 0.0;
+      out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+}  // namespace isr::model

@@ -1,0 +1,44 @@
+// In situ viability analyses (§5.9): the two feasibility questions the
+// paper answers with its fitted models, exposed as reusable functions so
+// the benches, examples, and the feasibility_advisor CLI share them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/mapping.hpp"
+#include "model/perfmodel.hpp"
+
+namespace isr::model {
+
+// "How many images fit in a fixed time budget?" (Figure 14): for each image
+// edge in `image_edges`, predict one frame at the given configuration and
+// return floor(budget / frame_time). BVH build is charged once (amortized),
+// matching the paper's repeated-rendering use case.
+struct BudgetPoint {
+  int image_edge = 0;
+  double frame_seconds = 0.0;
+  long images_in_budget = 0;
+};
+std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_seconds,
+                                          int n_per_task, int tasks,
+                                          const std::vector<int>& image_edges,
+                                          const MappingConstants& constants = {});
+
+// "Ray tracing or rasterization?" (Figure 15): predicted time ratio
+// T_RAST / T_RT for `frames` renderings (RT's BVH build amortized over the
+// frames) on a grid of image sizes x data sizes. ratio > 1 means ray
+// tracing wins.
+struct RatioCell {
+  int image_edge = 0;
+  int n_per_task = 0;
+  double rt_seconds = 0.0;
+  double rast_seconds = 0.0;
+  double ratio = 0.0;  // rast / rt
+};
+std::vector<RatioCell> rt_vs_rast(const PerfModel& rt, const PerfModel& rast, int frames,
+                                  int tasks, const std::vector<int>& image_edges,
+                                  const std::vector<int>& data_sizes,
+                                  const MappingConstants& constants = {});
+
+}  // namespace isr::model

@@ -1,0 +1,162 @@
+#include "model/linreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/rng.hpp"
+
+namespace isr::model {
+
+double FitResult::predict(const std::vector<double>& features) const {
+  double y = 0.0;
+  const std::size_t nf = has_intercept ? coefficients.size() - 1 : coefficients.size();
+  for (std::size_t i = 0; i < nf && i < features.size(); ++i)
+    y += coefficients[i] * features[i];
+  if (has_intercept) y += coefficients.back();
+  return y;
+}
+
+namespace {
+
+// Solves the symmetric positive (semi-)definite system A x = b in place by
+// Gaussian elimination with partial pivoting; p is tiny (<= 6).
+bool solve(std::vector<std::vector<double>>& A, std::vector<double>& b,
+           std::vector<double>& x) {
+  const std::size_t p = b.size();
+  for (std::size_t col = 0; col < p; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < p; ++r)
+      if (std::abs(A[r][col]) > std::abs(A[pivot][col])) pivot = r;
+    if (std::abs(A[pivot][col]) < 1e-12) return false;
+    std::swap(A[col], A[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = 0; r < p; ++r) {
+      if (r == col) continue;
+      const double f = A[r][col] / A[col][col];
+      for (std::size_t c = col; c < p; ++c) A[r][c] -= f * A[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  x.resize(p);
+  for (std::size_t i = 0; i < p; ++i) x[i] = b[i] / A[i][i];
+  return true;
+}
+
+}  // namespace
+
+FitResult fit_linear(const std::vector<std::vector<double>>& X,
+                     const std::vector<double>& y, bool intercept) {
+  FitResult result;
+  result.has_intercept = intercept;
+  const std::size_t n = X.size();
+  if (n == 0 || y.size() != n) return result;
+  const std::size_t nf = X[0].size();
+  const std::size_t p = nf + (intercept ? 1 : 0);
+  if (n < p) return result;
+
+  auto feature = [&](std::size_t row, std::size_t col) {
+    return col < nf ? X[row][col] : 1.0;
+  };
+
+  // Normal equations: (X'X) beta = X'y.
+  std::vector<std::vector<double>> A(p, std::vector<double>(p, 0.0));
+  std::vector<double> b(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < p; ++i) {
+      const double fi = feature(r, i);
+      b[i] += fi * y[r];
+      for (std::size_t j = i; j < p; ++j) A[i][j] += fi * feature(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < i; ++j) A[i][j] = A[j][i];
+
+  if (!solve(A, b, result.coefficients)) return result;
+
+  // R^2 and residual standard deviation.
+  const double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < p; ++i) pred += result.coefficients[i] * feature(r, i);
+    ss_res += (y[r] - pred) * (y[r] - pred);
+    ss_tot += (y[r] - mean_y) * (y[r] - mean_y);
+  }
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  result.residual_std = n > p ? std::sqrt(ss_res / static_cast<double>(n - p)) : 0.0;
+  result.ok = true;
+  return result;
+}
+
+double CrossValidation::mean_abs_relative_error() const {
+  if (actual.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    if (actual[i] != 0.0) acc += std::abs((predicted[i] - actual[i]) / actual[i]);
+  return acc / static_cast<double>(actual.size());
+}
+
+double CrossValidation::fraction_within(double tol) const {
+  if (actual.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == 0.0) continue;
+    if (std::abs((predicted[i] - actual[i]) / actual[i]) <= tol) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(actual.size());
+}
+
+CrossValidation k_fold_cv(const std::vector<std::vector<double>>& X,
+                          const std::vector<double>& y, int k, std::uint64_t seed,
+                          bool intercept) {
+  CrossValidation cv;
+  const std::size_t n = X.size();
+  if (n == 0 || k < 2) return cv;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = n - 1; i > 0; --i)
+    std::swap(order[i], order[rng.next_u64() % (i + 1)]);
+
+  for (int fold = 0; fold < k; ++fold) {
+    std::vector<std::vector<double>> train_x, test_x;
+    std::vector<double> train_y, test_y;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_test = static_cast<int>(i % static_cast<std::size_t>(k)) == fold;
+      if (in_test) {
+        test_x.push_back(X[order[i]]);
+        test_y.push_back(y[order[i]]);
+      } else {
+        train_x.push_back(X[order[i]]);
+        train_y.push_back(y[order[i]]);
+      }
+    }
+    const FitResult fit = fit_linear(train_x, train_y, intercept);
+    if (!fit.ok) continue;
+    for (std::size_t i = 0; i < test_x.size(); ++i) {
+      cv.predicted.push_back(fit.predict(test_x[i]));
+      cv.actual.push_back(test_y[i]);
+    }
+  }
+  return cv;
+}
+
+double correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  const double ma = std::accumulate(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(n), 0.0) /
+                    static_cast<double>(n);
+  const double mb = std::accumulate(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n), 0.0) /
+                    static_cast<double>(n);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  return (da > 0 && db > 0) ? num / std::sqrt(da * db) : 0.0;
+}
+
+}  // namespace isr::model

@@ -1,0 +1,49 @@
+// Multiple linear regression and k-fold cross validation — the statistical
+// machinery of the paper's methodology (§5.3 "Model Fitting and
+// Evaluation"): fit with least squares, evaluate with R², residual standard
+// deviation, and k-fold CV accuracy buckets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace isr::model {
+
+struct FitResult {
+  // One coefficient per feature, followed by the intercept (when fitted).
+  std::vector<double> coefficients;
+  bool has_intercept = true;
+  double r_squared = 0.0;
+  double residual_std = 0.0;
+  bool ok = false;
+
+  double predict(const std::vector<double>& features) const;
+};
+
+// Least squares via normal equations (features are few and well scaled
+// here). X: one row per observation. Returns ok=false when the system is
+// singular or sizes mismatch.
+FitResult fit_linear(const std::vector<std::vector<double>>& X,
+                     const std::vector<double>& y, bool intercept = true);
+
+struct CrossValidation {
+  std::vector<double> predicted;  // concatenated over folds
+  std::vector<double> actual;
+
+  // Mean of |predicted - actual| / actual.
+  double mean_abs_relative_error() const;
+  // Fraction of predictions with |error| within `tol` (relative), e.g. 0.25.
+  double fraction_within(double tol) const;
+};
+
+// Shuffles rows deterministically (seed), splits into k folds, fits on k-1
+// and predicts the held-out fold.
+CrossValidation k_fold_cv(const std::vector<std::vector<double>>& X,
+                          const std::vector<double>& y, int k,
+                          std::uint64_t seed = 0xCF01Du, bool intercept = true);
+
+// Pearson correlation between two series (used for the paper's screening
+// "correlation analysis").
+double correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace isr::model

@@ -1,0 +1,32 @@
+#include "model/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isr::model {
+
+ModelInputs map_configuration(RendererKind kind, int n_per_task, int tasks, double pixels,
+                              const MappingConstants& c) {
+  ModelInputs in;
+  const double n = static_cast<double>(n_per_task);
+  const double inv_cbrt_tasks = 1.0 / std::cbrt(static_cast<double>(std::max(tasks, 1)));
+
+  in.active_pixels = c.ap_fill * inv_cbrt_tasks * pixels;
+  if (kind == RendererKind::kVolume) {
+    in.objects = n * n * n;
+    in.samples_per_ray = c.spr_base * inv_cbrt_tasks;
+    in.cells_spanned = n;
+  } else {
+    // External faces: six faces of N^2 quads, two triangles each.
+    in.objects = 12.0 * n * n;
+    in.visible_objects = std::min(in.active_pixels, in.objects);
+    // "Active pixels on average have two overlapping triangles ... an
+    // additional two triangles will still consider these pixels": total
+    // pixel considerations = ppt * AP, spread over the visible triangles.
+    in.pixels_per_tri =
+        in.visible_objects > 0 ? c.ppt * in.active_pixels / in.visible_objects : c.ppt;
+  }
+  return in;
+}
+
+}  // namespace isr::model

@@ -1,0 +1,23 @@
+// Mapping from user-facing rendering configurations to model input
+// variables (§5.8): users think in (data size per task, task count, image
+// resolution); the models need (O, AP, VO, PPT, SPR, CS). The constants are
+// the paper's: external faces give O = 12*N^2 triangles from an N^3 block;
+// cameras fill ~55% of pixels; each 8x increase in task count halves a
+// rank's linear screen coverage (1/tasks^(1/3)).
+#pragma once
+
+#include "model/perfmodel.hpp"
+
+namespace isr::model {
+
+struct MappingConstants {
+  double ap_fill = 0.55;    // fraction of pixels active at 1 task
+  double ppt = 4.0;         // pixels considered per triangle (external faces)
+  double spr_base = 373.0;  // samples per ray at 1 task (for the paper's S)
+};
+
+// n_per_task: N of the N^3 per-task block. pixels: total image pixels.
+ModelInputs map_configuration(RendererKind kind, int n_per_task, int tasks, double pixels,
+                              const MappingConstants& constants = {});
+
+}  // namespace isr::model

@@ -1,0 +1,32 @@
+#include "model/online.hpp"
+
+namespace isr::model {
+
+namespace {
+// Fewest observations worth fitting: features + intercept + slack.
+constexpr std::size_t kMinSamples = 6;
+}  // namespace
+
+OnlineModel::OnlineModel(RendererKind kind, std::size_t refit_interval)
+    : kind_(kind), refit_interval_(refit_interval == 0 ? 1 : refit_interval),
+      fitted_(PerfModel::fit(kind, {})) {}
+
+void OnlineModel::observe(const RenderSample& sample) {
+  corpus_.push_back(sample);
+  ++since_refit_;
+  if (corpus_.size() >= kMinSamples &&
+      (since_refit_ >= refit_interval_ || !fitted_.ok()))
+    refit();
+}
+
+void OnlineModel::refit() {
+  if (corpus_.size() < kMinSamples) return;
+  fitted_ = PerfModel::fit(kind_, corpus_);
+  since_refit_ = 0;
+}
+
+double OnlineModel::predict(const ModelInputs& inputs) const {
+  return fitted_.ok() ? fitted_.predict(inputs) : 0.0;
+}
+
+}  // namespace isr::model

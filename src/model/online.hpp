@@ -1,0 +1,47 @@
+// On-line model refinement (dissertation Chapter VI, §6.2): instead of the
+// paper's off-line workflow (run tests, fit, then use), observations stream
+// in as the simulation renders and the model refits periodically — "models
+// would be refined as more data is generated, with model accuracy
+// increasing as the corpus grows."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/perfmodel.hpp"
+
+namespace isr::model {
+
+class OnlineModel {
+ public:
+  // Refits after every `refit_interval` new observations (refits are cheap:
+  // the feature count is 2-3).
+  explicit OnlineModel(RendererKind kind, std::size_t refit_interval = 8);
+
+  RendererKind kind() const { return kind_; }
+
+  // Feeds one measurement (e.g. a Strawman PerfRecord) into the corpus.
+  void observe(const RenderSample& sample);
+
+  // A model exists once there are enough samples for the regression.
+  bool ready() const { return fitted_.ok(); }
+  std::size_t observation_count() const { return corpus_.size(); }
+
+  // Prediction from the most recent refit; 0 until ready().
+  double predict(const ModelInputs& inputs) const;
+  double r_squared() const { return fitted_.ok() ? fitted_.r_squared() : 0.0; }
+
+  // Forces a refit now (also done automatically every refit_interval).
+  void refit();
+
+  const std::vector<RenderSample>& corpus() const { return corpus_; }
+
+ private:
+  RendererKind kind_;
+  std::size_t refit_interval_;
+  std::size_t since_refit_ = 0;
+  std::vector<RenderSample> corpus_;
+  PerfModel fitted_;
+};
+
+}  // namespace isr::model

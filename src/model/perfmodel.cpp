@@ -1,0 +1,145 @@
+#include "model/perfmodel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isr::model {
+
+const char* renderer_name(RendererKind kind) {
+  switch (kind) {
+    case RendererKind::kRayTrace: return "Ray Tracing";
+    case RendererKind::kRasterize: return "Rasterization";
+    case RendererKind::kVolume: return "Volume";
+  }
+  return "?";
+}
+
+std::vector<double> render_features(RendererKind kind, const ModelInputs& in) {
+  switch (kind) {
+    case RendererKind::kRayTrace:
+      return {in.active_pixels * std::log2(std::max(in.objects, 2.0)), in.active_pixels};
+    case RendererKind::kRasterize:
+      return {in.objects, in.visible_objects * in.pixels_per_tri};
+    case RendererKind::kVolume:
+      return {in.active_pixels * in.cells_spanned, in.active_pixels * in.samples_per_ray};
+  }
+  return {};
+}
+
+PerfModel PerfModel::fit(RendererKind kind, const std::vector<RenderSample>& samples) {
+  PerfModel m;
+  m.kind_ = kind;
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  X.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const RenderSample& s : samples) {
+    X.push_back(render_features(kind, s.inputs));
+    y.push_back(s.render_seconds);
+  }
+  m.render_fit_ = fit_linear(X, y);
+
+  if (kind == RendererKind::kRayTrace && m.render_fit_.ok &&
+      (m.render_fit_.coefficients[0] < 0.0 || m.render_fit_.coefficients[1] < 0.0)) {
+    // Collinear AP*log2(O) and AP features (narrow O range): keep only the
+    // dominant term so extrapolation stays physical.
+    m.rt_reduced_ = true;
+    std::vector<std::vector<double>> Xr;
+    Xr.reserve(samples.size());
+    for (const RenderSample& s : samples) Xr.push_back({render_features(kind, s.inputs)[0]});
+    m.render_fit_ = fit_linear(Xr, y);
+  }
+
+  if (kind == RendererKind::kRayTrace) {
+    std::vector<std::vector<double>> Xb;
+    std::vector<double> yb;
+    for (const RenderSample& s : samples) {
+      Xb.push_back({s.inputs.objects});
+      yb.push_back(s.build_seconds);
+    }
+    m.build_fit_ = fit_linear(Xb, yb);
+  }
+  return m;
+}
+
+std::vector<double> PerfModel::features_for(const ModelInputs& in) const {
+  std::vector<double> f = render_features(kind_, in);
+  if (rt_reduced_) f.resize(1);
+  return f;
+}
+
+double PerfModel::predict_render(const ModelInputs& in) const {
+  return std::max(0.0, render_fit_.predict(features_for(in)));
+}
+
+double PerfModel::predict_build(const ModelInputs& in) const {
+  if (kind_ != RendererKind::kRayTrace || !build_fit_.ok) return 0.0;
+  return std::max(0.0, build_fit_.predict({in.objects}));
+}
+
+double PerfModel::predict(const ModelInputs& in) const {
+  return predict_render(in) + predict_build(in);
+}
+
+std::vector<double> PerfModel::paper_coefficients() const {
+  if (kind_ == RendererKind::kRayTrace) {
+    // {c0, c1} from the build fit, {c2, c3, c4} from the trace fit.
+    std::vector<double> c;
+    if (build_fit_.ok) {
+      c.push_back(build_fit_.coefficients[0]);
+      c.push_back(build_fit_.coefficients[1]);
+    } else {
+      c.push_back(0.0);
+      c.push_back(0.0);
+    }
+    if (rt_reduced_) {
+      c.push_back(render_fit_.coefficients[0]);  // c2
+      c.push_back(0.0);                          // c3 (dropped AP term)
+      c.push_back(render_fit_.coefficients[1]);  // c4 (intercept)
+    } else {
+      for (const double v : render_fit_.coefficients) c.push_back(v);
+    }
+    return c;
+  }
+  return render_fit_.coefficients;
+}
+
+CrossValidation PerfModel::cross_validate(const std::vector<RenderSample>& samples, int k,
+                                          std::uint64_t seed) const {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (const RenderSample& s : samples) {
+    X.push_back(features_for(s.inputs));
+    y.push_back(s.render_seconds);
+  }
+  return k_fold_cv(X, y, k, seed);
+}
+
+CompositeModel CompositeModel::fit(const std::vector<CompositeSample>& samples) {
+  CompositeModel m;
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (const CompositeSample& s : samples) {
+    X.push_back({s.avg_active_pixels, s.pixels});
+    y.push_back(s.seconds);
+  }
+  m.fit_ = fit_linear(X, y);
+  return m;
+}
+
+double CompositeModel::predict(double avg_active_pixels, double pixels) const {
+  return std::max(0.0, fit_.predict({avg_active_pixels, pixels}));
+}
+
+CrossValidation CompositeModel::cross_validate(const std::vector<CompositeSample>& samples,
+                                               int k, std::uint64_t seed) const {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (const CompositeSample& s : samples) {
+    X.push_back({s.avg_active_pixels, s.pixels});
+    y.push_back(s.seconds);
+  }
+  return k_fold_cv(X, y, k, seed);
+}
+
+}  // namespace isr::model

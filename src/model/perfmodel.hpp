@@ -1,0 +1,105 @@
+// The paper's performance models (§5.5-§5.6), as fit-and-predict objects:
+//
+//   T_RT   = (c0*O + c1) + (c2*(AP*log2 O) + c3*AP + c4)        (Eq. 5.1)
+//   T_RAST = c0*O + c1*(VO*PPT) + c2                            (Eq. 5.2)
+//   T_VR   = c0*(AP*CS) + c1*(AP*SPR) + c2                      (Eq. 5.3)
+//   T_total= max_tasks(T_LR) + T_COMP                           (Eq. 5.4)
+//   T_COMP = c0*avg(AP) + c1*Pixels + c2                        (Eq. 5.5)
+//
+// The ray-tracing model is two regressions (BVH build on O; trace+shade on
+// AP*log2 O and AP) so the build can be amortized across frames, exactly as
+// the paper separates them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/linreg.hpp"
+
+namespace isr::model {
+
+enum class RendererKind { kRayTrace, kRasterize, kVolume };
+
+const char* renderer_name(RendererKind kind);
+
+// The model input variables of one observation (§5.3).
+struct ModelInputs {
+  double objects = 0;          // O
+  double active_pixels = 0;    // AP
+  double visible_objects = 0;  // VO
+  double pixels_per_tri = 0;   // PPT
+  double samples_per_ray = 0;  // SPR
+  double cells_spanned = 0;    // CS
+};
+
+// One measured data point for model fitting.
+struct RenderSample {
+  ModelInputs inputs;
+  double build_seconds = 0.0;   // ray tracing only (BVH)
+  double render_seconds = 0.0;  // local rendering, excluding build
+  double total_seconds() const { return build_seconds + render_seconds; }
+};
+
+// Feature vector for the render-time regression of each model.
+std::vector<double> render_features(RendererKind kind, const ModelInputs& in);
+
+class PerfModel {
+ public:
+  static PerfModel fit(RendererKind kind, const std::vector<RenderSample>& samples);
+
+  RendererKind kind() const { return kind_; }
+  bool ok() const { return render_fit_.ok; }
+
+  // Predicted seconds for one frame including BVH build.
+  double predict(const ModelInputs& in) const;
+  // Render-only prediction (build amortized away, the repeated-render case).
+  double predict_render(const ModelInputs& in) const;
+  double predict_build(const ModelInputs& in) const;
+
+  // R^2 of the render-time regression (what Table 12 reports).
+  double r_squared() const { return render_fit_.r_squared; }
+  double residual_std() const { return render_fit_.residual_std; }
+
+  // Coefficients in the paper's order (Table 17): ray tracing
+  // {c0,c1,c2,c3,c4} = {build slope, build intercept, AP*log2O, AP,
+  // intercept}; others {c0, c1, c2}.
+  std::vector<double> paper_coefficients() const;
+
+  // 3-fold cross validation of total render time on the same samples.
+  CrossValidation cross_validate(const std::vector<RenderSample>& samples, int k = 3,
+                                 std::uint64_t seed = 0xCF01Du) const;
+
+ private:
+  std::vector<double> features_for(const ModelInputs& in) const;
+
+  RendererKind kind_ = RendererKind::kRayTrace;
+  FitResult render_fit_;
+  FitResult build_fit_;  // ray tracing only
+  // The paper notes negative regression coefficients signal an invalid
+  // model; when the two ray-tracing features (AP*log2 O and AP) are
+  // collinear enough to produce one, refit on AP*log2 O alone.
+  bool rt_reduced_ = false;
+};
+
+// Compositing model (Eq. 5.5).
+struct CompositeSample {
+  double avg_active_pixels = 0;
+  double pixels = 0;  // full image resolution
+  double seconds = 0;
+};
+
+class CompositeModel {
+ public:
+  static CompositeModel fit(const std::vector<CompositeSample>& samples);
+  bool ok() const { return fit_.ok; }
+  double predict(double avg_active_pixels, double pixels) const;
+  double r_squared() const { return fit_.r_squared; }
+  std::vector<double> coefficients() const { return fit_.coefficients; }
+  CrossValidation cross_validate(const std::vector<CompositeSample>& samples, int k = 3,
+                                 std::uint64_t seed = 0xC0111Du) const;
+
+ private:
+  FitResult fit_;
+};
+
+}  // namespace isr::model

@@ -1,0 +1,216 @@
+#include "model/study.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/compositor.hpp"
+#include "conduit/blueprint.hpp"
+#include "dpp/profiles.hpp"
+#include "math/camera.hpp"
+#include "math/colormap.hpp"
+#include "math/rng.hpp"
+#include "mesh/external_faces.hpp"
+#include "render/rast/rasterizer.hpp"
+#include "render/rt/raytracer.hpp"
+#include "render/vr/volume.hpp"
+#include "sims/cloverleaf.hpp"
+#include "sims/kripke.hpp"
+#include "sims/lulesh.hpp"
+
+namespace isr::model {
+
+namespace {
+
+// Per-rank data for one (sim, tasks, n) configuration: a structured grid
+// (cloverleaf/kripke) or a triangle surface from external faces (all sims).
+struct RankData {
+  mesh::StructuredGrid grid;  // valid when has_grid
+  mesh::TriMesh surface;
+  bool has_grid = false;
+  AABB bounds;
+};
+
+std::vector<RankData> generate_rank_data(const std::string& sim, int tasks, int n,
+                                         int steps) {
+  std::vector<RankData> ranks(static_cast<std::size_t>(tasks));
+  for (int r = 0; r < tasks; ++r) {
+    RankData& rd = ranks[static_cast<std::size_t>(r)];
+    conduit::Node data;
+    if (sim == "cloverleaf") {
+      sims::CloverLeaf proxy(n, n, n, r, tasks);
+      for (int s = 0; s < steps; ++s) proxy.step();
+      proxy.describe(data);
+      rd.grid = conduit::blueprint::to_structured(data, "energy");
+      rd.has_grid = true;
+    } else if (sim == "kripke") {
+      sims::Kripke proxy(n, n, n, r, tasks);
+      for (int s = 0; s < steps; ++s) proxy.step();
+      proxy.describe(data);
+      rd.grid = conduit::blueprint::to_structured(data, "phi");
+      rd.has_grid = true;
+    } else {  // lulesh
+      sims::Lulesh proxy(n, r, tasks);
+      for (int s = 0; s < steps; ++s) proxy.step();
+      proxy.describe(data);
+      const mesh::HexMesh hexes = conduit::blueprint::to_hex_mesh(data, "e");
+      rd.surface = mesh::external_faces(hexes);
+      rd.bounds = rd.surface.bounds();
+      continue;
+    }
+    rd.grid.normalize_scalars();
+    rd.surface = mesh::external_faces(rd.grid);
+    rd.bounds = rd.grid.bounds();
+  }
+  // Normalize lulesh surface scalars across ranks.
+  if (sim == "lulesh") {
+    float lo = 1e30f, hi = -1e30f;
+    for (const RankData& rd : ranks)
+      for (const float v : rd.surface.scalars) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    if (hi > lo)
+      for (RankData& rd : ranks)
+        for (float& v : rd.surface.scalars) v = (v - lo) / (hi - lo);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+std::vector<RenderSample> samples_for(const std::vector<Observation>& obs,
+                                      const std::string& arch, RendererKind kind) {
+  std::vector<RenderSample> out;
+  for (const Observation& o : obs)
+    if (o.arch == arch && o.renderer == kind) out.push_back(o.sample);
+  return out;
+}
+
+std::vector<CompositeSample> composite_samples(const std::vector<Observation>& obs) {
+  std::vector<CompositeSample> out;
+  for (const Observation& o : obs) {
+    CompositeSample s;
+    s.avg_active_pixels = o.avg_active_pixels;
+    s.pixels = static_cast<double>(o.image_size) * o.image_size;
+    s.seconds = o.composite_seconds;
+    out.push_back(s);
+  }
+  return out;
+}
+
+double study_scale_from_env() {
+  const char* env = std::getenv("ISR_STUDY_SCALE");
+  if (!env) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+std::vector<Observation> run_study(const StudyConfig& config, bool verbose) {
+  std::vector<Observation> observations;
+  Rng rng(config.seed);
+  std::uint64_t render_counter = 0;
+
+  for (const std::string& sim : config.sims) {
+    for (const int tasks : config.tasks) {
+      for (int s = 0; s < config.samples_per_config; ++s) {
+        // Stratified sampling over (image size, data size): divide each
+        // range into samples_per_config strata and jitter inside them.
+        const double stratum = (static_cast<double>(s) + rng.next_double()) /
+                               static_cast<double>(config.samples_per_config);
+        const double stratum_n = (static_cast<double>(config.samples_per_config - 1 - s) +
+                                  rng.next_double()) /
+                                 static_cast<double>(config.samples_per_config);
+        const int image =
+            config.min_image +
+            static_cast<int>(stratum * static_cast<double>(config.max_image - config.min_image));
+        const int n = config.min_n + static_cast<int>(stratum_n *
+                                                      static_cast<double>(config.max_n - config.min_n));
+
+        const std::vector<RankData> ranks = generate_rank_data(sim, tasks, n, config.sim_steps);
+        AABB global_bounds;
+        for (const RankData& rd : ranks) global_bounds.expand(rd.bounds);
+        const Camera camera = Camera::framing(global_bounds, image, image, 0.8f);
+        const ColorTable colors = ColorTable::cool_warm();
+        const TransferFunction tf(colors, 0.05f, 0.3f);
+
+        for (const std::string& arch : config.archs) {
+          for (const RendererKind kind : config.renderers) {
+            // The paper excluded meaningless combinations (structured
+            // volume renderer on unstructured data).
+            if (kind == RendererKind::kVolume && !ranks.front().has_grid) continue;
+
+            dpp::Device dev = dpp::Device::simulated(dpp::profile_by_name(arch),
+                                                     0x5EED0000u + render_counter * 7919u);
+            ++render_counter;
+
+            std::vector<comm::RankImage> images(static_cast<std::size_t>(tasks));
+            RenderSample slowest;
+            double sum_active = 0.0;
+
+            for (int r = 0; r < tasks; ++r) {
+              const RankData& rd = ranks[static_cast<std::size_t>(r)];
+              render::Image& img = images[static_cast<std::size_t>(r)].image;
+              images[static_cast<std::size_t>(r)].view_depth =
+                  length(rd.bounds.center() - camera.position);
+              render::RenderStats stats;
+              double build_seconds = 0.0;
+
+              if (kind == RendererKind::kRayTrace) {
+                render::RayTracer rt(rd.surface, dev);
+                build_seconds = rt.bvh_build_stats().total_seconds();
+                stats = rt.render(camera, colors, img);
+              } else if (kind == RendererKind::kRasterize) {
+                render::Rasterizer rast(rd.surface, dev);
+                stats = rast.render(camera, colors, img);
+              } else {
+                render::StructuredVolumeRenderer vr(rd.grid, dev);
+                render::VolumeRenderOptions opt;
+                opt.samples = config.vr_samples;
+                stats = vr.render(camera, tf, img, opt);
+              }
+
+              sum_active += stats.active_pixels;
+              const double local = stats.total_seconds() + build_seconds;
+              if (local >= slowest.total_seconds()) {
+                slowest.inputs = {stats.objects,        stats.active_pixels,
+                                  stats.visible_objects, stats.pixels_per_tri,
+                                  stats.samples_per_ray, stats.cells_spanned};
+                slowest.build_seconds = build_seconds;
+                slowest.render_seconds = stats.total_seconds();
+              }
+            }
+
+            comm::Comm comm(tasks);
+            const comm::CompositeMode mode = kind == RendererKind::kVolume
+                                                 ? comm::CompositeMode::kVolume
+                                                 : comm::CompositeMode::kSurface;
+            const comm::CompositeResult comp =
+                comm::composite(comm, images, mode, comm::CompositeAlgorithm::kRadixK);
+
+            Observation obs;
+            obs.arch = arch;
+            obs.renderer = kind;
+            obs.sim = sim;
+            obs.tasks = tasks;
+            obs.image_size = image;
+            obs.n_per_task = n;
+            obs.sample = slowest;
+            obs.avg_active_pixels = comp.avg_active_pixels;
+            obs.composite_seconds = comp.simulated_seconds;
+            obs.total_seconds = slowest.total_seconds() + comp.simulated_seconds;
+            observations.push_back(obs);
+
+            if (verbose)
+              std::printf("study %-10s %-13s %-5s tasks=%-3d img=%-4d n=%-3d local=%.4fs comp=%.4fs\n",
+                          sim.c_str(), renderer_name(kind), arch.c_str(), tasks, image, n,
+                          slowest.total_seconds(), comp.simulated_seconds);
+          }
+        }
+      }
+    }
+  }
+  return observations;
+}
+
+}  // namespace isr::model

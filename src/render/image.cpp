@@ -1,0 +1,143 @@
+#include "render/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace isr::render {
+
+std::size_t Image::active_pixel_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i)
+    if (pixels_[i].w > 0.0f || depth_[i] != kFarDepth) ++n;
+  return n;
+}
+
+double Image::rms_difference(const Image& other) const {
+  if (other.pixels_.size() != pixels_.size()) return std::numeric_limits<double>::max();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    const Vec4f d = pixels_[i] - other.pixels_[i];
+    acc += d.x * d.x + d.y * d.y + d.z * d.z + d.w * d.w;
+  }
+  return std::sqrt(acc / (4.0 * static_cast<double>(pixels_.size())));
+}
+
+namespace {
+
+std::uint8_t to_byte(float v) {
+  return static_cast<std::uint8_t>(clamp01(v) * 255.0f + 0.5f);
+}
+
+// CRC-32 (PNG variant), bitwise; writers are not performance critical.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len, std::uint32_t crc = 0xFFFFFFFFu) {
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+  }
+  return crc;
+}
+
+std::uint32_t adler32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t a = 1, b = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    a = (a + data[i]) % 65521u;
+    b = (b + a) % 65521u;
+  }
+  return (b << 16) | a;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void write_chunk(std::ofstream& os, const char type[4], const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> head;
+  put_u32(head, static_cast<std::uint32_t>(data.size()));
+  head.insert(head.end(), type, type + 4);
+  os.write(reinterpret_cast<const char*>(head.data()), static_cast<std::streamsize>(head.size()));
+  if (!data.empty())
+    os.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  std::uint32_t crc = crc32(reinterpret_cast<const std::uint8_t*>(type), 4);
+  crc = crc32(data.data(), data.size(), crc) ^ 0xFFFFFFFFu;
+  std::vector<std::uint8_t> tail;
+  put_u32(tail, crc);
+  os.write(reinterpret_cast<const char*>(tail.data()), 4);
+}
+
+}  // namespace
+
+bool Image::write_ppm(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P6\n" << width_ << " " << height_ << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Vec4f c = pixel(x, y);
+      row[static_cast<std::size_t>(x) * 3 + 0] = to_byte(c.x);
+      row[static_cast<std::size_t>(x) * 3 + 1] = to_byte(c.y);
+      row[static_cast<std::size_t>(x) * 3 + 2] = to_byte(c.z);
+    }
+    os.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+bool Image::write_png(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  static const std::uint8_t magic[8] = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n'};
+  os.write(reinterpret_cast<const char*>(magic), 8);
+
+  std::vector<std::uint8_t> ihdr;
+  put_u32(ihdr, static_cast<std::uint32_t>(width_));
+  put_u32(ihdr, static_cast<std::uint32_t>(height_));
+  ihdr.push_back(8);   // bit depth
+  ihdr.push_back(6);   // RGBA
+  ihdr.push_back(0);   // compression
+  ihdr.push_back(0);   // filter
+  ihdr.push_back(0);   // interlace
+  write_chunk(os, "IHDR", ihdr);
+
+  // Raw scanlines with filter byte 0.
+  std::vector<std::uint8_t> raw;
+  raw.reserve(static_cast<std::size_t>(height_) * (1 + static_cast<std::size_t>(width_) * 4));
+  for (int y = 0; y < height_; ++y) {
+    raw.push_back(0);
+    for (int x = 0; x < width_; ++x) {
+      const Vec4f c = pixel(x, y);
+      raw.push_back(to_byte(c.x));
+      raw.push_back(to_byte(c.y));
+      raw.push_back(to_byte(c.z));
+      raw.push_back(to_byte(c.w > 0.0f ? c.w : 1.0f));
+    }
+  }
+
+  // zlib stream with stored (uncompressed) deflate blocks.
+  std::vector<std::uint8_t> z;
+  z.push_back(0x78);
+  z.push_back(0x01);
+  const std::size_t kBlock = 65535;
+  for (std::size_t off = 0; off < raw.size(); off += kBlock) {
+    const std::size_t len = std::min(kBlock, raw.size() - off);
+    const bool last = off + len >= raw.size();
+    z.push_back(last ? 1 : 0);
+    z.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    z.push_back(static_cast<std::uint8_t>(len >> 8));
+    z.push_back(static_cast<std::uint8_t>(~len & 0xFF));
+    z.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xFF));
+    z.insert(z.end(), raw.begin() + static_cast<std::ptrdiff_t>(off),
+             raw.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  put_u32(z, adler32(raw.data(), raw.size()));
+  write_chunk(os, "IDAT", z);
+  write_chunk(os, "IEND", {});
+  return static_cast<bool>(os);
+}
+
+}  // namespace isr::render

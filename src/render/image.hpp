@@ -1,0 +1,68 @@
+// Framebuffer with color and depth planes plus PPM/PNG writers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace isr::render {
+
+inline constexpr float kFarDepth = std::numeric_limits<float>::max();
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height) { resize(width, height); }
+
+  void resize(int width, int height) {
+    width_ = width;
+    height_ = height;
+    pixels_.assign(static_cast<std::size_t>(width) * height, Vec4f{0, 0, 0, 0});
+    depth_.assign(static_cast<std::size_t>(width) * height, kFarDepth);
+  }
+
+  void clear(Vec4f background = {0, 0, 0, 0}) {
+    std::fill(pixels_.begin(), pixels_.end(), background);
+    std::fill(depth_.begin(), depth_.end(), kFarDepth);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t pixel_count() const { return pixels_.size(); }
+
+  Vec4f& pixel(int x, int y) { return pixels_[index(x, y)]; }
+  Vec4f pixel(int x, int y) const { return pixels_[index(x, y)]; }
+  float& depth(int x, int y) { return depth_[index(x, y)]; }
+  float depth(int x, int y) const { return depth_[index(x, y)]; }
+
+  std::vector<Vec4f>& pixels() { return pixels_; }
+  const std::vector<Vec4f>& pixels() const { return pixels_; }
+  std::vector<float>& depths() { return depth_; }
+  const std::vector<float>& depths() const { return depth_; }
+
+  // Pixels that received any contribution — the model's AP variable.
+  std::size_t active_pixel_count() const;
+
+  // Root-mean-square color difference against another image of equal size.
+  double rms_difference(const Image& other) const;
+
+  // Writers return false on I/O failure. The PNG writer emits uncompressed
+  // (stored) deflate blocks so it needs no external zlib.
+  bool write_ppm(const std::string& path) const;
+  bool write_png(const std::string& path) const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Vec4f> pixels_;
+  std::vector<float> depth_;
+};
+
+}  // namespace isr::render

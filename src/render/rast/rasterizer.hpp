@@ -1,0 +1,38 @@
+// Data-parallel rasterizer (SC16 "an implementation based on sampling using
+// barycentric coordinates").
+//
+// Two stages, matching the model terms of Eq. 5.2:
+//   "cull"    — c0*O: transform + visibility flags + compaction
+//   "raster"  — c1*(VO*PPT): per visible triangle, test every pixel in its
+//               screen bounding box with edge functions; depth test via a
+//               64-bit atomic min (packed depth|color), so triangle-parallel
+//               execution is race-free.
+#pragma once
+
+#include "dpp/device.hpp"
+#include "math/camera.hpp"
+#include "math/colormap.hpp"
+#include "mesh/trimesh.hpp"
+#include "render/image.hpp"
+#include "render/stats.hpp"
+
+namespace isr::render {
+
+struct RasterizerOptions {
+  bool backface_cull = false;  // off by default: sci-vis surfaces are open
+  Vec4f background{0, 0, 0, 0};
+};
+
+class Rasterizer {
+ public:
+  Rasterizer(const mesh::TriMesh& mesh, dpp::Device& dev) : mesh_(mesh), dev_(dev) {}
+
+  RenderStats render(const Camera& camera, const ColorTable& colors, Image& out,
+                     const RasterizerOptions& options = {});
+
+ private:
+  const mesh::TriMesh& mesh_;
+  dpp::Device& dev_;
+};
+
+}  // namespace isr::render

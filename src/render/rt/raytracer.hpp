@@ -1,0 +1,70 @@
+// Data-parallel ray tracer (dissertation Chapter II / SC16 "ray tracing").
+//
+// The pipeline follows Algorithm 1: Morton-ordered primary ray generation
+// (map), BVH traversal + intersection (map), optional stream compaction of
+// dead rays (reduce/scan/reverse-index/gather), ambient occlusion (scatter +
+// map + gather), shadows (map), Blinn-Phong shading with a color map (map),
+// anti-aliasing resolve (gather), and optional specular reflection
+// generations.
+//
+// Phase names (consumed by the performance models, Eq. 5.1):
+//   "bvh_build"  — c0*O + c1 (amortizable across frames)
+//   "trace"      — c2*(AP*log2 O) + c3*AP
+//   "shade"      — folded into the trace-side constants
+#pragma once
+
+#include <memory>
+
+#include "dpp/device.hpp"
+#include "math/camera.hpp"
+#include "math/colormap.hpp"
+#include "mesh/trimesh.hpp"
+#include "render/image.hpp"
+#include "render/rt/bvh.hpp"
+#include "render/stats.hpp"
+
+namespace isr::render {
+
+struct RayTracerOptions {
+  // The three Chapter II workloads.
+  enum class Workload {
+    kIntersect,  // WORKLOAD1: nearest hit + distance only
+    kShaded,     // WORKLOAD2: Blinn-Phong + color map (rasterizer-equivalent)
+    kFull,       // WORKLOAD3: AO + shadows + anti-aliasing + compaction
+  };
+
+  Workload workload = Workload::kShaded;
+  int ao_samples = 4;
+  float ao_distance_fraction = 0.07f;  // AO ray length, fraction of scene diagonal
+  bool shadows = true;                 // kFull only
+  bool anti_alias = true;              // kFull only: 4 rays per pixel
+  bool stream_compaction = true;       // kFull only
+  int max_specular_depth = 0;          // reflection generations (extension)
+  float specular_reflectance = 0.25f;  // blend factor when reflections are on
+  Vec4f background{0, 0, 0, 0};
+};
+
+class RayTracer {
+ public:
+  // Builds the BVH on the device (recorded under phase "bvh_build").
+  RayTracer(const mesh::TriMesh& mesh, dpp::Device& dev);
+
+  const Bvh& bvh() const { return bvh_; }
+
+  // Renders into `out` (resized to the camera dimensions) and returns the
+  // model input variables + phase timings for this frame. BVH build time is
+  // NOT included (the paper separates it; see bvh_build_stats()).
+  RenderStats render(const Camera& camera, const ColorTable& colors, Image& out,
+                     const RayTracerOptions& options = {});
+
+  // Timings of the constructor's build, for the c0*O + c1 model term.
+  const RenderStats& bvh_build_stats() const { return build_stats_; }
+
+ private:
+  const mesh::TriMesh& mesh_;
+  dpp::Device& dev_;
+  Bvh bvh_;
+  RenderStats build_stats_;
+};
+
+}  // namespace isr::render

@@ -1,0 +1,31 @@
+// Per-render measurements: the performance models' input variables
+// (dissertation §5.3 "Model Input Variables") plus the phase timing log.
+#pragma once
+
+#include "dpp/device.hpp"
+
+namespace isr::render {
+
+struct RenderStats {
+  // General input variables.
+  double objects = 0;         // O: cells or triangles rendered
+  double active_pixels = 0;   // AP: pixels updated by the render
+
+  // View-specific variables for rasterization.
+  double visible_objects = 0;   // VO: objects surviving culling
+  double pixels_per_tri = 0;    // PPT: avg pixels considered per triangle
+
+  // View-specific variables for volume rendering.
+  double samples_per_ray = 0;   // SPR: avg in-volume samples along a ray
+  double cells_spanned = 0;     // CS: max cells a ray can span
+
+  // Phase-resolved timing from the device (wall clock or simulated).
+  dpp::TimingLog timings;
+
+  double total_seconds() const { return timings.total_seconds(); }
+  double phase_seconds(const std::string& name) const {
+    return timings.phase_seconds(name);
+  }
+};
+
+}  // namespace isr::render

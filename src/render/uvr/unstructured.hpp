@@ -1,0 +1,47 @@
+// Unstructured (tetrahedral) volume renderer — the dissertation's Chapter
+// III algorithm, composed entirely of data-parallel primitives
+// (Algorithm 2).
+//
+// Sampling-based: the view frustum is discretized into W*H*S samples; work
+// is split into depth passes to bound the sample-buffer memory. Each pass
+// runs four phases (all map/reduce/scan/reverse-index/gather chains):
+//
+//   "initialization"  — per-tet min/max depth (once, before the passes)
+//   "pass_selection"  — flag + compact tets that can contribute this pass
+//   "screen_space"    — transform active tets to screen space
+//   "sampling"        — barycentric inside-out test over each tet's AABB
+//   "compositing"     — front-to-back blend of this pass's samples
+//
+// Phase names feed Figures 4-5 and Tables 6-7/9.
+#pragma once
+
+#include "dpp/device.hpp"
+#include "math/camera.hpp"
+#include "math/colormap.hpp"
+#include "mesh/unstructured.hpp"
+#include "render/image.hpp"
+#include "render/stats.hpp"
+
+namespace isr::render {
+
+struct UnstructuredVROptions {
+  int samples_in_depth = 400;  // S: samples across the data's depth range
+  int num_passes = 1;          // memory/time trade-off (Figures 4-5 sweep)
+  bool early_termination = true;  // skip sampling for opaque pixels
+  Vec4f background{0, 0, 0, 0};
+};
+
+class UnstructuredVolumeRenderer {
+ public:
+  UnstructuredVolumeRenderer(const mesh::TetMesh& mesh, dpp::Device& dev)
+      : mesh_(mesh), dev_(dev) {}
+
+  RenderStats render(const Camera& camera, const TransferFunction& tf, Image& out,
+                     const UnstructuredVROptions& options = {});
+
+ private:
+  const mesh::TetMesh& mesh_;
+  dpp::Device& dev_;
+};
+
+}  // namespace isr::render

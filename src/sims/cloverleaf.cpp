@@ -1,0 +1,112 @@
+#include "sims/cloverleaf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sims/decompose.hpp"
+
+namespace isr::sims {
+
+namespace {
+constexpr double kGamma = 1.4;  // ideal gas
+}
+
+CloverLeaf::CloverLeaf(int nx, int ny, int nz, int rank, int nranks)
+    : nx_(nx), ny_(ny), nz_(nz), rank_(rank) {
+  const Decomposition dec = Decomposition::create(nranks);
+  const Vec3i b = dec.block_of(rank);
+  spacing_[0] = 1.0f / static_cast<float>(nx * dec.blocks.x);
+  spacing_[1] = 1.0f / static_cast<float>(ny * dec.blocks.y);
+  spacing_[2] = 1.0f / static_cast<float>(nz * dec.blocks.z);
+  origin_[0] = static_cast<float>(b.x * nx) * spacing_[0];
+  origin_[1] = static_cast<float>(b.y * ny) * spacing_[1];
+  origin_[2] = static_cast<float>(b.z * nz) * spacing_[2];
+
+  density_.assign(cell_count(), 1.0);
+  energy_.assign(cell_count(), 1.0);
+  pressure_.assign(cell_count(), 0.0);
+  work_.assign(cell_count(), 0.0);
+
+  // Sedov-like hot region at the global origin corner.
+  for (int k = 0; k < nz_; ++k)
+    for (int j = 0; j < ny_; ++j)
+      for (int i = 0; i < nx_; ++i) {
+        const double x = origin_[0] + (i + 0.5) * spacing_[0];
+        const double y = origin_[1] + (j + 0.5) * spacing_[1];
+        const double z = origin_[2] + (k + 0.5) * spacing_[2];
+        const double r2 = x * x + y * y + z * z;
+        if (r2 < 0.04) energy_[idx(i, j, k)] = 40.0;
+      }
+  compute_pressure();
+  dt_ = 0.2 * std::min({spacing_[0], spacing_[1], spacing_[2]});
+}
+
+void CloverLeaf::compute_pressure() {
+  for (std::size_t c = 0; c < cell_count(); ++c)
+    pressure_[c] = (kGamma - 1.0) * density_[c] * energy_[c];
+}
+
+void CloverLeaf::step() {
+  // Explicit diffusive update of energy and density driven by pressure
+  // gradients (Lax-Friedrichs flavored): mass and energy flow from high to
+  // low pressure, with a smoothing term for stability.
+  auto flux_update = [&](std::vector<double>& field, double rate) {
+    std::copy(field.begin(), field.end(), work_.begin());
+    for (int k = 0; k < nz_; ++k)
+      for (int j = 0; j < ny_; ++j)
+        for (int i = 0; i < nx_; ++i) {
+          const std::size_t c = idx(i, j, k);
+          double lap = 0.0, pgrad = 0.0;
+          const double pc = pressure_[c];
+          auto accum = [&](int ii, int jj, int kk) {
+            if (ii < 0 || jj < 0 || kk < 0 || ii >= nx_ || jj >= ny_ || kk >= nz_) return;
+            const std::size_t nb = idx(ii, jj, kk);
+            lap += work_[nb] - work_[c];
+            pgrad += pressure_[nb] - pc;
+          };
+          accum(i - 1, j, k);
+          accum(i + 1, j, k);
+          accum(i, j - 1, k);
+          accum(i, j + 1, k);
+          accum(i, j, k - 1);
+          accum(i, j, k + 1);
+          field[c] = work_[c] + dt_ * (rate * lap - 0.4 * pgrad * work_[c] / (pc + 1.0));
+          field[c] = std::max(field[c], 1e-6);
+        }
+  };
+  flux_update(energy_, 1.2);
+  flux_update(density_, 0.8);
+  compute_pressure();
+  time_ += dt_;
+  ++cycle_;
+}
+
+void CloverLeaf::describe(conduit::Node& out) const {
+  // [strawman-integration-begin]
+  out["state/time"] = time_;
+  out["state/cycle"] = cycle_;
+  out["state/domain"] = rank_;
+  out["coords/type"] = "uniform";
+  out["coords/dims/i"] = nx_;
+  out["coords/dims/j"] = ny_;
+  out["coords/dims/k"] = nz_;
+  out["coords/origin/x"] = static_cast<double>(origin_[0]);
+  out["coords/origin/y"] = static_cast<double>(origin_[1]);
+  out["coords/origin/z"] = static_cast<double>(origin_[2]);
+  out["coords/spacing/dx"] = static_cast<double>(spacing_[0]);
+  out["coords/spacing/dy"] = static_cast<double>(spacing_[1]);
+  out["coords/spacing/dz"] = static_cast<double>(spacing_[2]);
+  out["topology/type"] = "uniform";
+  out["fields/energy/association"] = "element";
+  out["fields/energy/type"] = "scalar";
+  out["fields/energy/values"].set_external(energy_.data(), energy_.size());
+  out["fields/density/association"] = "element";
+  out["fields/density/type"] = "scalar";
+  out["fields/density/values"].set_external(density_.data(), density_.size());
+  out["fields/pressure/association"] = "element";
+  out["fields/pressure/type"] = "scalar";
+  out["fields/pressure/values"].set_external(pressure_.data(), pressure_.size());
+  // [strawman-integration-end]
+}
+
+}  // namespace isr::sims

@@ -1,0 +1,58 @@
+// CloverLeaf3D proxy: compressible Euler hydrodynamics on a 3-D rectilinear
+// grid (dissertation §4.4). This is a simplified explicit scheme — a
+// Sedov-like energy deposition drives an expanding shock through an ideal
+// gas — not a validated hydro code; what matters for the study is that it
+// owns realistic cell-centered fields that evolve every cycle and that it
+// integrates with the in situ API exactly like the original (Fortran
+// CloverLeaf3D did: rectilinear mesh, element-centered fields).
+#pragma once
+
+#include <vector>
+
+#include "conduit/node.hpp"
+
+namespace isr::sims {
+
+class CloverLeaf {
+ public:
+  // Each rank owns an nx*ny*nz cell block of the global domain.
+  CloverLeaf(int nx, int ny, int nz, int rank = 0, int nranks = 1);
+
+  void step();
+
+  int cycle() const { return cycle_; }
+  double time() const { return time_; }
+  std::size_t cell_count() const { return static_cast<std::size_t>(nx_) * ny_ * nz_; }
+
+  const std::vector<double>& density() const { return density_; }
+  const std::vector<double>& energy() const { return energy_; }
+  const std::vector<double>& pressure() const { return pressure_; }
+
+  // Describes this rank's mesh + fields into `out` (zero-copy), following
+  // the blueprint conventions. Mirrors Listing 4.1.
+  void describe(conduit::Node& out) const;
+
+ private:
+  std::size_t idx(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(nx_) * (static_cast<std::size_t>(j) +
+                                            static_cast<std::size_t>(ny_) * k);
+  }
+  void compute_pressure();
+
+  int nx_, ny_, nz_;
+  int rank_;
+  float origin_[3];
+  float spacing_[3];
+  int cycle_ = 0;
+  double time_ = 0.0;
+  double dt_ = 0.0;
+
+  // Cell-centered conserved/derived fields.
+  std::vector<double> density_;
+  std::vector<double> energy_;
+  std::vector<double> pressure_;
+  std::vector<double> work_;  // scratch for the update
+};
+
+}  // namespace isr::sims

@@ -1,0 +1,29 @@
+#include "sims/decompose.hpp"
+
+namespace isr::sims {
+
+Decomposition Decomposition::create(int nranks) {
+  Decomposition d;
+  d.ranks = nranks;
+  // Greedy near-cubic factorization: repeatedly pull the largest prime
+  // factor onto the currently smallest axis.
+  int rem = nranks;
+  int dims[3] = {1, 1, 1};
+  while (rem > 1) {
+    int f = rem;
+    for (int p = 2; p * p <= rem; ++p)
+      if (rem % p == 0) {
+        f = p;
+        break;
+      }
+    int smallest = 0;
+    for (int a = 1; a < 3; ++a)
+      if (dims[a] < dims[smallest]) smallest = a;
+    dims[smallest] *= f;
+    rem /= f;
+  }
+  d.blocks = {dims[0], dims[1], dims[2]};
+  return d;
+}
+
+}  // namespace isr::sims

@@ -1,0 +1,25 @@
+// Domain decomposition shared by the proxy apps: factor the rank count into
+// a 3-D block grid (as close to cubic as possible) and give each rank its
+// block coordinates.
+#pragma once
+
+#include "math/vec.hpp"
+
+namespace isr::sims {
+
+struct Decomposition {
+  int ranks = 1;
+  Vec3i blocks{1, 1, 1};  // block counts per axis; x*y*z == ranks
+
+  static Decomposition create(int nranks);
+
+  // Block coordinates of `rank` in [0, blocks).
+  Vec3i block_of(int rank) const {
+    const int bx = rank % blocks.x;
+    const int by = (rank / blocks.x) % blocks.y;
+    const int bz = rank / (blocks.x * blocks.y);
+    return {bx, by, bz};
+  }
+};
+
+}  // namespace isr::sims

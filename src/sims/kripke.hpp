@@ -1,0 +1,49 @@
+// Kripke proxy: deterministic discrete-ordinates (Sn) particle transport on
+// a 3-D uniform mesh. Simplified to one energy group and eight ordinates
+// (one per octant), swept in wavefront order with upwind fluxes — enough to
+// produce the characteristic beam/shadow structure in the scalar flux that
+// the in situ renders show, with the zone-sweep compute pattern of the
+// original.
+#pragma once
+
+#include <vector>
+
+#include "conduit/node.hpp"
+
+namespace isr::sims {
+
+class Kripke {
+ public:
+  Kripke(int nx, int ny, int nz, int rank = 0, int nranks = 1);
+
+  void step();
+
+  int cycle() const { return cycle_; }
+  double time() const { return time_; }
+  std::size_t zone_count() const { return static_cast<std::size_t>(nx_) * ny_ * nz_; }
+
+  const std::vector<double>& scalar_flux() const { return phi_; }
+
+  void describe(conduit::Node& out) const;
+
+ private:
+  std::size_t idx(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(nx_) * (static_cast<std::size_t>(j) +
+                                            static_cast<std::size_t>(ny_) * k);
+  }
+
+  int nx_, ny_, nz_;
+  int rank_;
+  float origin_[3];
+  float spacing_[3];
+  int cycle_ = 0;
+  double time_ = 0.0;
+
+  std::vector<double> sigma_t_;  // total cross-section per zone
+  std::vector<double> source_;   // fixed source per zone
+  std::vector<double> phi_;      // scalar flux (the visualized field)
+  std::vector<double> psi_;      // angular flux scratch, one sweep at a time
+};
+
+}  // namespace isr::sims

@@ -1,0 +1,143 @@
+#include "sims/lulesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sims/decompose.hpp"
+
+namespace isr::sims {
+
+Lulesh::Lulesh(int edge_elems, int rank, int nranks) : ne_(edge_elems), rank_(rank) {
+  const Decomposition dec = Decomposition::create(nranks);
+  const Vec3i b = dec.block_of(rank);
+  const float block_w = 1.0f / static_cast<float>(dec.blocks.x);
+  const float block_h = 1.0f / static_cast<float>(dec.blocks.y);
+  const float block_d = 1.0f / static_cast<float>(dec.blocks.z);
+  const float h = block_w / static_cast<float>(ne_);
+
+  const int np = ne_ + 1;
+  const std::size_t n_nodes = static_cast<std::size_t>(np) * np * np;
+  x_.resize(n_nodes);
+  y_.resize(n_nodes);
+  z_.resize(n_nodes);
+  xd_.assign(n_nodes, 0.0f);
+  yd_.assign(n_nodes, 0.0f);
+  zd_.assign(n_nodes, 0.0f);
+  for (int k = 0; k < np; ++k)
+    for (int j = 0; j < np; ++j)
+      for (int i = 0; i < np; ++i) {
+        const std::size_t n = node_idx(i, j, k);
+        x_[n] = static_cast<float>(b.x) * block_w + static_cast<float>(i) * h;
+        y_[n] = static_cast<float>(b.y) * block_h + static_cast<float>(j) * (block_h / ne_);
+        z_[n] = static_cast<float>(b.z) * block_d + static_cast<float>(k) * (block_d / ne_);
+      }
+
+  conn_.reserve(static_cast<std::size_t>(ne_) * ne_ * ne_ * 8);
+  for (int k = 0; k < ne_; ++k)
+    for (int j = 0; j < ne_; ++j)
+      for (int i = 0; i < ne_; ++i) {
+        const int c[8] = {static_cast<int>(node_idx(i, j, k)),
+                          static_cast<int>(node_idx(i + 1, j, k)),
+                          static_cast<int>(node_idx(i + 1, j + 1, k)),
+                          static_cast<int>(node_idx(i, j + 1, k)),
+                          static_cast<int>(node_idx(i, j, k + 1)),
+                          static_cast<int>(node_idx(i + 1, j, k + 1)),
+                          static_cast<int>(node_idx(i + 1, j + 1, k + 1)),
+                          static_cast<int>(node_idx(i, j + 1, k + 1))};
+        conn_.insert(conn_.end(), c, c + 8);
+      }
+
+  e_.assign(elem_count(), 1e-6);
+  p_.assign(elem_count(), 0.0);
+  volume0_.assign(elem_count(), static_cast<double>(h) * h * h);
+
+  // Sedov energy deposition in the element nearest the global origin.
+  if (rank == 0) e_[0] = 3.0;
+  dt_ = 0.12 * h;
+}
+
+void Lulesh::step() {
+  // Staggered Lagrangian update: element pressure from energy (ideal gas),
+  // nodal acceleration from pressure differences of adjacent elements,
+  // advect nodes, then element energy work term from divergence.
+  const std::size_t n_elems = elem_count();
+  for (std::size_t c = 0; c < n_elems; ++c) p_[c] = 0.4 * e_[c];
+
+  std::vector<float> fx(node_count(), 0.0f), fy(node_count(), 0.0f), fz(node_count(), 0.0f);
+  for (std::size_t c = 0; c < n_elems; ++c) {
+    // Element center.
+    float cx = 0, cy = 0, cz = 0;
+    for (int v = 0; v < 8; ++v) {
+      const auto n = static_cast<std::size_t>(conn_[c * 8 + static_cast<std::size_t>(v)]);
+      cx += x_[n];
+      cy += y_[n];
+      cz += z_[n];
+    }
+    cx /= 8;
+    cy /= 8;
+    cz /= 8;
+    // Pressure pushes nodes radially away from the element center.
+    const float pf = static_cast<float>(p_[c]);
+    for (int v = 0; v < 8; ++v) {
+      const auto n = static_cast<std::size_t>(conn_[c * 8 + static_cast<std::size_t>(v)]);
+      const float dx = x_[n] - cx, dy = y_[n] - cy, dz = z_[n] - cz;
+      const float len = std::sqrt(dx * dx + dy * dy + dz * dz) + 1e-12f;
+      fx[n] += pf * dx / len;
+      fy[n] += pf * dy / len;
+      fz[n] += pf * dz / len;
+    }
+  }
+
+  const float dt = static_cast<float>(dt_);
+  const float damp = 0.995f;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    xd_[n] = damp * (xd_[n] + dt * fx[n]);
+    yd_[n] = damp * (yd_[n] + dt * fy[n]);
+    zd_[n] = damp * (zd_[n] + dt * fz[n]);
+    x_[n] += dt * xd_[n];
+    y_[n] += dt * yd_[n];
+    z_[n] += dt * zd_[n];
+  }
+
+  // Energy update: compression work dV/V0 plus a small diffusion between
+  // face-adjacent elements along i (cheap surrogate for q-viscosity).
+  for (std::size_t c = 0; c < n_elems; ++c) {
+    const auto n0 = static_cast<std::size_t>(conn_[c * 8 + 0]);
+    const auto n6 = static_cast<std::size_t>(conn_[c * 8 + 6]);
+    const double dx = x_[n6] - x_[n0];
+    const double dy = y_[n6] - y_[n0];
+    const double dz = z_[n6] - z_[n0];
+    const double vol = std::abs(dx * dy * dz);
+    const double strain = vol / volume0_[c] - 1.0;
+    e_[c] = std::max(1e-8, e_[c] - 0.6 * p_[c] * strain * dt_ * 40.0);
+  }
+  for (std::size_t c = 0; c + 1 < n_elems; ++c) {
+    const double d = 0.02 * (e_[c + 1] - e_[c]);
+    e_[c] += d;
+    e_[c + 1] -= d;
+  }
+
+  time_ += dt_;
+  ++cycle_;
+}
+
+void Lulesh::describe(conduit::Node& out) const {
+  // [strawman-integration-begin]
+  out["state/time"] = time_;
+  out["state/cycle"] = cycle_;
+  out["state/domain"] = rank_;
+  out["coords/type"] = "explicit";
+  out["coords/x"].set_external(x_.data(), x_.size());
+  out["coords/y"].set_external(y_.data(), y_.size());
+  out["coords/z"].set_external(z_.data(), z_.size());
+  out["topology/type"] = "unstructured";
+  out["topology/coordset"] = "coords";
+  out["topology/elements/shape"] = "hexs";
+  out["topology/elements/connectivity"].set_external(conn_.data(), conn_.size());
+  out["fields/e/association"] = "element";
+  out["fields/e/type"] = "scalar";
+  out["fields/e/values"].set_external(e_.data(), e_.size());
+  // [strawman-integration-end]
+}
+
+}  // namespace isr::sims

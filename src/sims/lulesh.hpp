@@ -1,0 +1,57 @@
+// LULESH proxy: Lagrangian shock hydrodynamics on a 3-D unstructured
+// hexahedral mesh. A Sedov-type point blast deposits energy at a corner;
+// nodes move with the flow, so the hex mesh deforms every cycle — which
+// exercises the in situ path for explicit (unstructured) coordinates, like
+// the original LULESH integration in the paper.
+#pragma once
+
+#include <vector>
+
+#include "conduit/node.hpp"
+
+namespace isr::sims {
+
+class Lulesh {
+ public:
+  // edge_elems^3 hexahedra per rank.
+  Lulesh(int edge_elems, int rank = 0, int nranks = 1);
+
+  void step();
+
+  int cycle() const { return cycle_; }
+  double time() const { return time_; }
+  std::size_t elem_count() const { return conn_.size() / 8; }
+  std::size_t node_count() const { return x_.size(); }
+
+  const std::vector<float>& x() const { return x_; }
+  const std::vector<float>& y() const { return y_; }
+  const std::vector<float>& z() const { return z_; }
+  const std::vector<int>& nodelist() const { return conn_; }
+  const std::vector<double>& e() const { return e_; }
+
+  void describe(conduit::Node& out) const;
+
+ private:
+  std::size_t node_idx(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(ne_ + 1) *
+               (static_cast<std::size_t>(j) + static_cast<std::size_t>(ne_ + 1) * k);
+  }
+
+  int ne_;  // elements per edge
+  int rank_;
+  int cycle_ = 0;
+  double time_ = 0.0;
+  double dt_ = 0.0;
+
+  // Node-centered coordinates and velocities.
+  std::vector<float> x_, y_, z_;
+  std::vector<float> xd_, yd_, zd_;
+  // Element-centered connectivity (8 per hex, VTK order), energy, pressure.
+  std::vector<int> conn_;
+  std::vector<double> e_;
+  std::vector<double> p_;
+  std::vector<double> volume0_;
+};
+
+}  // namespace isr::sims

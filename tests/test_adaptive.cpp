@@ -1,0 +1,162 @@
+// Tests for the Chapter VI extensions: on-line model refinement and the
+// adaptive in situ planning layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "insitu/adaptive.hpp"
+#include "math/rng.hpp"
+#include "model/online.hpp"
+
+namespace isr {
+namespace {
+
+using model::ModelInputs;
+using model::OnlineModel;
+using model::RendererKind;
+using model::RenderSample;
+
+RenderSample rast_sample(Rng& rng, double noise = 0.05) {
+  RenderSample s;
+  s.inputs.objects = rng.uniform(1e4, 1e6);
+  s.inputs.active_pixels = rng.uniform(1e4, 1e6);
+  s.inputs.visible_objects = std::min(s.inputs.objects, s.inputs.active_pixels);
+  s.inputs.pixels_per_tri = rng.uniform(2, 10);
+  s.render_seconds = (1.3e-8 * s.inputs.objects +
+                      2e-9 * s.inputs.visible_objects * s.inputs.pixels_per_tri + 1e-2) *
+                     (1.0 + noise * rng.uniform(-1, 1));
+  return s;
+}
+
+RenderSample rt_sample(Rng& rng, double noise = 0.05) {
+  RenderSample s;
+  s.inputs.objects = rng.uniform(1e4, 1e6);
+  s.inputs.active_pixels = rng.uniform(1e4, 1e6);
+  s.build_seconds = 5e-8 * s.inputs.objects + 1e-3;
+  s.render_seconds =
+      (2e-9 * s.inputs.active_pixels * std::log2(s.inputs.objects) + 5e-3) *
+      (1.0 + noise * rng.uniform(-1, 1));
+  return s;
+}
+
+TEST(OnlineModel, NotReadyUntilEnoughObservations) {
+  OnlineModel m(RendererKind::kRasterize, 4);
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(m.ready()) << "after " << i << " observations";
+    m.observe(rast_sample(rng));
+  }
+  // 6th observation crosses the minimum corpus size.
+  m.observe(rast_sample(rng));
+  EXPECT_TRUE(m.ready());
+  EXPECT_EQ(m.observation_count(), 6u);
+}
+
+TEST(OnlineModel, AccuracyImprovesWithMoreData) {
+  Rng rng(2);
+  OnlineModel m(RendererKind::kRasterize, 4);
+  for (int i = 0; i < 8; ++i) m.observe(rast_sample(rng, 0.15));
+  // Probe error with few observations vs many.
+  Rng probe_rng(77);
+  auto mean_err = [&]() {
+    Rng pr(99);
+    double err = 0;
+    for (int i = 0; i < 50; ++i) {
+      const RenderSample truth = rast_sample(pr, 0.0);
+      err += std::abs(m.predict(truth.inputs) - truth.render_seconds) / truth.render_seconds;
+    }
+    return err / 50;
+  };
+  const double early = mean_err();
+  for (int i = 0; i < 200; ++i) m.observe(rast_sample(rng, 0.15));
+  const double late = mean_err();
+  EXPECT_LT(late, early + 1e-12);
+  EXPECT_LT(late, 0.1);
+  (void)probe_rng;
+}
+
+TEST(OnlineModel, RefitIntervalBatchesWork) {
+  Rng rng(3);
+  OnlineModel m(RendererKind::kRasterize, 100);  // long interval
+  for (int i = 0; i < 6; ++i) m.observe(rast_sample(rng));
+  ASSERT_TRUE(m.ready());  // first fit happens as soon as possible
+  const double before = m.predict(rast_sample(rng).inputs);
+  // More data arrives but no refit until the interval elapses...
+  for (int i = 0; i < 10; ++i) m.observe(rast_sample(rng));
+  const double unchanged = m.predict(rast_sample(rng).inputs);
+  (void)before;
+  (void)unchanged;
+  m.refit();  // ...or a forced refit.
+  EXPECT_TRUE(m.ready());
+}
+
+TEST(AdaptivePlanner, UncalibratedPlannerSaysSo) {
+  insitu::AdaptivePlanner planner;
+  const insitu::Decision d = planner.plan(100, 8, 1024 * 1024);
+  EXPECT_FALSE(d.calibrated);
+  EXPECT_FALSE(d.feasible);
+}
+
+insitu::AdaptivePlanner calibrated_planner() {
+  insitu::AdaptivePlanner planner;
+  Rng rng(4);
+  for (int i = 0; i < 64; ++i) {
+    planner.observe(RendererKind::kRasterize, rast_sample(rng));
+    planner.observe(RendererKind::kRayTrace, rt_sample(rng));
+  }
+  return planner;
+}
+
+TEST(AdaptivePlanner, PicksRayTracingForBigDataSmallImages) {
+  insitu::AdaptivePlanner planner = calibrated_planner();
+  const insitu::Decision d =
+      planner.plan(/*n=*/500, /*tasks=*/32, /*pixels=*/384.0 * 384.0, false, /*frames=*/100);
+  EXPECT_TRUE(d.calibrated);
+  EXPECT_TRUE(d.feasible);  // no constraints set
+  EXPECT_EQ(d.kind, RendererKind::kRayTrace);
+}
+
+TEST(AdaptivePlanner, PicksRasterizationForBigImagesSmallData) {
+  insitu::AdaptivePlanner planner = calibrated_planner();
+  const insitu::Decision d = planner.plan(/*n=*/60, /*tasks=*/32, /*pixels=*/4096.0 * 4096.0);
+  EXPECT_EQ(d.kind, RendererKind::kRasterize);
+}
+
+TEST(AdaptivePlanner, TimeConstraintMakesPlansInfeasible) {
+  insitu::AdaptivePlanner planner = calibrated_planner();
+  insitu::Constraints c;
+  c.max_seconds = 1e-9;  // nothing can render this fast
+  planner.set_constraints(c);
+  const insitu::Decision d = planner.plan(200, 32, 1024.0 * 1024.0);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_GT(d.predicted_seconds, 1e-9);  // still reports the cheapest option
+}
+
+TEST(AdaptivePlanner, MemoryConstraintExcludesTheBvh) {
+  insitu::AdaptivePlanner planner = calibrated_planner();
+  const double pixels = 512.0 * 512.0;
+  // Tight memory: the ray tracer's BVH does not fit, rasterization does.
+  const model::ModelInputs rt_in =
+      model::map_configuration(RendererKind::kRayTrace, 400, 1, pixels);
+  const double rt_bytes =
+      insitu::AdaptivePlanner::estimate_bytes(RendererKind::kRayTrace, rt_in, pixels);
+  insitu::Constraints c;
+  c.max_bytes = rt_bytes * 0.5;
+  planner.set_constraints(c);
+  const insitu::Decision d = planner.plan(400, 1, pixels);
+  if (d.feasible) EXPECT_EQ(d.kind, RendererKind::kRasterize);
+}
+
+TEST(AdaptivePlanner, ByteEstimatesScaleSanely) {
+  model::ModelInputs small_in, big_in;
+  small_in.objects = 1e4;
+  big_in.objects = 1e7;
+  EXPECT_LT(insitu::AdaptivePlanner::estimate_bytes(RendererKind::kRayTrace, small_in, 1e5),
+            insitu::AdaptivePlanner::estimate_bytes(RendererKind::kRayTrace, big_in, 1e5));
+  // Volume rendering's footprint is independent of cell count (zero-copy).
+  EXPECT_EQ(insitu::AdaptivePlanner::estimate_bytes(RendererKind::kVolume, small_in, 1e5),
+            insitu::AdaptivePlanner::estimate_bytes(RendererKind::kVolume, big_in, 1e5));
+}
+
+}  // namespace
+}  // namespace isr

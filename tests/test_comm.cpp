@@ -1,0 +1,180 @@
+// Virtual-MPI and compositing tests: the three sort-last algorithms must
+// reproduce the serial reference composite bit-for-bit (surface and volume
+// modes), and the network model must behave sensibly.
+#include <gtest/gtest.h>
+
+#include "comm/compositor.hpp"
+#include "math/rng.hpp"
+
+namespace isr::comm {
+namespace {
+
+// Builds rank sub-images with disjoint-ish random blobs; depth order given
+// by rank index.
+std::vector<RankImage> random_rank_images(int ranks, int width, int height,
+                                          std::uint64_t seed, bool overlapping) {
+  std::vector<RankImage> out(static_cast<std::size_t>(ranks));
+  Rng rng(seed);
+  for (int r = 0; r < ranks; ++r) {
+    RankImage& ri = out[static_cast<std::size_t>(r)];
+    ri.image.resize(width, height);
+    ri.image.clear();
+    ri.view_depth = static_cast<float>(r) + rng.next_float() * 0.5f;
+    // A filled rectangle per rank; overlapping mode makes them share pixels.
+    const int x0 = overlapping ? 0 : (width * r) / ranks;
+    const int x1 = overlapping ? width : (width * (r + 1)) / ranks;
+    for (int y = height / 4; y < (3 * height) / 4; ++y)
+      for (int x = x0; x < x1; ++x) {
+        const float a = 0.3f + 0.5f * rng.next_float();
+        ri.image.pixel(x, y) = {a * rng.next_float(), a * rng.next_float(),
+                                a * rng.next_float(), a};
+        ri.image.depth(x, y) = ri.view_depth + rng.next_float();
+      }
+  }
+  return out;
+}
+
+class CompositorAlgos
+    : public ::testing::TestWithParam<std::tuple<CompositeAlgorithm, CompositeMode, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CompositorAlgos,
+    ::testing::Combine(::testing::Values(CompositeAlgorithm::kDirectSend,
+                                         CompositeAlgorithm::kBinarySwap,
+                                         CompositeAlgorithm::kRadixK),
+                       ::testing::Values(CompositeMode::kSurface, CompositeMode::kVolume),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST_P(CompositorAlgos, MatchesSerialReference) {
+  const auto [algo, mode, ranks] = GetParam();
+  const auto inputs = random_rank_images(ranks, 64, 48, 42u + static_cast<unsigned>(ranks), true);
+  Comm comm(ranks);
+  const CompositeResult result = composite(comm, inputs, mode, algo, 4);
+  const render::Image reference = composite_reference(inputs, mode);
+  EXPECT_LT(result.image.rms_difference(reference), 1e-6)
+      << "algorithm/mode/ranks mismatch";
+  if (ranks > 1)
+    EXPECT_GT(result.simulated_seconds, 0.0);
+  else
+    EXPECT_DOUBLE_EQ(result.simulated_seconds, 0.0);  // nothing to exchange
+}
+
+TEST(Compositor, RadixKHandlesNonPowerOfTwo) {
+  for (const int ranks : {3, 6, 12}) {
+    const auto inputs = random_rank_images(ranks, 40, 40, 7u + static_cast<unsigned>(ranks), true);
+    Comm comm(ranks);
+    const CompositeResult result =
+        composite(comm, inputs, CompositeMode::kVolume, CompositeAlgorithm::kRadixK, 4);
+    const render::Image reference = composite_reference(inputs, CompositeMode::kVolume);
+    EXPECT_LT(result.image.rms_difference(reference), 1e-6) << ranks << " ranks";
+  }
+}
+
+TEST(Compositor, BinarySwapRejectsNonPowerOfTwo) {
+  const auto inputs = random_rank_images(3, 16, 16, 1, true);
+  Comm comm(3);
+  EXPECT_THROW(composite(comm, inputs, CompositeMode::kSurface,
+                         CompositeAlgorithm::kBinarySwap),
+               std::invalid_argument);
+}
+
+TEST(Compositor, VolumeOrderIndependentOfInputOrder) {
+  // Shuffling the input array must not change the result: visibility
+  // ordering comes from view_depth, not array position.
+  auto inputs = random_rank_images(4, 32, 32, 11, true);
+  Comm comm(4);
+  const render::Image a =
+      composite(comm, inputs, CompositeMode::kVolume, CompositeAlgorithm::kDirectSend).image;
+  std::swap(inputs[0], inputs[3]);
+  std::swap(inputs[1], inputs[2]);
+  const render::Image b =
+      composite(comm, inputs, CompositeMode::kVolume, CompositeAlgorithm::kDirectSend).image;
+  EXPECT_LT(a.rms_difference(b), 1e-7);
+}
+
+TEST(Compositor, SurfaceModeKeepsNearestFragment) {
+  std::vector<RankImage> inputs(2);
+  for (int r = 0; r < 2; ++r) {
+    inputs[static_cast<std::size_t>(r)].image.resize(4, 4);
+    inputs[static_cast<std::size_t>(r)].image.clear();
+    inputs[static_cast<std::size_t>(r)].view_depth = static_cast<float>(r);
+  }
+  inputs[0].image.pixel(1, 1) = {1, 0, 0, 1};
+  inputs[0].image.depth(1, 1) = 5.0f;
+  inputs[1].image.pixel(1, 1) = {0, 1, 0, 1};
+  inputs[1].image.depth(1, 1) = 2.0f;  // closer: must win
+  Comm comm(2);
+  const render::Image out =
+      composite(comm, inputs, CompositeMode::kSurface, CompositeAlgorithm::kDirectSend).image;
+  EXPECT_FLOAT_EQ(out.pixel(1, 1).y, 1.0f);
+  EXPECT_FLOAT_EQ(out.pixel(1, 1).x, 0.0f);
+  EXPECT_FLOAT_EQ(out.depth(1, 1), 2.0f);
+}
+
+TEST(Compositor, MoreActivePixelsCostMoreTime) {
+  const auto sparse = random_rank_images(4, 128, 128, 3, false);
+  const auto dense = random_rank_images(4, 128, 128, 3, true);
+  Comm c1(4), c2(4);
+  const double t_sparse =
+      composite(c1, sparse, CompositeMode::kVolume, CompositeAlgorithm::kRadixK)
+          .simulated_seconds;
+  const double t_dense =
+      composite(c2, dense, CompositeMode::kVolume, CompositeAlgorithm::kRadixK)
+          .simulated_seconds;
+  EXPECT_GT(t_dense, t_sparse);
+}
+
+TEST(Compositor, CompressedBytesScaleWithActivePixels) {
+  render::Image img(64, 64);
+  img.clear();
+  const std::size_t empty = compressed_bytes(img, 0, img.pixel_count());
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 64; ++x) {
+      img.pixel(x, y) = {1, 1, 1, 1};
+      img.depth(x, y) = 1.0f;
+    }
+  const std::size_t half = compressed_bytes(img, 0, img.pixel_count());
+  EXPECT_GT(half, empty + 2000);
+}
+
+TEST(Comm, SendAdvancesClocks) {
+  Comm comm(2);
+  comm.send(0, 1, 1 << 20);
+  EXPECT_GT(comm.clock(1), comm.clock(0));
+  EXPECT_GT(comm.clock(1), 0.0001);  // 1MB at 5GB/s = 200us + latency
+  EXPECT_EQ(comm.total_bytes_sent(), static_cast<std::size_t>(1 << 20));
+  EXPECT_EQ(comm.message_count(), 1u);
+}
+
+TEST(Comm, ReceiverWaitsForSender) {
+  Comm comm(2);
+  comm.add_compute(0, 1.0);  // sender busy for a second
+  comm.send(0, 1, 100);
+  EXPECT_GT(comm.clock(1), 1.0);
+}
+
+TEST(Comm, ExchangeSynchronizesPair) {
+  Comm comm(2);
+  comm.add_compute(0, 0.5);
+  comm.exchange(0, 1, 1000, 2000);
+  EXPECT_DOUBLE_EQ(comm.clock(0), comm.clock(1));
+  EXPECT_GT(comm.clock(0), 0.5);
+}
+
+TEST(Comm, BarrierAlignsAllRanks) {
+  Comm comm(4);
+  comm.add_compute(2, 3.0);
+  comm.barrier();
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(comm.clock(r), 3.0);
+}
+
+TEST(Comm, ResetClears) {
+  Comm comm(2);
+  comm.send(0, 1, 100);
+  comm.reset();
+  EXPECT_DOUBLE_EQ(comm.max_clock(), 0.0);
+  EXPECT_EQ(comm.total_bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace isr::comm

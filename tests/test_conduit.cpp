@@ -1,0 +1,228 @@
+// Tests for the Conduit-like Node (paths, typed leaves, zero-copy external
+// arrays, coercions, introspection) and the mesh blueprint conventions.
+#include <gtest/gtest.h>
+
+#include "conduit/blueprint.hpp"
+#include "conduit/node.hpp"
+#include "mesh/structured.hpp"
+
+namespace isr::conduit {
+namespace {
+
+TEST(Node, PathCreationAndFetch) {
+  Node n;
+  n["state/time"] = 1.5;
+  n["state/cycle"] = 42;
+  n["coords/type"] = "uniform";
+  EXPECT_TRUE(n.has_path("state/time"));
+  EXPECT_TRUE(n.has_path("state"));
+  EXPECT_FALSE(n.has_path("state/missing"));
+  EXPECT_DOUBLE_EQ(n["state/time"].as_float64(), 1.5);
+  EXPECT_EQ(n["state/cycle"].as_int64(), 42);
+  EXPECT_EQ(n["coords/type"].as_string(), "uniform");
+}
+
+TEST(Node, MissingPathThrows) {
+  Node n;
+  n["a/b"] = 1;
+  const Node& cn = n;
+  EXPECT_THROW(cn["a/c"], std::runtime_error);
+  EXPECT_THROW(cn.fetch_existing("nope"), std::runtime_error);
+}
+
+TEST(Node, TypeMismatchThrows) {
+  Node n;
+  n["x"] = 3.0;
+  EXPECT_THROW(n["x"].as_int64(), std::runtime_error);
+  EXPECT_THROW(n["x"].as_string(), std::runtime_error);
+  EXPECT_NO_THROW(n["x"].as_float64());
+}
+
+TEST(Node, LeafCannotGrowChildren) {
+  Node n;
+  n["x"] = 3.0;
+  EXPECT_THROW(n["x/child"], std::runtime_error);
+}
+
+TEST(Node, OwnedArrayCopies) {
+  Node n;
+  std::vector<float> data = {1, 2, 3};
+  n["values"].set(data);
+  data[0] = 99;  // must not affect the node
+  EXPECT_FLOAT_EQ(n["values"].as_float32_array()[0], 1.0f);
+  EXPECT_FALSE(n["values"].is_external());
+  EXPECT_EQ(n["values"].element_count(), 3u);
+}
+
+TEST(Node, ExternalArrayIsZeroCopy) {
+  Node n;
+  std::vector<double> data = {1, 2, 3};
+  n["values"].set_external(data);
+  data[1] = 42.0;  // visible through the node: no copy was made
+  EXPECT_DOUBLE_EQ(n["values"].as_float64_array()[1], 42.0);
+  EXPECT_TRUE(n["values"].is_external());
+  EXPECT_EQ(n["values"].owned_bytes(), 0u);
+  EXPECT_EQ(n["values"].total_bytes(), 24u);
+}
+
+TEST(Node, ExternalScalarPointer) {
+  Node n;
+  double time = 0.5;
+  n["time"].set_external(&time);
+  time = 2.5;
+  EXPECT_DOUBLE_EQ(n["time"].to_float64(), 2.5);
+}
+
+TEST(Node, CoercionsAcrossNumericTypes) {
+  Node n;
+  n["i"] = 7;
+  n["f"] = 2.25;
+  EXPECT_DOUBLE_EQ(n["i"].to_float64(), 7.0);
+  EXPECT_EQ(n["f"].to_int64(), 2);
+  std::vector<int> iv = {1, 2, 3};
+  std::vector<double> dv = {1.5, 2.5};
+  n["ia"].set(iv.data(), iv.size());
+  n["da"].set(dv.data(), dv.size());
+  EXPECT_EQ(n["ia"].to_int32_vector(), iv);
+  const auto fa = n["da"].to_float32_vector();
+  EXPECT_FLOAT_EQ(fa[1], 2.5f);
+  EXPECT_THROW(n["ia"].as_float32_array(), std::runtime_error);
+}
+
+TEST(Node, AppendBuildsActionLists) {
+  Node actions;
+  Node& add = actions.append();
+  add["action"] = "AddPlot";
+  add["var"] = "p";
+  Node& draw = actions.append();
+  draw["action"] = "DrawPlots";
+  ASSERT_EQ(actions.child_count(), 2u);
+  EXPECT_EQ(actions.child(0)["action"].as_string(), "AddPlot");
+  EXPECT_EQ(actions.child(1)["action"].as_string(), "DrawPlots");
+}
+
+TEST(Node, JsonIntrospection) {
+  Node n;
+  n["state/cycle"] = 3;
+  std::vector<float> v = {1, 2};
+  n["fields/e/values"].set_external(v);
+  const std::string json = n.to_json();
+  EXPECT_NE(json.find("\"cycle\": 3"), std::string::npos);
+  EXPECT_NE(json.find("float32[]"), std::string::npos);
+  EXPECT_NE(json.find("\"external\": true"), std::string::npos);
+}
+
+TEST(Node, ChildNamesPreserveOrder) {
+  Node n;
+  n["zebra"] = 1;
+  n["alpha"] = 2;
+  const auto names = n.child_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "zebra");  // insertion order, not sorted
+  EXPECT_EQ(names[1], "alpha");
+}
+
+// --- Blueprint conventions -------------------------------------------------
+
+Node valid_uniform_mesh() {
+  Node n;
+  n["coords/type"] = "uniform";
+  n["coords/dims/i"] = 4;
+  n["coords/dims/j"] = 4;
+  n["coords/dims/k"] = 4;
+  n["coords/origin/x"] = 0.0;
+  n["coords/origin/y"] = 0.0;
+  n["coords/origin/z"] = 0.0;
+  n["coords/spacing/dx"] = 0.25;
+  n["coords/spacing/dy"] = 0.25;
+  n["coords/spacing/dz"] = 0.25;
+  n["topology/type"] = "uniform";
+  return n;
+}
+
+TEST(Blueprint, ValidUniformMeshVerifies) {
+  Node n = valid_uniform_mesh();
+  std::vector<double> field(64, 1.0);
+  n["fields/e/association"] = "element";
+  n["fields/e/values"].set_external(field);
+  std::string err;
+  EXPECT_TRUE(blueprint::verify_mesh(n, err)) << err;
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(Blueprint, MissingPiecesFailVerify) {
+  std::string err;
+  Node empty;
+  EXPECT_FALSE(blueprint::verify_mesh(empty, err));
+  EXPECT_NE(err.find("coords/type"), std::string::npos);
+
+  Node n = valid_uniform_mesh();
+  std::vector<double> field(64, 1.0);
+  n["fields/e/values"].set_external(field);  // no association
+  EXPECT_FALSE(blueprint::verify_mesh(n, err));
+  EXPECT_NE(err.find("association"), std::string::npos);
+}
+
+TEST(Blueprint, BadCoordsTypeFails) {
+  Node n = valid_uniform_mesh();
+  n["coords/type"] = "curvilinear";
+  std::string err;
+  EXPECT_FALSE(blueprint::verify_mesh(n, err));
+}
+
+TEST(Blueprint, ToStructuredVertexField) {
+  Node n = valid_uniform_mesh();
+  std::vector<double> field(125);  // 5^3 points
+  for (std::size_t i = 0; i < field.size(); ++i) field[i] = static_cast<double>(i);
+  n["fields/v/association"] = "vertex";
+  n["fields/v/values"].set_external(field);
+  const mesh::StructuredGrid grid = blueprint::to_structured(n, "v");
+  EXPECT_EQ(grid.nx(), 4);
+  EXPECT_EQ(grid.point_count(), 125u);
+  EXPECT_FLOAT_EQ(grid.scalars()[7], 7.0f);
+}
+
+TEST(Blueprint, ToStructuredElementFieldAveragesConstant) {
+  Node n = valid_uniform_mesh();
+  std::vector<double> field(64, 3.0);  // constant element field
+  n["fields/e/association"] = "element";
+  n["fields/e/values"].set_external(field);
+  const mesh::StructuredGrid grid = blueprint::to_structured(n, "e");
+  for (const float v : grid.scalars()) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(Blueprint, ToStructuredSizeMismatchThrows) {
+  Node n = valid_uniform_mesh();
+  std::vector<double> field(10, 1.0);
+  n["fields/e/association"] = "element";
+  n["fields/e/values"].set_external(field);
+  EXPECT_THROW(blueprint::to_structured(n, "e"), std::runtime_error);
+}
+
+TEST(Blueprint, HexMeshRoundTrip) {
+  // A single unit hex.
+  Node n;
+  std::vector<float> x = {0, 1, 1, 0, 0, 1, 1, 0};
+  std::vector<float> y = {0, 0, 1, 1, 0, 0, 1, 1};
+  std::vector<float> z = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> conn = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> e = {2.0};
+  n["coords/type"] = "explicit";
+  n["coords/x"].set_external(x);
+  n["coords/y"].set_external(y);
+  n["coords/z"].set_external(z);
+  n["topology/type"] = "unstructured";
+  n["topology/elements/shape"] = "hexs";
+  n["topology/elements/connectivity"].set_external(conn.data(), conn.size());
+  n["fields/e/association"] = "element";
+  n["fields/e/values"].set_external(e);
+  std::string err;
+  ASSERT_TRUE(blueprint::verify_mesh(n, err)) << err;
+  const mesh::HexMesh hexes = blueprint::to_hex_mesh(n, "e");
+  EXPECT_EQ(hexes.cell_count(), 1u);
+  EXPECT_EQ(hexes.points.size(), 8u);
+  for (const float s : hexes.scalars) EXPECT_FLOAT_EQ(s, 2.0f);
+}
+
+}  // namespace
+}  // namespace isr::conduit

@@ -1,0 +1,213 @@
+// Cross-module integration properties:
+//  * a domain rendered in distributed blocks and composited must match the
+//    same domain rendered on a single rank (the sort-last contract);
+//  * the Strawman runtime + compositor work end to end across ranks;
+//  * renderer agreement holds across procedural scenes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/compositor.hpp"
+#include "insitu/strawman.hpp"
+#include "math/colormap.hpp"
+#include "mesh/external_faces.hpp"
+#include "mesh/scenes.hpp"
+#include "render/rast/rasterizer.hpp"
+#include "render/rt/raytracer.hpp"
+#include "render/vr/volume.hpp"
+#include "sims/cloverleaf.hpp"
+#include "sims/decompose.hpp"
+
+namespace isr {
+namespace {
+
+// A closed-form global field so rank blocks need no cross-rank
+// normalization: f(p) = smooth radial falloff from the domain center.
+float global_field(Vec3f p) {
+  const Vec3f d = p - Vec3f{0.5f, 0.5f, 0.5f};
+  return clamp01(1.2f - 2.0f * length(d));
+}
+
+mesh::StructuredGrid rank_grid(int rank, int ranks, int n) {
+  const sims::Decomposition dec = sims::Decomposition::create(ranks);
+  const Vec3i b = dec.block_of(rank);
+  const Vec3f spacing = {1.0f / (n * dec.blocks.x), 1.0f / (n * dec.blocks.y),
+                         1.0f / (n * dec.blocks.z)};
+  const Vec3f origin = {b.x * n * spacing.x, b.y * n * spacing.y, b.z * n * spacing.z};
+  mesh::StructuredGrid grid(n, n, n, origin, spacing);
+  for (int k = 0; k <= n; ++k)
+    for (int j = 0; j <= n; ++j)
+      for (int i = 0; i <= n; ++i)
+        grid.scalars()[grid.point_index(i, j, k)] = global_field(grid.point(i, j, k));
+  return grid;
+}
+
+mesh::StructuredGrid full_grid(int ranks, int n) {
+  const sims::Decomposition dec = sims::Decomposition::create(ranks);
+  const int nx = n * dec.blocks.x, ny = n * dec.blocks.y, nz = n * dec.blocks.z;
+  mesh::StructuredGrid grid(nx, ny, nz, {0, 0, 0},
+                            {1.0f / nx, 1.0f / ny, 1.0f / nz});
+  for (int k = 0; k <= nz; ++k)
+    for (int j = 0; j <= ny; ++j)
+      for (int i = 0; i <= nx; ++i)
+        grid.scalars()[grid.point_index(i, j, k)] = global_field(grid.point(i, j, k));
+  return grid;
+}
+
+Camera domain_camera(int edge) {
+  AABB unit;
+  unit.expand({0, 0, 0});
+  unit.expand({1, 1, 1});
+  return Camera::framing(unit, edge, edge, 0.8f);
+}
+
+TEST(DistributedRendering, SurfaceCompositeMatchesSingleDomainDepth) {
+  // Ray trace 8 blocks separately, z-composite, and compare the depth plane
+  // against a single full-domain render: the visible outer shell is the
+  // same geometry either way.
+  const int ranks = 8, n = 12, edge = 96;
+  const Camera cam = domain_camera(edge);
+  const ColorTable colors = ColorTable::cool_warm();
+  dpp::Device dev = dpp::Device::host();
+
+  std::vector<comm::RankImage> images(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    const mesh::StructuredGrid grid = rank_grid(r, ranks, n);
+    const mesh::TriMesh surface = mesh::external_faces(grid);
+    render::RayTracer rt(surface, dev);
+    rt.render(cam, colors, images[static_cast<std::size_t>(r)].image);
+    images[static_cast<std::size_t>(r)].view_depth =
+        length(grid.bounds().center() - cam.position);
+  }
+  comm::Comm comm(ranks);
+  const comm::CompositeResult composed = comm::composite(
+      comm, images, comm::CompositeMode::kSurface, comm::CompositeAlgorithm::kBinarySwap);
+
+  const mesh::StructuredGrid whole = full_grid(ranks, n);
+  const mesh::TriMesh whole_surface = mesh::external_faces(whole);
+  render::RayTracer rt(whole_surface, dev);
+  render::Image reference;
+  rt.render(cam, colors, reference);
+
+  // Depth agreement on pixels both consider hit.
+  std::size_t both = 0, mismatched = 0;
+  for (std::size_t p = 0; p < reference.pixel_count(); ++p) {
+    const float d1 = composed.image.depths()[p];
+    const float d2 = reference.depths()[p];
+    const bool h1 = d1 != render::kFarDepth;
+    const bool h2 = d2 != render::kFarDepth;
+    if (h1 != h2) {
+      ++mismatched;
+      continue;
+    }
+    if (!h1) continue;
+    ++both;
+    EXPECT_NEAR(d1, d2, 0.02f) << "pixel " << p;
+  }
+  EXPECT_GT(both, 1000u);
+  // Silhouette differences only at block seams / edge pixels.
+  EXPECT_LT(mismatched, reference.pixel_count() / 100);
+}
+
+TEST(DistributedRendering, VolumeCompositeApproximatesSingleDomain) {
+  // Volume rendering is not exactly decomposable (sampling phase differs at
+  // block boundaries), but the composited image must closely match a
+  // single-domain render of the same field.
+  const int ranks = 8, n = 12, edge = 80;
+  const Camera cam = domain_camera(edge);
+  const TransferFunction tf(ColorTable::cool_warm(), 0.05f, 0.3f);
+  dpp::Device dev = dpp::Device::host();
+  render::VolumeRenderOptions opt;
+  opt.samples = 240;
+  opt.early_termination = false;
+
+  std::vector<comm::RankImage> images(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    const mesh::StructuredGrid grid = rank_grid(r, ranks, n);
+    render::StructuredVolumeRenderer vr(grid, dev);
+    render::VolumeRenderOptions ropt = opt;
+    ropt.samples = opt.samples / 2;  // half the span -> half the samples
+    vr.render(cam, tf, images[static_cast<std::size_t>(r)].image, ropt);
+    images[static_cast<std::size_t>(r)].view_depth =
+        length(grid.bounds().center() - cam.position);
+  }
+  comm::Comm comm(ranks);
+  const comm::CompositeResult composed = comm::composite(
+      comm, images, comm::CompositeMode::kVolume, comm::CompositeAlgorithm::kRadixK);
+
+  const mesh::StructuredGrid whole = full_grid(ranks, n);
+  render::StructuredVolumeRenderer vr(whole, dev);
+  render::Image reference;
+  vr.render(cam, tf, reference, opt);
+
+  EXPECT_LT(composed.image.rms_difference(reference), 0.06);
+}
+
+TEST(DistributedRendering, StrawmanRanksCompositeEndToEnd) {
+  // Four Strawman instances (one per virtual rank) publish their block of
+  // the CloverLeaf proxy; their images composite into a full picture.
+  const int ranks = 4;
+  std::vector<comm::RankImage> images(ranks);
+  std::vector<sims::CloverLeaf> sims;
+  sims.reserve(ranks);
+  std::vector<conduit::Node> nodes(ranks);
+  double max_rank_active = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    sims.emplace_back(10, 10, 10, r, ranks);
+    sims.back().step();
+    sims.back().describe(nodes[static_cast<std::size_t>(r)]);
+
+    insitu::Strawman strawman;
+    conduit::Node options;
+    options["output_dir"] = "/tmp";
+    strawman.open(options);
+    strawman.publish(nodes[static_cast<std::size_t>(r)]);
+    conduit::Node actions;
+    conduit::Node& add = actions.append();
+    add["action"] = "AddPlot";
+    add["var"] = "energy";
+    actions.append()["action"] = "DrawPlots";
+    conduit::Node& save = actions.append();
+    save["action"] = "SaveImage";
+    save["fileName"] = "isr_rank" + std::to_string(r);
+    save["format"] = "ppm";
+    save["width"] = 64;
+    save["height"] = 64;
+    strawman.execute(actions);
+    images[static_cast<std::size_t>(r)].image = strawman.last_image();
+    images[static_cast<std::size_t>(r)].view_depth = strawman.last_view_depth();
+    max_rank_active = std::max(
+        max_rank_active, static_cast<double>(strawman.last_image().active_pixel_count()));
+    strawman.close();
+  }
+  comm::Comm comm(ranks);
+  const comm::CompositeResult composed = comm::composite(
+      comm, images, comm::CompositeMode::kSurface, comm::CompositeAlgorithm::kDirectSend);
+  // The composite covers at least as much of the screen as any single rank.
+  EXPECT_GE(static_cast<double>(composed.image.active_pixel_count()), max_rank_active);
+  EXPECT_GT(composed.simulated_seconds, 0.0);
+}
+
+class SceneAgreement : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(Scenes, SceneAgreement,
+                         ::testing::Values("RM 350K", "LT 350K", "Dragon", "Conference"));
+
+TEST_P(SceneAgreement, RayTracerAndRasterizerAgreeEverywhere) {
+  const mesh::TriMesh scene = mesh::make_scene(GetParam(), 0.15f);
+  const Camera cam = Camera::framing(scene.bounds(), 96, 96);
+  const ColorTable colors = ColorTable::cool_warm();
+  dpp::Device dev = dpp::Device::host();
+
+  render::RayTracer rt(scene, dev);
+  render::Rasterizer rast(scene, dev);
+  render::Image a, b;
+  const render::RenderStats sa = rt.render(cam, colors, a);
+  const render::RenderStats sb = rast.render(cam, colors, b);
+  EXPECT_NEAR(sa.active_pixels, sb.active_pixels,
+              std::max(32.0, 0.03 * sa.active_pixels))
+      << GetParam();
+  EXPECT_LT(a.rms_difference(b), 0.08) << GetParam();
+}
+
+}  // namespace
+}  // namespace isr

@@ -1,0 +1,295 @@
+// Tests for the statistical machinery and the performance models: exact
+// coefficient recovery, R^2 behavior, k-fold CV, the paper's model forms,
+// the §5.8 mapping, and the feasibility analyses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "model/feasibility.hpp"
+#include "model/linreg.hpp"
+#include "model/mapping.hpp"
+#include "model/perfmodel.hpp"
+
+namespace isr::model {
+namespace {
+
+TEST(LinReg, RecoversExactCoefficients) {
+  // y = 2*x0 - 3*x1 + 5, noise-free.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(0, 10), x1 = rng.uniform(-5, 5);
+    X.push_back({x0, x1});
+    y.push_back(2 * x0 - 3 * x1 + 5);
+  }
+  const FitResult fit = fit_linear(X, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 5.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_std, 0.0, 1e-9);
+  EXPECT_NEAR(fit.predict({1.0, 1.0}), 4.0, 1e-9);
+}
+
+TEST(LinReg, NoiseLowersRSquaredButKeepsSlope) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    X.push_back({x});
+    y.push_back(3 * x + 10 + rng.uniform(-5, 5));
+  }
+  const FitResult fit = fit_linear(X, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.residual_std, 1.0);
+}
+
+TEST(LinReg, SingularSystemReportsNotOk) {
+  // Two identical features: X'X is singular.
+  std::vector<std::vector<double>> X = {{1, 1}, {2, 2}, {3, 3}};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_FALSE(fit_linear(X, y).ok);
+}
+
+TEST(LinReg, UnderdeterminedReportsNotOk) {
+  std::vector<std::vector<double>> X = {{1, 2}};
+  std::vector<double> y = {1};
+  EXPECT_FALSE(fit_linear(X, y).ok);
+}
+
+TEST(LinReg, NoInterceptOption) {
+  std::vector<std::vector<double>> X = {{1}, {2}, {3}, {4}};
+  std::vector<double> y = {2, 4, 6, 8};
+  const FitResult fit = fit_linear(X, y, /*intercept=*/false);
+  ASSERT_TRUE(fit.ok);
+  ASSERT_EQ(fit.coefficients.size(), 1u);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+}
+
+TEST(CrossValidation, PerfectModelValidatesPerfectly) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.uniform(1, 50);
+    X.push_back({x});
+    y.push_back(7 * x + 2);
+  }
+  const CrossValidation cv = k_fold_cv(X, y, 3);
+  ASSERT_EQ(cv.actual.size(), 60u);
+  EXPECT_LT(cv.mean_abs_relative_error(), 1e-9);
+  EXPECT_DOUBLE_EQ(cv.fraction_within(0.05), 1.0);
+}
+
+TEST(CrossValidation, AccuracyBucketsAreMonotonic) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(1, 100);
+    X.push_back({x});
+    y.push_back(2 * x * (1.0 + rng.uniform(-0.3, 0.3)));
+  }
+  const CrossValidation cv = k_fold_cv(X, y, 3);
+  // Table 13's structure: the 50% bucket is at least as full as the 25%,
+  // 10%, and 5% buckets.
+  EXPECT_GE(cv.fraction_within(0.50), cv.fraction_within(0.25));
+  EXPECT_GE(cv.fraction_within(0.25), cv.fraction_within(0.10));
+  EXPECT_GE(cv.fraction_within(0.10), cv.fraction_within(0.05));
+  EXPECT_GT(cv.fraction_within(0.50), 0.8);
+}
+
+TEST(Correlation, DetectsSignAndStrength) {
+  std::vector<double> a, pos, neg, noise;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0, 1);
+    a.push_back(x);
+    pos.push_back(2 * x + 0.01 * rng.uniform(-1, 1));
+    neg.push_back(-x);
+    noise.push_back(rng.uniform(0, 1));
+  }
+  EXPECT_GT(correlation(a, pos), 0.99);
+  EXPECT_LT(correlation(a, neg), -0.99);
+  EXPECT_LT(std::abs(correlation(a, noise)), 0.4);
+}
+
+// --- Performance models ----------------------------------------------------
+
+std::vector<RenderSample> synthetic_samples(RendererKind kind, std::uint64_t seed,
+                                            double noise) {
+  // Ground-truth coefficients in the paper's form; samples span realistic
+  // ranges of the input variables.
+  std::vector<RenderSample> samples;
+  Rng rng(seed);
+  for (int i = 0; i < 120; ++i) {
+    RenderSample s;
+    ModelInputs& in = s.inputs;
+    in.objects = rng.uniform(1e4, 2e6);
+    in.active_pixels = rng.uniform(1e4, 2e6);
+    in.visible_objects = std::min(in.objects, in.active_pixels);
+    in.pixels_per_tri = rng.uniform(2, 12);
+    in.samples_per_ray = rng.uniform(50, 400);
+    in.cells_spanned = rng.uniform(32, 320);
+    const double jitter = 1.0 + noise * rng.uniform(-1, 1);
+    switch (kind) {
+      case RendererKind::kRayTrace:
+        s.build_seconds = (5e-8 * in.objects + 1e-3) * jitter;
+        s.render_seconds =
+            (2e-9 * in.active_pixels * std::log2(in.objects) + 3e-8 * in.active_pixels + 1e-2) *
+            jitter;
+        break;
+      case RendererKind::kRasterize:
+        s.render_seconds =
+            (1.3e-8 * in.objects + 2e-9 * in.visible_objects * in.pixels_per_tri + 1.7e-2) *
+            jitter;
+        break;
+      case RendererKind::kVolume:
+        s.render_seconds = (3.7e-10 * in.active_pixels * in.cells_spanned +
+                            4.5e-9 * in.active_pixels * in.samples_per_ray + 9e-2) *
+                           jitter;
+        break;
+    }
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+class ModelKinds : public ::testing::TestWithParam<RendererKind> {};
+INSTANTIATE_TEST_SUITE_P(AllRenderers, ModelKinds,
+                         ::testing::Values(RendererKind::kRayTrace,
+                                           RendererKind::kRasterize,
+                                           RendererKind::kVolume));
+
+TEST_P(ModelKinds, RecoversSyntheticGroundTruth) {
+  const auto samples = synthetic_samples(GetParam(), 11, 0.0);
+  const PerfModel model = PerfModel::fit(GetParam(), samples);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.r_squared(), 0.9999);
+  for (const RenderSample& s : samples)
+    EXPECT_NEAR(model.predict(s.inputs), s.total_seconds(),
+                1e-4 * std::max(1.0, s.total_seconds()));
+}
+
+TEST_P(ModelKinds, ToleratesMeasurementNoise) {
+  const auto samples = synthetic_samples(GetParam(), 12, 0.10);
+  const PerfModel model = PerfModel::fit(GetParam(), samples);
+  ASSERT_TRUE(model.ok());
+  // The paper's Table 12 values: R^2 >= ~0.94 for most models.
+  EXPECT_GT(model.r_squared(), 0.9);
+  const CrossValidation cv = model.cross_validate(samples);
+  EXPECT_GT(cv.fraction_within(0.50), 0.95);  // Table 13's 50% bucket
+  EXPECT_GT(cv.fraction_within(0.25), 0.7);
+}
+
+TEST(PerfModel, PaperCoefficientsHaveExpectedArity) {
+  const PerfModel rt =
+      PerfModel::fit(RendererKind::kRayTrace, synthetic_samples(RendererKind::kRayTrace, 13, 0.0));
+  EXPECT_EQ(rt.paper_coefficients().size(), 5u);  // c0..c4 (Eq. 5.1)
+  const PerfModel vr =
+      PerfModel::fit(RendererKind::kVolume, synthetic_samples(RendererKind::kVolume, 14, 0.0));
+  EXPECT_EQ(vr.paper_coefficients().size(), 3u);  // c0..c2 (Eq. 5.3)
+}
+
+TEST(PerfModel, BuildIsSeparableForAmortization) {
+  const auto samples = synthetic_samples(RendererKind::kRayTrace, 15, 0.0);
+  const PerfModel model = PerfModel::fit(RendererKind::kRayTrace, samples);
+  const ModelInputs& in = samples.front().inputs;
+  EXPECT_NEAR(model.predict(in), model.predict_build(in) + model.predict_render(in), 1e-12);
+  EXPECT_GT(model.predict_build(in), 0.0);
+}
+
+TEST(CompositeModelFit, RecoversPlaneAndValidates) {
+  std::vector<CompositeSample> samples;
+  Rng rng(16);
+  for (int i = 0; i < 80; ++i) {
+    CompositeSample s;
+    s.avg_active_pixels = rng.uniform(1e4, 2e6);
+    s.pixels = rng.uniform(2.5e5, 8e6);
+    s.seconds = 1.9e-8 * s.avg_active_pixels + 4.7e-9 * s.pixels + 1e-3;
+    samples.push_back(s);
+  }
+  const CompositeModel model = CompositeModel::fit(samples);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.r_squared(), 0.9999);
+  EXPECT_NEAR(model.coefficients()[0], 1.9e-8, 1e-10);
+  const CrossValidation cv = model.cross_validate(samples);
+  EXPECT_LT(cv.mean_abs_relative_error(), 0.01);
+}
+
+// --- Mapping (§5.8) ---------------------------------------------------------
+
+TEST(Mapping, SurfaceConfigurationFormulas) {
+  const ModelInputs in =
+      map_configuration(RendererKind::kRayTrace, 200, 32, 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(in.objects, 12.0 * 200 * 200);
+  // AP = 0.55 * pixels / 32^(1/3); 32^(1/3) = 3.1748...
+  EXPECT_NEAR(in.active_pixels, 0.55 * 1024 * 1024 / std::cbrt(32.0), 1.0);
+  // VO*PPT == 4*AP (total pixel considerations), though T_RT ignores it.
+  EXPECT_NEAR(in.visible_objects * in.pixels_per_tri, 4.0 * in.active_pixels, 1.0);
+}
+
+TEST(Mapping, RasterizationUsesVisibleObjectsAndPpt) {
+  const ModelInputs in =
+      map_configuration(RendererKind::kRasterize, 100, 1, 512.0 * 512.0);
+  EXPECT_DOUBLE_EQ(in.objects, 120000.0);
+  EXPECT_DOUBLE_EQ(in.visible_objects, std::min(in.active_pixels, in.objects));
+  // The paper's "pixels considered = 4x active pixels", spread over VO.
+  EXPECT_NEAR(in.visible_objects * in.pixels_per_tri, 4.0 * in.active_pixels, 1.0);
+}
+
+TEST(Mapping, VolumeConfigurationFormulas) {
+  const ModelInputs in = map_configuration(RendererKind::kVolume, 200, 8, 1e6);
+  EXPECT_DOUBLE_EQ(in.objects, 8e6);
+  EXPECT_DOUBLE_EQ(in.cells_spanned, 200.0);
+  EXPECT_NEAR(in.samples_per_ray, 373.0 / 2.0, 1e-9);  // 8^(1/3) = 2
+}
+
+TEST(Mapping, MoreTasksMeanFewerActivePixelsPerTask) {
+  const double ap1 =
+      map_configuration(RendererKind::kVolume, 100, 1, 1e6).active_pixels;
+  const double ap8 =
+      map_configuration(RendererKind::kVolume, 100, 8, 1e6).active_pixels;
+  EXPECT_NEAR(ap1 / ap8, 2.0, 1e-9);
+}
+
+// --- Feasibility (§5.9) ------------------------------------------------------
+
+TEST(Feasibility, LargerImagesFitFewerInBudget) {
+  const PerfModel model =
+      PerfModel::fit(RendererKind::kRayTrace, synthetic_samples(RendererKind::kRayTrace, 17, 0.0));
+  const auto points = images_in_budget(model, 60.0, 200, 32, {1024, 2048, 4096});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].images_in_budget, points[1].images_in_budget);
+  EXPECT_GT(points[1].images_in_budget, points[2].images_in_budget);
+  EXPECT_GT(points[0].images_in_budget, 0);
+}
+
+TEST(Feasibility, RayTracingWinsWithBigDataSmallImages) {
+  // Figure 15's shape: lots of geometry + few pixels favors ray tracing;
+  // big images + little geometry favors rasterization.
+  const PerfModel rt =
+      PerfModel::fit(RendererKind::kRayTrace, synthetic_samples(RendererKind::kRayTrace, 18, 0.0));
+  const PerfModel rast = PerfModel::fit(RendererKind::kRasterize,
+                                        synthetic_samples(RendererKind::kRasterize, 19, 0.0));
+  const auto cells = rt_vs_rast(rt, rast, 100, 32, {384, 4096}, {100, 500});
+  ASSERT_EQ(cells.size(), 4u);
+  auto find = [&](int edge, int n) {
+    for (const RatioCell& c : cells)
+      if (c.image_edge == edge && c.n_per_task == n) return c.ratio;
+    return -1.0;
+  };
+  // ratio = T_RAST / T_RT: higher means ray tracing more favorable.
+  EXPECT_GT(find(384, 500), find(4096, 500));
+  EXPECT_GT(find(384, 500), find(384, 100));
+}
+
+}  // namespace
+}  // namespace isr::model

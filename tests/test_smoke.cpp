@@ -1,0 +1,2 @@
+#include <gtest/gtest.h>
+TEST(Smoke, Builds) { EXPECT_TRUE(true); }

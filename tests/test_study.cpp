@@ -1,0 +1,116 @@
+// Integration test of the full SC16 methodology on a miniature corpus: run
+// the study driver end to end, fit the models, and check that measure ->
+// fit -> cross-validate -> predict holds together.
+#include <gtest/gtest.h>
+
+#include "model/study.hpp"
+
+namespace isr::model {
+namespace {
+
+StudyConfig tiny_config() {
+  StudyConfig cfg;
+  cfg.archs = {"CPU1", "GPU1"};
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2};
+  cfg.samples_per_config = 3;
+  cfg.min_image = 96;
+  cfg.max_image = 192;
+  cfg.min_n = 16;
+  cfg.max_n = 28;
+  cfg.vr_samples = 120;
+  cfg.sim_steps = 1;
+  cfg.seed = 123;
+  return cfg;
+}
+
+class StudyEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { obs_ = new std::vector<Observation>(run_study(tiny_config())); }
+  static void TearDownTestSuite() {
+    delete obs_;
+    obs_ = nullptr;
+  }
+  static std::vector<Observation>* obs_;
+};
+
+std::vector<Observation>* StudyEndToEnd::obs_ = nullptr;
+
+TEST_F(StudyEndToEnd, ProducesTheFullCrossProduct) {
+  // 1 sim x 2 tasks x 3 samples x 2 archs x 3 renderers = 36 observations.
+  EXPECT_EQ(obs_->size(), 36u);
+  for (const Observation& o : *obs_) {
+    EXPECT_GT(o.sample.render_seconds, 0.0) << o.arch;
+    EXPECT_GT(o.sample.inputs.objects, 0.0);
+    EXPECT_GT(o.sample.inputs.active_pixels, 0.0);
+    EXPECT_GE(o.composite_seconds, 0.0);
+    EXPECT_NEAR(o.total_seconds, o.sample.total_seconds() + o.composite_seconds, 1e-12);
+  }
+}
+
+TEST_F(StudyEndToEnd, RayTracingSamplesIncludeBuildTimes) {
+  const auto rt = samples_for(*obs_, "GPU1", RendererKind::kRayTrace);
+  ASSERT_FALSE(rt.empty());
+  for (const RenderSample& s : rt) EXPECT_GT(s.build_seconds, 0.0);
+}
+
+TEST_F(StudyEndToEnd, VolumeSamplesCarryVolumeVariables) {
+  const auto vr = samples_for(*obs_, "CPU1", RendererKind::kVolume);
+  ASSERT_FALSE(vr.empty());
+  for (const RenderSample& s : vr) {
+    EXPECT_GT(s.inputs.samples_per_ray, 0.0);
+    EXPECT_GT(s.inputs.cells_spanned, 0.0);
+  }
+}
+
+TEST_F(StudyEndToEnd, ModelsFitTheCorpus) {
+  for (const std::string arch : {"CPU1", "GPU1"}) {
+    for (const RendererKind kind :
+         {RendererKind::kRayTrace, RendererKind::kRasterize, RendererKind::kVolume}) {
+      const auto samples = samples_for(*obs_, arch, kind);
+      ASSERT_GE(samples.size(), 6u);
+      const PerfModel model = PerfModel::fit(kind, samples);
+      ASSERT_TRUE(model.ok()) << arch << " " << renderer_name(kind);
+      // A tiny corpus still must explain most of the variance: the cost
+      // model is (by construction) near-linear in the model features.
+      EXPECT_GT(model.r_squared(), 0.5) << arch << " " << renderer_name(kind);
+      // In-corpus predictions land within a factor of ~2.
+      for (const RenderSample& s : samples) {
+        const double pred = model.predict_render(s.inputs);
+        EXPECT_GT(pred, s.render_seconds * 0.3);
+        EXPECT_LT(pred, s.render_seconds * 3.0);
+      }
+    }
+  }
+}
+
+TEST_F(StudyEndToEnd, CompositingSamplesFitEquation55) {
+  // The tiny corpus (tasks <= 2, small images) barely spans the compositing
+  // model's inputs, so only the fit's structural properties are asserted;
+  // the compositing bench fits on a real 1..64-rank corpus.
+  const auto comp = composite_samples(*obs_);
+  ASSERT_GE(comp.size(), 30u);
+  const CompositeModel model = CompositeModel::fit(comp);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model.r_squared(), 0.0);
+  EXPECT_GT(model.predict(1e5, 1e6), 0.0);
+}
+
+TEST_F(StudyEndToEnd, GpuIsFasterThanCpuProfileOnSameWork) {
+  // Sanity of the architecture substitution: the K40-like profile should
+  // beat the CPU profile on identical rendering work (as in Table 1).
+  double cpu_total = 0.0, gpu_total = 0.0;
+  for (const Observation& o : *obs_) {
+    if (o.renderer != RendererKind::kRayTrace) continue;
+    if (o.arch == "CPU1") cpu_total += o.sample.render_seconds;
+    if (o.arch == "GPU1") gpu_total += o.sample.render_seconds;
+  }
+  EXPECT_GT(cpu_total, gpu_total * 1.5);
+}
+
+TEST(StudyHelpers, ScaleFromEnvDefaultsToOne) {
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+}
+
+}  // namespace
+}  // namespace isr::model
