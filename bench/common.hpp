@@ -2,7 +2,7 @@
 //
 // Every binary prints the corresponding paper table's rows. Because the
 // suite runs on small machines, all data/image sizes are multiplied by
-// ISR_BENCH_SCALE (default 0.25; the paper's sizes correspond to 1.0).
+// ISR_BENCH_SCALE (default 0.35; the paper's sizes correspond to 1.0).
 // Absolute numbers therefore differ from the paper; the reproduction target
 // is the *shape* (orderings, ratios, crossovers) — see EXPERIMENTS.md.
 #pragma once
@@ -19,7 +19,8 @@
 
 namespace isr::bench {
 
-// ISR_BENCH_SCALE env var; default 0.25.
+// ISR_BENCH_SCALE env var; default 0.35. Non-numeric or non-positive
+// values fall back to the default.
 double scale();
 
 // Scales a paper dimension (grid edge, image edge) by scale().

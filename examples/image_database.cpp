@@ -65,7 +65,10 @@ int main(int argc, char** argv) {
     spent += stats.total_seconds();
     char name[64];
     std::snprintf(name, sizeof(name), "%s/db_%03d.png", out_dir.c_str(), f);
-    img.write_png(name);
+    if (!img.write_png(name)) {
+      std::fprintf(stderr, "error: could not write %s\n", name);
+      return 1;
+    }
     ++written;
     if (spent > budget) break;
   }

@@ -18,8 +18,19 @@
 
 using namespace isr;
 
+namespace {
+// write_png reports failure (e.g. the output directory does not exist)
+// through its return value; surface it instead of claiming success.
+bool write_or_complain(const render::Image& image, const std::string& path) {
+  if (image.write_png(path)) return true;
+  std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+  return false;
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string out_dir = argc > 1 ? argv[1] : ".";
+  bool all_written = true;
 
   // 1. A scalar field on a structured grid (Richtmyer-Meshkov-like
   //    perturbed interface; see mesh/fields.hpp for others).
@@ -44,14 +55,14 @@ int main(int argc, char** argv) {
     render::RayTracerOptions options;
     options.workload = render::RayTracerOptions::Workload::kFull;
     const render::RenderStats stats = tracer.render(camera, colors, image, options);
-    image.write_png(out_dir + "/quickstart_raytrace.png");
+    all_written &= write_or_complain(image, out_dir + "/quickstart_raytrace.png");
     std::printf("ray traced  %5.0f ms (active pixels: %.0f)\n",
                 1e3 * stats.total_seconds(), stats.active_pixels);
   }
   {  // Rasterization of the same surface (same camera, comparable image).
     render::Rasterizer rasterizer(surface, device);
     const render::RenderStats stats = rasterizer.render(camera, colors, image);
-    image.write_png(out_dir + "/quickstart_raster.png");
+    all_written &= write_or_complain(image, out_dir + "/quickstart_raster.png");
     std::printf("rasterized  %5.0f ms (visible triangles: %.0f)\n",
                 1e3 * stats.total_seconds(), stats.visible_objects);
   }
@@ -59,10 +70,11 @@ int main(int argc, char** argv) {
     render::StructuredVolumeRenderer volume(grid, device);
     const TransferFunction tf(colors, 0.0f, 0.3f);
     const render::RenderStats stats = volume.render(camera, tf, image);
-    image.write_png(out_dir + "/quickstart_volume.png");
+    all_written &= write_or_complain(image, out_dir + "/quickstart_volume.png");
     std::printf("volume      %5.0f ms (samples/ray: %.0f)\n", 1e3 * stats.total_seconds(),
                 stats.samples_per_ray);
   }
+  if (!all_written) return 1;
   std::printf("wrote quickstart_{raytrace,raster,volume}.png to %s\n", out_dir.c_str());
   return 0;
 }

@@ -158,22 +158,22 @@ const std::string& Node::as_string() const {
   return string_value_;
 }
 
-std::span<const std::int32_t> Node::as_int32_array() const {
+Span<const std::int32_t> Node::as_int32_array() const {
   if (type_ != Type::kInt32Array) throw std::runtime_error("Node: not an int32 array");
   return {static_cast<const std::int32_t*>(data_ptr()), count_};
 }
 
-std::span<const std::int64_t> Node::as_int64_array() const {
+Span<const std::int64_t> Node::as_int64_array() const {
   if (type_ != Type::kInt64Array) throw std::runtime_error("Node: not an int64 array");
   return {static_cast<const std::int64_t*>(data_ptr()), count_};
 }
 
-std::span<const float> Node::as_float32_array() const {
+Span<const float> Node::as_float32_array() const {
   if (type_ != Type::kFloat32Array) throw std::runtime_error("Node: not a float32 array");
   return {static_cast<const float*>(data_ptr()), count_};
 }
 
-std::span<const double> Node::as_float64_array() const {
+Span<const double> Node::as_float64_array() const {
   if (type_ != Type::kFloat64Array) throw std::runtime_error("Node: not a float64 array");
   return {static_cast<const double*>(data_ptr()), count_};
 }

@@ -7,10 +7,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "conduit/span.hpp"
 
 namespace isr::conduit {
 
@@ -103,10 +104,10 @@ class Node {
   std::int64_t to_int64() const;
   const std::string& as_string() const;
 
-  std::span<const std::int32_t> as_int32_array() const;
-  std::span<const std::int64_t> as_int64_array() const;
-  std::span<const float> as_float32_array() const;
-  std::span<const double> as_float64_array() const;
+  Span<const std::int32_t> as_int32_array() const;
+  Span<const std::int64_t> as_int64_array() const;
+  Span<const float> as_float32_array() const;
+  Span<const double> as_float64_array() const;
   // Coerce any numeric array to float32 (copies unless already float32).
   std::vector<float> to_float32_vector() const;
   std::vector<int> to_int32_vector() const;

@@ -1,0 +1,31 @@
+// Minimal C++17 stand-in for std::span (C++20): a non-owning pointer+length
+// view over contiguous memory. Only the read-side surface the Node accessors
+// need is provided.
+#pragma once
+
+#include <cstddef>
+
+namespace isr::conduit {
+
+template <class T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t count) : data_(data), count_(count) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return count_; }
+  constexpr bool empty() const { return count_ == 0; }
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + count_; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[count_ - 1]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace isr::conduit

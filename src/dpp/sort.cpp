@@ -1,9 +1,9 @@
 // LSD radix sort for (key, value) pairs. This is the sort primitive behind
 // the LBVH build (Morton codes) and visibility ordering (float depths).
-#include <bit>
 #include <cstring>
 
 #include "dpp/primitives.hpp"
+#include "math/bitcast.hpp"
 
 namespace isr::dpp {
 
@@ -72,7 +72,7 @@ void sort_pairs_by_float(Device& dev, std::vector<float>& keys, std::vector<int>
   for_each(
       dev, keys.size(),
       [&](std::size_t i) {
-        std::uint32_t u = std::bit_cast<std::uint32_t>(keys[i]);
+        std::uint32_t u = bit_cast<std::uint32_t>(keys[i]);
         ukeys[i] = (u & 0x80000000u) ? ~u : (u | 0x80000000u);
       },
       KernelCost{.flops_per_elem = 3, .bytes_per_elem = 8});
@@ -82,7 +82,7 @@ void sort_pairs_by_float(Device& dev, std::vector<float>& keys, std::vector<int>
       [&](std::size_t i) {
         const std::uint32_t u = ukeys[i];
         const std::uint32_t f = (u & 0x80000000u) ? (u & 0x7FFFFFFFu) : ~u;
-        keys[i] = std::bit_cast<float>(f);
+        keys[i] = bit_cast<float>(f);
       },
       KernelCost{.flops_per_elem = 3, .bytes_per_elem = 8});
 }

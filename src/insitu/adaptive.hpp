@@ -17,6 +17,10 @@
 
 namespace isr::insitu {
 
+// What the simulation is willing to give up per cycle. These are the two
+// resources the paper's cost models price: time (predicted via the fitted
+// Eqs. 5.1-5.3 at the §5.8-mapped inputs) and memory (estimated from the
+// renderers' working sets, estimate_bytes()).
 struct Constraints {
   // Maximum seconds per frame the simulation grants to rendering.
   double max_seconds = std::numeric_limits<double>::infinity();

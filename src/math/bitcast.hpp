@@ -1,0 +1,38 @@
+// C++17 stand-in for std::bit_cast (C++20): reinterpret the object
+// representation of one trivially-copyable type as another via memcpy,
+// which every mainstream compiler folds to a register move.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#ifdef _MSC_VER
+#include <intrin.h>
+#endif
+
+namespace isr {
+
+template <class To, class From>
+To bit_cast(const From& src) {
+  static_assert(sizeof(To) == sizeof(From), "bit_cast size mismatch");
+  static_assert(std::is_trivially_copyable<To>::value, "bit_cast: To must be trivially copyable");
+  static_assert(std::is_trivially_copyable<From>::value, "bit_cast: From must be trivially copyable");
+  To dst;
+  std::memcpy(&dst, &src, sizeof(To));
+  return dst;
+}
+
+// C++17 stand-in for std::countl_zero (C++20) on 64-bit values.
+// Precondition: x != 0 (the GCC intrinsic is undefined for 0).
+inline int countl_zero64(std::uint64_t x) {
+#ifdef _MSC_VER
+  unsigned long index;
+  _BitScanReverse64(&index, x);
+  return 63 - static_cast<int>(index);
+#else
+  return __builtin_clzll(x);
+#endif
+}
+
+}  // namespace isr

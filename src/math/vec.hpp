@@ -22,7 +22,8 @@ struct Vec2 {
   constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
   constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
   constexpr Vec2 operator*(T s) const { return {x * s, y * s}; }
-  constexpr bool operator==(const Vec2&) const = default;
+  constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+  constexpr bool operator!=(const Vec2& o) const { return !(*this == o); }
 };
 
 template <class T>
@@ -42,7 +43,8 @@ struct Vec3 {
   constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
   constexpr Vec3& operator-=(Vec3 o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
   constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
-  constexpr bool operator==(const Vec3&) const = default;
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+  constexpr bool operator!=(const Vec3& o) const { return !(*this == o); }
 
   constexpr T operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
   constexpr T& axis(int i) { return i == 0 ? x : (i == 1 ? y : z); }
@@ -60,7 +62,8 @@ struct Vec4 {
   constexpr Vec4 operator+(Vec4 o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
   constexpr Vec4 operator-(Vec4 o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
   constexpr Vec4 operator*(T s) const { return {x * s, y * s, z * s, w * s}; }
-  constexpr bool operator==(const Vec4&) const = default;
+  constexpr bool operator==(const Vec4& o) const { return x == o.x && y == o.y && z == o.z && w == o.w; }
+  constexpr bool operator!=(const Vec4& o) const { return !(*this == o); }
 };
 
 using Vec2f = Vec2<float>;

@@ -12,9 +12,12 @@
 namespace isr::model {
 
 // "How many images fit in a fixed time budget?" (Figure 14): for each image
-// edge in `image_edges`, predict one frame at the given configuration and
-// return floor(budget / frame_time). BVH build is charged once (amortized),
-// matching the paper's repeated-rendering use case.
+// edge in `image_edges`, map the configuration (n_per_task cells on each of
+// `tasks` ranks, image_edge^2 pixels) to model variables via §5.8, predict
+// one frame, and return floor(budget / frame_time). BVH build is charged
+// once (amortized), matching the paper's repeated-rendering image-database
+// use case — the scenario where a simulation renders a Cinema-style sweep
+// of camera positions every cycle and must know the sweep fits its budget.
 struct BudgetPoint {
   int image_edge = 0;
   double frame_seconds = 0.0;
@@ -28,7 +31,12 @@ std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_
 // "Ray tracing or rasterization?" (Figure 15): predicted time ratio
 // T_RAST / T_RT for `frames` renderings (RT's BVH build amortized over the
 // frames) on a grid of image sizes x data sizes. ratio > 1 means ray
-// tracing wins.
+// tracing wins. The crossover structure comes straight from the cost
+// models: rasterization scales with geometry actually scanned out (VO*PPT
+// plus per-object setup on O), ray tracing with rays walking the BVH
+// (AP*log2 O) — so big data + small images favors ray tracing, and the
+// one-time BVH build shifts the frontier toward rasterization when
+// `frames` is small.
 struct RatioCell {
   int image_edge = 0;
   int n_per_task = 0;

@@ -22,14 +22,30 @@ enum class RendererKind { kRayTrace, kRasterize, kVolume };
 
 const char* renderer_name(RendererKind kind);
 
-// The model input variables of one observation (§5.3).
+// The model input variables of one observation (§5.3). Each is a property
+// of a (data set, camera, image size) configuration that the paper found
+// predictive of rendering time; §5.8's mapping estimates them from a
+// configuration without rendering (see model/mapping.hpp).
 struct ModelInputs {
-  double objects = 0;          // O
-  double active_pixels = 0;    // AP
-  double visible_objects = 0;  // VO
-  double pixels_per_tri = 0;   // PPT
-  double samples_per_ray = 0;  // SPR
-  double cells_spanned = 0;    // CS
+  // O: geometric primitives on this task (triangles for the surface
+  // renderers, cells for volume rendering). Drives BVH build time and the
+  // per-object setup costs.
+  double objects = 0;
+  // AP: pixels the data actually lands on (non-background). The dominant
+  // per-ray/per-fragment work multiplier in every model.
+  double active_pixels = 0;
+  // VO: objects that survive view-frustum/backface culling and are actually
+  // scanned out — the rasterizer iterates these, not O.
+  double visible_objects = 0;
+  // PPT: average pixels covered per visible triangle; VO*PPT is the
+  // rasterizer's total fragment work.
+  double pixels_per_tri = 0;
+  // SPR: volume samples taken along an average active ray; AP*SPR is the
+  // volume renderer's total sampling work.
+  double samples_per_ray = 0;
+  // CS: cells an average ray spans (structured-volume step count per cell);
+  // AP*CS is the volume renderer's traversal work.
+  double cells_spanned = 0;
 };
 
 // One measured data point for model fitting.
@@ -43,6 +59,13 @@ struct RenderSample {
 // Feature vector for the render-time regression of each model.
 std::vector<double> render_features(RendererKind kind, const ModelInputs& in);
 
+// One fitted single-node rendering model (one of the paper's six:
+// {ray tracing, rasterization, volume} x {CPU1, GPU1}). fit() runs the
+// multiple linear regression of Eqs. 5.1-5.3 on measured samples; predict()
+// evaluates it for new inputs. For ray tracing two regressions are kept so
+// the O(n log n) BVH build (c0*O + c1) can be amortized separately from the
+// per-frame trace cost (c2*(AP*log2 O) + c3*AP + c4) — AP*log2 O models
+// "active rays each walking a log-depth BVH".
 class PerfModel {
  public:
   static PerfModel fit(RendererKind kind, const std::vector<RenderSample>& samples);
@@ -81,7 +104,12 @@ class PerfModel {
   bool rt_reduced_ = false;
 };
 
-// Compositing model (Eq. 5.5).
+// Compositing model (Eq. 5.5): T_COMP = c0*avg(AP) + c1*Pixels + c2.
+// avg(AP) is the mean active-pixel count across ranks (bytes each rank
+// contributes to the exchange); Pixels is the full image resolution (the
+// final gather/blend everyone pays regardless of content). Together with
+// Eq. 5.4 (T_total = max over tasks of local render time + T_COMP) this
+// extends the single-node models to multi-rank runs.
 struct CompositeSample {
   double avg_active_pixels = 0;
   double pixels = 0;  // full image resolution

@@ -1,10 +1,10 @@
 #include "render/rast/rasterizer.hpp"
 
 #include <atomic>
-#include <bit>
 #include <cmath>
 
 #include "dpp/primitives.hpp"
+#include "math/bitcast.hpp"
 
 namespace isr::render {
 
@@ -181,7 +181,7 @@ RenderStats Rasterizer::render(const Camera& camera, const ColorTable& colors, I
               // Atomic min on packed (depth | rgba8): positive float bits
               // are monotonic, so integer compare orders by depth.
               const std::uint64_t packed =
-                  (static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(depth)) << 32) |
+                  (static_cast<std::uint64_t>(bit_cast<std::uint32_t>(depth)) << 32) |
                   pack_rgba8(rgb, 1.0f);
               auto& cell = fb[static_cast<std::size_t>(y) * static_cast<std::size_t>(camera.width) + x];
               std::uint64_t cur = cell.load(std::memory_order_relaxed);
@@ -216,7 +216,7 @@ RenderStats Rasterizer::render(const Camera& camera, const ColorTable& colors, I
           const std::uint64_t v = fb[p].load(std::memory_order_relaxed);
           if (v == kFarPacked) return;
           out.pixels()[p] = unpack_rgba8(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
-          out.depths()[p] = std::bit_cast<float>(static_cast<std::uint32_t>(v >> 32));
+          out.depths()[p] = bit_cast<float>(static_cast<std::uint32_t>(v >> 32));
           active_atomic.fetch_add(1, std::memory_order_relaxed);
         },
         dpp::KernelCost{.flops_per_elem = 4, .bytes_per_elem = 28});

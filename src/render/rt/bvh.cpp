@@ -1,9 +1,9 @@
 #include "render/rt/bvh.hpp"
 
 #include <atomic>
-#include <bit>
 
 #include "dpp/primitives.hpp"
+#include "math/bitcast.hpp"
 #include "math/morton.hpp"
 
 namespace isr::render {
@@ -16,7 +16,9 @@ namespace {
 inline int delta(const std::vector<std::uint64_t>& keys, int i, int j) {
   const int n = static_cast<int>(keys.size());
   if (j < 0 || j >= n) return -1;
-  return std::countl_zero(keys[static_cast<std::size_t>(i)] ^ keys[static_cast<std::size_t>(j)]);
+  const std::uint64_t x = keys[static_cast<std::size_t>(i)] ^ keys[static_cast<std::size_t>(j)];
+  // Keys are distinct, so x != 0 as countl_zero64 requires.
+  return countl_zero64(x);
 }
 
 }  // namespace

@@ -144,7 +144,9 @@ TEST(AdaptivePlanner, MemoryConstraintExcludesTheBvh) {
   c.max_bytes = rt_bytes * 0.5;
   planner.set_constraints(c);
   const insitu::Decision d = planner.plan(400, 1, pixels);
-  if (d.feasible) EXPECT_EQ(d.kind, RendererKind::kRasterize);
+  if (d.feasible) {
+    EXPECT_EQ(d.kind, RendererKind::kRasterize);
+  }
 }
 
 TEST(AdaptivePlanner, ByteEstimatesScaleSanely) {

@@ -68,7 +68,9 @@ TEST_P(PrimitiveSizes, ExclusiveScanMatchesSerial) {
     std::vector<int> out(n);
     const int total = scan_exclusive(dev, data.data(), out.data(), n);
     EXPECT_EQ(out, expect);
-    if (n > 0) EXPECT_EQ(total, run);
+    if (n > 0) {
+      EXPECT_EQ(total, run);
+    }
   }
 }
 
