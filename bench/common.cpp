@@ -1,18 +1,12 @@
 #include "common.hpp"
 
-#include <cstdlib>
-
+#include "core/env.hpp"
 #include "mesh/fields.hpp"
 #include "mesh/tetrahedralize.hpp"
 
 namespace isr::bench {
 
-double scale() {
-  const char* env = std::getenv("ISR_BENCH_SCALE");
-  if (!env) return 0.35;
-  const double v = std::atof(env);
-  return v > 0.0 ? v : 0.35;
-}
+double scale() { return core::env_double("ISR_BENCH_SCALE", 0.35); }
 
 int scaled(int paper_value, int min_value) {
   const int v = static_cast<int>(paper_value * scale());

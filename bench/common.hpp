@@ -19,8 +19,8 @@
 
 namespace isr::bench {
 
-// ISR_BENCH_SCALE env var; default 0.35. Non-numeric or non-positive
-// values fall back to the default.
+// ISR_BENCH_SCALE env var; default 0.35. Non-numeric, non-finite, or
+// non-positive values warn on stderr (once) and fall back to the default.
 double scale();
 
 // Scales a paper dimension (grid edge, image edge) by scale().

@@ -1,0 +1,81 @@
+#include "core/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace isr::core {
+
+namespace {
+
+// True when `end` (the strtod/strtol end pointer) consumed the whole value:
+// at least one character was parsed and only whitespace follows.
+bool fully_parsed(const char* begin, const char* end) {
+  if (end == begin) return false;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  return true;
+}
+
+// Warns once per variable name: call sites re-read their env var freely
+// (bench::scaled() hits ISR_BENCH_SCALE for every size parameter), and one
+// typo must not spam stderr dozens of times per run.
+void warn_ignored(const char* name, const char* value, const char* why) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(name).second) return;
+  std::fprintf(stderr, "insitu-perf: ignoring %s=\"%s\" (%s)\n", name, value, why);
+}
+
+}  // namespace
+
+double env_double(const char* name, double fallback, bool require_positive) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (!fully_parsed(value, end)) {
+    warn_ignored(name, value, "not a number");
+    return fallback;
+  }
+  if (!std::isfinite(v)) {  // strtod returns HUGE_VAL on overflow, accepts "inf"
+    warn_ignored(name, value, "not finite");
+    return fallback;
+  }
+  if (require_positive && !(v > 0.0)) {
+    warn_ignored(name, value, "must be > 0");
+    return fallback;
+  }
+  return v;
+}
+
+long env_long(const char* name, long fallback, bool require_positive) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value, &end, 10);
+  if (!fully_parsed(value, end)) {
+    warn_ignored(name, value, "not an integer");
+    return fallback;
+  }
+  if (errno == ERANGE) {  // strtol clamps to LONG_MIN/MAX on overflow
+    warn_ignored(name, value, "out of range");
+    return fallback;
+  }
+  if (require_positive && v <= 0) {
+    warn_ignored(name, value, "must be > 0");
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace isr::core

@@ -1,0 +1,21 @@
+// Validated environment-variable parsing.
+//
+// std::atof / std::atoi silently return 0 on garbage, which call sites then
+// "fix up" to a default — so a typo like ISR_BENCH_SCALE=O.5 quietly runs at
+// the default scale with no hint anything was ignored. These helpers parse
+// with strtod/strtol, require the whole value to be consumed (trailing
+// whitespace allowed), and warn on stderr whenever a set variable is
+// rejected, so misconfiguration is loud instead of silent.
+#pragma once
+
+namespace isr::core {
+
+// Parses `name` as a double. Returns `fallback` when the variable is unset;
+// warns and returns `fallback` when it is set but not a number, has trailing
+// junk, or (with require_positive) is not > 0.
+double env_double(const char* name, double fallback, bool require_positive = true);
+
+// Same contract for integers (base 10).
+long env_long(const char* name, long fallback, bool require_positive = true);
+
+}  // namespace isr::core

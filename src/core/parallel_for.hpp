@@ -1,0 +1,30 @@
+// Header-only conveniences over ThreadPool::parallel_for so call sites can
+// pass arbitrary callables (lambdas with captures) without spelling
+// std::function, and can pick a sensible grain automatically.
+#pragma once
+
+#include <cstddef>
+
+#include "core/thread_pool.hpp"
+
+namespace isr::core {
+
+// parallel_for(pool, n, f): f(i) for i in [0, n), one index per chunk —
+// right for coarse items whose costs vary a lot (study jobs, rank renders).
+template <class F>
+void parallel_for(ThreadPool& pool, std::size_t n, F&& f, std::size_t grain = 1) {
+  const std::function<void(std::size_t)> fn(std::forward<F>(f));
+  pool.parallel_for(n, fn, grain);
+}
+
+// Auto-chunked variant for fine-grained, roughly uniform items: splits
+// [0, n) into ~8 chunks per lane to amortize queue traffic while keeping
+// enough slack for load balancing.
+template <class F>
+void parallel_for_chunked(ThreadPool& pool, std::size_t n, F&& f) {
+  const std::size_t lanes = static_cast<std::size_t>(pool.size());
+  const std::size_t grain = n / (lanes * 8) > 0 ? n / (lanes * 8) : 1;
+  parallel_for(pool, n, std::forward<F>(f), grain);
+}
+
+}  // namespace isr::core

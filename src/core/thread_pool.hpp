@@ -1,0 +1,76 @@
+// A reusable chunked-queue thread pool for coarse-grained fan-out.
+//
+// The DPP layer parallelizes *inside* kernels with OpenMP on real devices,
+// but simulated devices deliberately execute kernels on a single thread
+// (their time comes from a cost model, and bit-exact results matter more
+// than wall clock). That leaves whole-configuration workloads — the §5.4
+// study corpus above all — with no way to use the machine. This pool
+// parallelizes *across* independent work items instead: loops are split
+// into chunks pulled from a shared queue, the calling thread participates,
+// and parallel_for is reentrant so a work item may fan out sub-items on the
+// same pool (idle workers drain the inner loop).
+//
+// Thread count: explicit > ISR_THREADS env var > hardware concurrency.
+// A 1-thread pool spawns no workers and runs every loop inline, so code
+// written against the pool degrades gracefully to serial on machines (or
+// build environments) without usable threads.
+//
+// Determinism contract: the pool guarantees nothing about execution order —
+// callers must make each item a pure function of its index (see
+// isr::hash_seed in math/rng.hpp) and reduce results in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isr::core {
+
+// Threads a default-constructed pool uses: the ISR_THREADS environment
+// variable when set and valid, else std::thread::hardware_concurrency();
+// always >= 1.
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects default_thread_count(). A pool of n spawns n-1
+  // worker threads; the thread calling parallel_for is the n-th lane.
+  // If the OS refuses thread creation the pool degrades to fewer lanes
+  // (ultimately 1) instead of throwing.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Execution width: worker threads + the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(i) for every i in [0, n), handing out chunks of `grain`
+  // consecutive indices. Blocks until all items finished; the caller
+  // participates. May be called from inside a worker (nested loops are
+  // drained by the nesting caller plus any idle workers). The first
+  // exception thrown by fn is rethrown here once in-flight chunks drain;
+  // chunks not yet claimed at that point are skipped.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  struct Loop;
+
+  void worker_main();
+  // Claims and runs one chunk of `loop`. Pre: `lock` held; re-held on
+  // return. Returns false when no unclaimed chunk remained.
+  bool run_one_chunk(Loop& loop, std::unique_lock<std::mutex>& lock);
+  void unlist(Loop& loop);  // removes loop from active_ (mutex_ held)
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: new loop or shutdown
+  std::vector<Loop*> active_;        // loops that still have unclaimed chunks
+  bool shutdown_ = false;
+};
+
+}  // namespace isr::core

@@ -5,10 +5,45 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 #include "math/vec.hpp"
 
 namespace isr {
+
+// One splitmix64 mixing step. The finalizer scrambles every input bit into
+// every output bit, so related inputs (counters, small enums) give unrelated
+// outputs — the property the counter-based seeding below relies on.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 12) + (h >> 4)));
+}
+
+inline std::uint64_t hash_combine(std::uint64_t h, std::string_view s) {
+  std::uint64_t fnv = 0xCBF29CE484222325ull;  // FNV-1a over the bytes
+  for (const char c : s) fnv = (fnv ^ static_cast<unsigned char>(c)) * 0x100000001B3ull;
+  return hash_combine(h, fnv);
+}
+
+// Counter-based splittable seeding: hash_seed(seed, k0, k1, ...) maps a
+// coordinate in some enumeration grid (simulation name, task count, sample
+// index, rank, ...) to an independent RNG seed. Because the seed is a pure
+// function of the coordinate — not of how many draws some shared generator
+// made before it — work items can run in any order, or in parallel, and
+// still reproduce a serial enumeration bit for bit. Keys may be integers
+// (anything convertible to uint64_t) or strings.
+template <class... Keys>
+std::uint64_t hash_seed(std::uint64_t seed, const Keys&... keys) {
+  std::uint64_t h = splitmix64(seed);
+  ((h = hash_combine(h, keys)), ...);
+  return h;
+}
 
 class Rng {
  public:
@@ -16,10 +51,9 @@ class Rng {
 
   std::uint64_t next_u64() {
     // splitmix64: small, fast, passes BigCrush for this use.
-    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
+    const std::uint64_t z = splitmix64(state_);
+    state_ += 0x9E3779B97F4A7C15ull;
+    return z;
   }
 
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }

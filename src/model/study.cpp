@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "comm/compositor.hpp"
 #include "conduit/blueprint.hpp"
+#include "core/env.hpp"
+#include "core/parallel_for.hpp"
+#include "core/thread_pool.hpp"
 #include "dpp/profiles.hpp"
 #include "math/camera.hpp"
 #include "math/colormap.hpp"
@@ -22,48 +24,67 @@ namespace isr::model {
 
 namespace {
 
+// Below this rank count a configuration's per-rank work is dispatched
+// serially: the items are too few for pool traffic to pay off, and the
+// job-level fan-out already keeps the machine busy.
+constexpr int kRankFanout = 4;
+
+// Sims that produce a structured grid; everything else (lulesh, unknown
+// names) takes the surface-only path. Single source of truth: both the
+// grid-enumeration skip of the structured volume renderer and the
+// generation dispatch in generate_rank_data branch on this.
+bool sim_has_grid(const std::string& sim) {
+  return sim == "cloverleaf" || sim == "kripke";
+}
+
 // Per-rank data for one (sim, tasks, n) configuration: a structured grid
-// (cloverleaf/kripke) or a triangle surface from external faces (all sims).
+// (only when sim_has_grid) plus a triangle surface from external faces
+// (all sims).
 struct RankData {
-  mesh::StructuredGrid grid;  // valid when has_grid
+  mesh::StructuredGrid grid;
   mesh::TriMesh surface;
-  bool has_grid = false;
   AABB bounds;
 };
 
 std::vector<RankData> generate_rank_data(const std::string& sim, int tasks, int n,
-                                         int steps) {
+                                         int steps, core::ThreadPool& pool) {
   std::vector<RankData> ranks(static_cast<std::size_t>(tasks));
-  for (int r = 0; r < tasks; ++r) {
-    RankData& rd = ranks[static_cast<std::size_t>(r)];
+  const auto build_rank = [&](std::size_t ri) {
+    const int r = static_cast<int>(ri);
+    RankData& rd = ranks[ri];
     conduit::Node data;
-    if (sim == "cloverleaf") {
-      sims::CloverLeaf proxy(n, n, n, r, tasks);
-      for (int s = 0; s < steps; ++s) proxy.step();
-      proxy.describe(data);
-      rd.grid = conduit::blueprint::to_structured(data, "energy");
-      rd.has_grid = true;
-    } else if (sim == "kripke") {
-      sims::Kripke proxy(n, n, n, r, tasks);
-      for (int s = 0; s < steps; ++s) proxy.step();
-      proxy.describe(data);
-      rd.grid = conduit::blueprint::to_structured(data, "phi");
-      rd.has_grid = true;
-    } else {  // lulesh
+    if (!sim_has_grid(sim)) {  // lulesh (and any surface-only sim)
       sims::Lulesh proxy(n, r, tasks);
       for (int s = 0; s < steps; ++s) proxy.step();
       proxy.describe(data);
       const mesh::HexMesh hexes = conduit::blueprint::to_hex_mesh(data, "e");
       rd.surface = mesh::external_faces(hexes);
       rd.bounds = rd.surface.bounds();
-      continue;
+      return;
+    }
+    if (sim == "cloverleaf") {
+      sims::CloverLeaf proxy(n, n, n, r, tasks);
+      for (int s = 0; s < steps; ++s) proxy.step();
+      proxy.describe(data);
+      rd.grid = conduit::blueprint::to_structured(data, "energy");
+    } else {  // kripke
+      sims::Kripke proxy(n, n, n, r, tasks);
+      for (int s = 0; s < steps; ++s) proxy.step();
+      proxy.describe(data);
+      rd.grid = conduit::blueprint::to_structured(data, "phi");
     }
     rd.grid.normalize_scalars();
     rd.surface = mesh::external_faces(rd.grid);
     rd.bounds = rd.grid.bounds();
-  }
-  // Normalize lulesh surface scalars across ranks.
-  if (sim == "lulesh") {
+  };
+  if (tasks >= kRankFanout && pool.size() > 1)
+    core::parallel_for(pool, ranks.size(), build_rank);
+  else
+    for (std::size_t r = 0; r < ranks.size(); ++r) build_rank(r);
+
+  // Normalize surface-only scalars across ranks (rank order: the min/max
+  // reduction over floats must not depend on scheduling).
+  if (!sim_has_grid(sim)) {
     float lo = 1e30f, hi = -1e30f;
     for (const RankData& rd : ranks)
       for (const float v : rd.surface.scalars) {
@@ -77,7 +98,44 @@ std::vector<RankData> generate_rank_data(const std::string& sim, int tasks, int 
   return ranks;
 }
 
+// One point of the (sim, tasks, sample) grid: generates rank data once and
+// renders every arch x renderer combination on it.
+struct Job {
+  std::size_t sim = 0;  // index into config.sims
+  int tasks = 1;
+  int sample = 0;
+  int image = 0;            // stratified-jittered image edge
+  int n = 0;                // stratified-jittered per-task N
+  std::uint64_t hash = 0;   // hash_seed(seed, sim, tasks, sample)
+  std::size_t first_combo = 0;
+  std::size_t combo_count = 0;
+};
+
+// One observation slot: an (arch, renderer) pair within a Job. A combo's
+// index in the flat vector IS its observation slot (grid order).
+struct Combo {
+  std::size_t arch = 0;  // index into config.archs
+  std::size_t kind = 0;  // index into config.renderers
+};
+
 }  // namespace
+
+bool observations_identical(const Observation& a, const Observation& b) {
+  return a.arch == b.arch && a.renderer == b.renderer && a.sim == b.sim &&
+         a.tasks == b.tasks && a.image_size == b.image_size &&
+         a.n_per_task == b.n_per_task &&
+         a.sample.inputs.objects == b.sample.inputs.objects &&
+         a.sample.inputs.active_pixels == b.sample.inputs.active_pixels &&
+         a.sample.inputs.visible_objects == b.sample.inputs.visible_objects &&
+         a.sample.inputs.pixels_per_tri == b.sample.inputs.pixels_per_tri &&
+         a.sample.inputs.samples_per_ray == b.sample.inputs.samples_per_ray &&
+         a.sample.inputs.cells_spanned == b.sample.inputs.cells_spanned &&
+         a.sample.build_seconds == b.sample.build_seconds &&
+         a.sample.render_seconds == b.sample.render_seconds &&
+         a.avg_active_pixels == b.avg_active_pixels &&
+         a.composite_seconds == b.composite_seconds &&
+         a.total_seconds == b.total_seconds;
+}
 
 std::vector<RenderSample> samples_for(const std::vector<Observation>& obs,
                                       const std::string& arch, RendererKind kind) {
@@ -99,117 +157,170 @@ std::vector<CompositeSample> composite_samples(const std::vector<Observation>& o
   return out;
 }
 
-double study_scale_from_env() {
-  const char* env = std::getenv("ISR_STUDY_SCALE");
-  if (!env) return 1.0;
-  const double v = std::atof(env);
-  return v > 0.0 ? v : 1.0;
-}
+double study_scale_from_env() { return core::env_double("ISR_STUDY_SCALE", 1.0); }
 
 std::vector<Observation> run_study(const StudyConfig& config, bool verbose) {
-  std::vector<Observation> observations;
-  Rng rng(config.seed);
-  std::uint64_t render_counter = 0;
-
-  for (const std::string& sim : config.sims) {
+  // ---- Enumerate the whole grid up front. -------------------------------
+  // Each job's stratified jitter and every Device seed derive from
+  // hash_seed over the grid coordinate, so the corpus is a pure function
+  // of the config — bit-identical at any thread count and in any
+  // execution order.
+  std::vector<Job> jobs;
+  std::vector<Combo> combos;
+  jobs.reserve(config.sims.size() * config.tasks.size() *
+               static_cast<std::size_t>(config.samples_per_config));
+  for (std::size_t si = 0; si < config.sims.size(); ++si) {
+    const std::string& sim = config.sims[si];
+    // The paper excluded meaningless combinations (structured volume
+    // renderer on unstructured data).
+    const bool has_grid = sim_has_grid(sim);
     for (const int tasks : config.tasks) {
       for (int s = 0; s < config.samples_per_config; ++s) {
+        Job job;
+        job.sim = si;
+        job.tasks = tasks;
+        job.sample = s;
+        job.hash = hash_seed(config.seed, sim, static_cast<std::uint64_t>(tasks),
+                             static_cast<std::uint64_t>(s));
         // Stratified sampling over (image size, data size): divide each
         // range into samples_per_config strata and jitter inside them.
-        const double stratum = (static_cast<double>(s) + rng.next_double()) /
+        Rng jitter(job.hash);
+        const double stratum = (static_cast<double>(s) + jitter.next_double()) /
                                static_cast<double>(config.samples_per_config);
-        const double stratum_n = (static_cast<double>(config.samples_per_config - 1 - s) +
-                                  rng.next_double()) /
-                                 static_cast<double>(config.samples_per_config);
-        const int image =
+        const double stratum_n =
+            (static_cast<double>(config.samples_per_config - 1 - s) + jitter.next_double()) /
+            static_cast<double>(config.samples_per_config);
+        job.image =
             config.min_image +
             static_cast<int>(stratum * static_cast<double>(config.max_image - config.min_image));
-        const int n = config.min_n + static_cast<int>(stratum_n *
-                                                      static_cast<double>(config.max_n - config.min_n));
-
-        const std::vector<RankData> ranks = generate_rank_data(sim, tasks, n, config.sim_steps);
-        AABB global_bounds;
-        for (const RankData& rd : ranks) global_bounds.expand(rd.bounds);
-        const Camera camera = Camera::framing(global_bounds, image, image, 0.8f);
-        const ColorTable colors = ColorTable::cool_warm();
-        const TransferFunction tf(colors, 0.05f, 0.3f);
-
-        for (const std::string& arch : config.archs) {
-          for (const RendererKind kind : config.renderers) {
-            // The paper excluded meaningless combinations (structured
-            // volume renderer on unstructured data).
-            if (kind == RendererKind::kVolume && !ranks.front().has_grid) continue;
-
-            dpp::Device dev = dpp::Device::simulated(dpp::profile_by_name(arch),
-                                                     0x5EED0000u + render_counter * 7919u);
-            ++render_counter;
-
-            std::vector<comm::RankImage> images(static_cast<std::size_t>(tasks));
-            RenderSample slowest;
-            double sum_active = 0.0;
-
-            for (int r = 0; r < tasks; ++r) {
-              const RankData& rd = ranks[static_cast<std::size_t>(r)];
-              render::Image& img = images[static_cast<std::size_t>(r)].image;
-              images[static_cast<std::size_t>(r)].view_depth =
-                  length(rd.bounds.center() - camera.position);
-              render::RenderStats stats;
-              double build_seconds = 0.0;
-
-              if (kind == RendererKind::kRayTrace) {
-                render::RayTracer rt(rd.surface, dev);
-                build_seconds = rt.bvh_build_stats().total_seconds();
-                stats = rt.render(camera, colors, img);
-              } else if (kind == RendererKind::kRasterize) {
-                render::Rasterizer rast(rd.surface, dev);
-                stats = rast.render(camera, colors, img);
-              } else {
-                render::StructuredVolumeRenderer vr(rd.grid, dev);
-                render::VolumeRenderOptions opt;
-                opt.samples = config.vr_samples;
-                stats = vr.render(camera, tf, img, opt);
-              }
-
-              sum_active += stats.active_pixels;
-              const double local = stats.total_seconds() + build_seconds;
-              if (local >= slowest.total_seconds()) {
-                slowest.inputs = {stats.objects,        stats.active_pixels,
-                                  stats.visible_objects, stats.pixels_per_tri,
-                                  stats.samples_per_ray, stats.cells_spanned};
-                slowest.build_seconds = build_seconds;
-                slowest.render_seconds = stats.total_seconds();
-              }
-            }
-
-            comm::Comm comm(tasks);
-            const comm::CompositeMode mode = kind == RendererKind::kVolume
-                                                 ? comm::CompositeMode::kVolume
-                                                 : comm::CompositeMode::kSurface;
-            const comm::CompositeResult comp =
-                comm::composite(comm, images, mode, comm::CompositeAlgorithm::kRadixK);
-
-            Observation obs;
-            obs.arch = arch;
-            obs.renderer = kind;
-            obs.sim = sim;
-            obs.tasks = tasks;
-            obs.image_size = image;
-            obs.n_per_task = n;
-            obs.sample = slowest;
-            obs.avg_active_pixels = comp.avg_active_pixels;
-            obs.composite_seconds = comp.simulated_seconds;
-            obs.total_seconds = slowest.total_seconds() + comp.simulated_seconds;
-            observations.push_back(obs);
-
-            if (verbose)
-              std::printf("study %-10s %-13s %-5s tasks=%-3d img=%-4d n=%-3d local=%.4fs comp=%.4fs\n",
-                          sim.c_str(), renderer_name(kind), arch.c_str(), tasks, image, n,
-                          slowest.total_seconds(), comp.simulated_seconds);
+        job.n = config.min_n +
+                static_cast<int>(stratum_n * static_cast<double>(config.max_n - config.min_n));
+        job.first_combo = combos.size();
+        for (std::size_t ai = 0; ai < config.archs.size(); ++ai)
+          for (std::size_t ki = 0; ki < config.renderers.size(); ++ki) {
+            if (config.renderers[ki] == RendererKind::kVolume && !has_grid) continue;
+            combos.push_back(Combo{ai, ki});
           }
-        }
+        job.combo_count = combos.size() - job.first_combo;
+        jobs.push_back(job);
       }
     }
   }
+
+  // Pre-sized slots: jobs write disjoint ranges, so the hot path takes no
+  // locks; slot order is the serial harness's grid order.
+  std::vector<Observation> observations(combos.size());
+  std::vector<std::string> lines(verbose ? combos.size() : 0);
+
+  core::ThreadPool pool(config.threads);
+
+  const auto run_job = [&](std::size_t ji) {
+    const Job& job = jobs[ji];
+    const std::string& sim = config.sims[job.sim];
+    const std::vector<RankData> ranks =
+        generate_rank_data(sim, job.tasks, job.n, config.sim_steps, pool);
+    AABB global_bounds;
+    for (const RankData& rd : ranks) global_bounds.expand(rd.bounds);
+    const Camera camera = Camera::framing(global_bounds, job.image, job.image, 0.8f);
+    const ColorTable colors = ColorTable::cool_warm();
+    const TransferFunction tf(colors, 0.05f, 0.3f);
+
+    for (std::size_t c = job.first_combo; c < job.first_combo + job.combo_count; ++c) {
+      const Combo& combo = combos[c];
+      const std::string& arch = config.archs[combo.arch];
+      const RendererKind kind = config.renderers[combo.kind];
+
+      std::vector<comm::RankImage> images(static_cast<std::size_t>(job.tasks));
+      std::vector<RenderSample> rank_samples(static_cast<std::size_t>(job.tasks));
+
+      const auto render_rank = [&](std::size_t r) {
+        const RankData& rd = ranks[r];
+        // Each rank gets its own simulated Device whose jitter seed is a
+        // function of the grid coordinate and rank — never of how many
+        // renders ran before it.
+        dpp::Device dev = dpp::Device::simulated(
+            dpp::profile_by_name(arch),
+            hash_seed(job.hash, arch, static_cast<std::uint64_t>(kind), r));
+        render::Image& img = images[r].image;
+        images[r].view_depth = length(rd.bounds.center() - camera.position);
+        render::RenderStats stats;
+        double build_seconds = 0.0;
+
+        if (kind == RendererKind::kRayTrace) {
+          render::RayTracer rt(rd.surface, dev);
+          build_seconds = rt.bvh_build_stats().total_seconds();
+          stats = rt.render(camera, colors, img);
+        } else if (kind == RendererKind::kRasterize) {
+          render::Rasterizer rast(rd.surface, dev);
+          stats = rast.render(camera, colors, img);
+        } else {
+          render::StructuredVolumeRenderer vr(rd.grid, dev);
+          render::VolumeRenderOptions opt;
+          opt.samples = config.vr_samples;
+          stats = vr.render(camera, tf, img, opt);
+        }
+
+        RenderSample& sample = rank_samples[r];
+        sample.inputs = {stats.objects,         stats.active_pixels,
+                         stats.visible_objects, stats.pixels_per_tri,
+                         stats.samples_per_ray, stats.cells_spanned};
+        sample.build_seconds = build_seconds;
+        sample.render_seconds = stats.total_seconds();
+      };
+      if (job.tasks >= kRankFanout && pool.size() > 1)
+        core::parallel_for(pool, static_cast<std::size_t>(job.tasks), render_rank);
+      else
+        for (int r = 0; r < job.tasks; ++r) render_rank(static_cast<std::size_t>(r));
+
+      // Slowest-rank reduction in rank order (ties keep the later rank,
+      // matching the serial harness).
+      RenderSample slowest;
+      for (const RenderSample& sample : rank_samples)
+        if (sample.total_seconds() >= slowest.total_seconds()) slowest = sample;
+
+      comm::Comm comm(job.tasks);
+      const comm::CompositeMode mode = kind == RendererKind::kVolume
+                                           ? comm::CompositeMode::kVolume
+                                           : comm::CompositeMode::kSurface;
+      const comm::CompositeResult comp =
+          comm::composite(comm, images, mode, comm::CompositeAlgorithm::kRadixK);
+
+      Observation& obs = observations[c];
+      obs.arch = arch;
+      obs.renderer = kind;
+      obs.sim = sim;
+      obs.tasks = job.tasks;
+      obs.image_size = job.image;
+      obs.n_per_task = job.n;
+      obs.sample = slowest;
+      obs.avg_active_pixels = comp.avg_active_pixels;
+      obs.composite_seconds = comp.simulated_seconds;
+      obs.total_seconds = slowest.total_seconds() + comp.simulated_seconds;
+
+      if (verbose) {
+        const char* fmt =
+            "study %-10s %-13s %-5s tasks=%-3d img=%-4d n=%-3d local=%.4fs comp=%.4fs\n";
+        // Two-pass snprintf: sims/archs are arbitrary strings, so the line
+        // length is unbounded and a fixed buffer could truncate.
+        const int len =
+            std::snprintf(nullptr, 0, fmt, sim.c_str(), renderer_name(kind), arch.c_str(),
+                          job.tasks, job.image, job.n, slowest.total_seconds(),
+                          comp.simulated_seconds);
+        std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
+        std::snprintf(&line[0], line.size() + 1, fmt, sim.c_str(), renderer_name(kind),
+                      arch.c_str(), job.tasks, job.image, job.n, slowest.total_seconds(),
+                      comp.simulated_seconds);
+        lines[c] = std::move(line);
+      }
+    }
+  };
+
+  core::parallel_for(pool, jobs.size(), run_job);
+
+  // Buffered verbose output, emitted in deterministic grid order.
+  if (verbose)
+    for (const std::string& line : lines) std::fputs(line.c_str(), stdout);
+
   return observations;
 }
 

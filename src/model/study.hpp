@@ -32,6 +32,13 @@ struct StudyConfig {
   int vr_samples = 300;                  // volume sampling density
   int sim_steps = 3;                     // cycles to advance each proxy
   std::uint64_t seed = 77;
+
+  // Worker threads for the study fan-out: 0 defers to the ISR_THREADS env
+  // var (default: all hardware threads), 1 forces serial. Every stratified
+  // jitter and Device seed is a counter-based hash of its grid coordinate
+  // (math/rng.hpp hash_seed), so the observation corpus is bit-identical
+  // at any thread count.
+  int threads = 0;
 };
 
 struct Observation {
@@ -48,7 +55,17 @@ struct Observation {
   double total_seconds = 0;     // max local + composite (Eq. 5.4 measured)
 };
 
+// Runs the study across config.threads pool workers (src/core/). With
+// verbose=true, per-observation lines are buffered and printed in
+// deterministic grid order (sims x tasks x samples x archs x renderers)
+// regardless of execution order.
 std::vector<Observation> run_study(const StudyConfig& config, bool verbose = false);
+
+// Exact equality of two observations, every field — the determinism
+// contract run_study guarantees across thread counts. The single source of
+// truth for both the determinism gtest and bench_study_throughput's gate;
+// extend it when adding fields to Observation.
+bool observations_identical(const Observation& a, const Observation& b);
 
 // Convenience filters for fitting.
 std::vector<RenderSample> samples_for(const std::vector<Observation>& obs,

@@ -1,0 +1,132 @@
+// The runtime-services layer: chunked-queue thread pool, parallel_for
+// helpers, validated env parsing, and the counter-based splittable RNG
+// seeding that makes parallel enumerations deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/parallel_for.hpp"
+#include "core/thread_pool.hpp"
+#include "math/rng.hpp"
+
+namespace isr {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  core::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  core::parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OneThreadPoolRunsSeriallyInCallerOrder) {
+  core::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<std::size_t> order;
+  core::parallel_for(pool, 64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, GrainCoversTheWholeRange) {
+  core::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(997);  // prime: not a multiple of grain
+  core::parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i]++; }, 16);
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 997);
+}
+
+TEST(ThreadPool, AutoChunkedVariantCoversTheWholeRange) {
+  core::ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  core::parallel_for_chunked(pool, 10000, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 10000L * 9999L / 2);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  core::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  core::parallel_for(pool, 8, [&](std::size_t) {
+    core::parallel_for(pool, 32, [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 8 * 32);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  core::ThreadPool pool(4);
+  const auto boom = [](std::size_t i) {
+    if (i == 37) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(core::parallel_for(pool, 100, boom), std::runtime_error);
+  // The pool survives a failed loop and stays usable.
+  std::atomic<int> count{0};
+  core::parallel_for(pool, 100, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsIsrThreads) {
+  setenv("ISR_THREADS", "3", 1);
+  EXPECT_EQ(core::default_thread_count(), 3);
+  setenv("ISR_THREADS", "not-a-number", 1);
+  EXPECT_GE(core::default_thread_count(), 1);  // warns, falls back to hardware
+  unsetenv("ISR_THREADS");
+  EXPECT_GE(core::default_thread_count(), 1);
+}
+
+TEST(Env, DoubleParsesValidatesAndWarns) {
+  setenv("ISR_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 2.5);
+  setenv("ISR_TEST_ENV_D", "  0.75  ", 1);
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 0.75);
+  setenv("ISR_TEST_ENV_D", "garbage", 1);
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 1.0);
+  setenv("ISR_TEST_ENV_D", "2.5x", 1);  // atof would happily return 2.5
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 1.0);
+  setenv("ISR_TEST_ENV_D", "-3", 1);
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0, /*require_positive=*/false), -3.0);
+  setenv("ISR_TEST_ENV_D", "0", 1);
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 1.0);
+  unsetenv("ISR_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(core::env_double("ISR_TEST_ENV_D", 1.0), 1.0);
+}
+
+TEST(Env, LongParsesValidates) {
+  setenv("ISR_TEST_ENV_L", "12", 1);
+  EXPECT_EQ(core::env_long("ISR_TEST_ENV_L", 7), 12);
+  setenv("ISR_TEST_ENV_L", "12.5", 1);  // trailing junk for an integer
+  EXPECT_EQ(core::env_long("ISR_TEST_ENV_L", 7), 7);
+  setenv("ISR_TEST_ENV_L", "-4", 1);
+  EXPECT_EQ(core::env_long("ISR_TEST_ENV_L", 7), 7);
+  unsetenv("ISR_TEST_ENV_L");
+  EXPECT_EQ(core::env_long("ISR_TEST_ENV_L", 7), 7);
+}
+
+TEST(HashSeed, IsDeterministicAndKeySensitive) {
+  EXPECT_EQ(hash_seed(77, "cloverleaf", 4, 2), hash_seed(77, "cloverleaf", 4, 2));
+  EXPECT_NE(hash_seed(77, "cloverleaf", 4, 2), hash_seed(77, "kripke", 4, 2));
+  EXPECT_NE(hash_seed(77, "cloverleaf", 4, 2), hash_seed(77, "cloverleaf", 2, 4));
+  EXPECT_NE(hash_seed(77, 1, 2), hash_seed(77, 2, 1));  // order matters
+  EXPECT_NE(hash_seed(77, 1, 2), hash_seed(78, 1, 2));  // seed matters
+}
+
+TEST(HashSeed, SeparatesAdjacentCounters) {
+  // Seeds for neighboring grid points must give unrelated Rng streams.
+  const std::uint64_t a = hash_seed(77, "lulesh", 8, 0);
+  const std::uint64_t b = hash_seed(77, "lulesh", 8, 1);
+  Rng ra(a), rb(b);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (ra.next_u32() == rb.next_u32()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace isr

@@ -3,6 +3,9 @@
 // fit -> cross-validate -> predict holds together.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+
 #include "model/study.hpp"
 
 namespace isr::model {
@@ -110,6 +113,100 @@ TEST_F(StudyEndToEnd, GpuIsFasterThanCpuProfileOnSameWork) {
 
 TEST(StudyHelpers, ScaleFromEnvDefaultsToOne) {
   EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+}
+
+TEST(StudyHelpers, ScaleFromEnvValidatesInput) {
+  setenv("ISR_STUDY_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 2.5);
+  // atof-style parsing silently returned 0 for these; they must now warn
+  // and fall back to the default instead.
+  setenv("ISR_STUDY_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+  setenv("ISR_STUDY_SCALE", "2.5abc", 1);
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+  setenv("ISR_STUDY_SCALE", "-2", 1);
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+  setenv("ISR_STUDY_SCALE", "0", 1);
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+  unsetenv("ISR_STUDY_SCALE");
+  EXPECT_DOUBLE_EQ(study_scale_from_env(), 1.0);
+}
+
+// A config small enough to run three times in one test, with tasks=4 so the
+// per-rank pool fan-out path executes, and lulesh so the volume-renderer
+// skip and cross-rank normalization are exercised.
+StudyConfig determinism_config() {
+  StudyConfig cfg;
+  cfg.archs = {"CPU1", "GPU1"};
+  cfg.sims = {"cloverleaf", "lulesh"};
+  cfg.tasks = {1, 4};
+  cfg.samples_per_config = 2;
+  cfg.min_image = 64;
+  cfg.max_image = 128;
+  cfg.min_n = 12;
+  cfg.max_n = 20;
+  cfg.vr_samples = 80;
+  cfg.sim_steps = 1;
+  cfg.seed = 2016;
+  return cfg;
+}
+
+void expect_identical(const std::vector<Observation>& a, const std::vector<Observation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Exact equality on every field, not approximate: the corpus must be a
+    // pure function of the config, independent of thread count.
+    EXPECT_TRUE(observations_identical(a[i], b[i]))
+        << "observation " << i << " (" << a[i].sim << " " << a[i].arch << " "
+        << renderer_name(a[i].renderer) << " tasks=" << a[i].tasks
+        << ") diverges: render " << a[i].sample.render_seconds << " vs "
+        << b[i].sample.render_seconds << ", composite " << a[i].composite_seconds << " vs "
+        << b[i].composite_seconds;
+  }
+}
+
+TEST(StudyDeterminism, CorpusIsBitIdenticalAtAnyThreadCount) {
+  StudyConfig cfg = determinism_config();
+  cfg.threads = 1;
+  const std::vector<Observation> serial = run_study(cfg);
+  // 2 sims x 2 tasks x 2 samples x 2 archs x 3 renderers, minus the
+  // volume renderer on lulesh's unstructured surface: 48 - 8 = 40.
+  EXPECT_EQ(serial.size(), 40u);
+  cfg.threads = 4;
+  expect_identical(serial, run_study(cfg));
+  cfg.threads = 3;
+  expect_identical(serial, run_study(cfg));
+}
+
+TEST(StudyDeterminism, VerboseOutputKeepsGridOrderAtAnyThreadCount) {
+  StudyConfig cfg = determinism_config();
+  cfg.sims = {"cloverleaf"};
+  cfg.samples_per_config = 1;
+
+  cfg.threads = 1;
+  testing::internal::CaptureStdout();
+  const std::vector<Observation> serial = run_study(cfg, /*verbose=*/true);
+  const std::string serial_out = testing::internal::GetCapturedStdout();
+
+  cfg.threads = 4;
+  testing::internal::CaptureStdout();
+  run_study(cfg, /*verbose=*/true);
+  const std::string parallel_out = testing::internal::GetCapturedStdout();
+
+  EXPECT_EQ(serial_out, parallel_out);
+
+  // One line per observation, in grid order: line i describes obs[i].
+  std::istringstream in(serial_out);
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(i, serial.size());
+    EXPECT_NE(line.find("study " + serial[i].sim), std::string::npos) << line;
+    EXPECT_NE(line.find(serial[i].arch), std::string::npos) << line;
+    EXPECT_NE(line.find(renderer_name(serial[i].renderer)), std::string::npos) << line;
+    ++i;
+  }
+  EXPECT_EQ(i, serial.size());
 }
 
 }  // namespace
