@@ -1,0 +1,157 @@
+// Advisor-service throughput (beyond the paper): answers one fixed batch of
+// §5.9 feasibility queries twice — serially (threads=1) and across the
+// whole machine (ISR_THREADS or all hardware threads) — verifies the two
+// response vectors are byte-identical, and reports queries/sec. Both
+// services share one ModelRegistry, so calibration is fitted exactly once
+// and the second service's first query exercises the cache-hit path.
+//
+// The final line is machine-readable JSON (prefix "JSON ") so CI can track
+// the perf trajectory across PRs:
+//   JSON {"bench":"advisor_throughput","queries":...,"threads":...,
+//         "calibration_seconds":...,"corpus_observations":...,
+//         "registry_fits":1,"serial_seconds":...,"parallel_seconds":...,
+//         "qps_serial":...,"qps_parallel":...,"speedup":...,
+//         "identical":true}
+// Exits nonzero when the batched responses diverge from the serial ones.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/thread_pool.hpp"
+#include "serve/advisor.hpp"
+
+using namespace isr;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+serve::ServiceConfig service_config(int threads) {
+  serve::ServiceConfig cfg;
+  // Fixed calibration shape; only the sizes follow ISR_BENCH_SCALE so the
+  // smoke run stays short and the nightly paper-scale run is meaningful.
+  cfg.calibration.min_image = bench::scaled(128);
+  cfg.calibration.max_image = bench::scaled(288);
+  cfg.calibration.min_n = bench::scaled(20);
+  // Keep real data-size variance even when scaled() clamps both bounds to
+  // its floor: a constant-O corpus makes the rasterization regression
+  // singular and every rasterize query an error.
+  cfg.calibration.max_n = std::max(bench::scaled(40), cfg.calibration.min_n + 12);
+  cfg.calibration.vr_samples = bench::scaled(200, 50);
+  cfg.threads = threads;
+  return cfg;
+}
+
+// A deterministic grid of queries spanning both §5.9 questions: every
+// fitted (arch, renderer) at a sweep of image sizes, data sizes, rank
+// counts, and budgets. Repetitions vary the budget so no two requests in a
+// repetition pair are bitwise equal.
+std::vector<serve::AdvisorRequest> query_grid() {
+  const std::vector<std::string> archs = {"CPU1", "GPU1"};
+  const std::vector<model::RendererKind> renderers = {model::RendererKind::kRayTrace,
+                                                      model::RendererKind::kRasterize,
+                                                      model::RendererKind::kVolume};
+  const std::vector<int> edges = {256, 512, 1024, 2048};
+  const std::vector<int> data_sizes = {50, 100, 200, 400};
+  const std::vector<int> task_counts = {8, 64};
+  const int repetitions = 40;  // 2*3*4*4*2 = 192 distinct configs, x40 = 7680 queries
+
+  std::vector<serve::AdvisorRequest> requests;
+  requests.reserve(archs.size() * renderers.size() * edges.size() * data_sizes.size() *
+                   task_counts.size() * static_cast<std::size_t>(repetitions));
+  for (int rep = 0; rep < repetitions; ++rep)
+    for (const std::string& arch : archs)
+      for (const model::RendererKind kind : renderers)
+        for (const int edge : edges)
+          for (const int n : data_sizes)
+            for (const int tasks : task_counts) {
+              serve::AdvisorRequest req;
+              req.arch = arch;
+              req.renderer = kind;
+              req.n_per_task = n;
+              req.tasks = tasks;
+              req.image_edge = edge;
+              req.budget_seconds = 30.0 + rep;
+              req.frames = 100;
+              requests.push_back(req);
+            }
+  return requests;
+}
+
+// Byte-level identity through the wire format, plus field-level identity —
+// the bench enforces the same contract test_serve does.
+bool identical(const std::vector<serve::AdvisorResponse>& a,
+               const std::vector<serve::AdvisorResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!serve::responses_identical(a[i], b[i]) || serve::to_jsonl(a[i]) != serve::to_jsonl(b[i]))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = core::default_thread_count();
+  bench::print_header("Advisor serving throughput (beyond the paper)",
+                      "One fixed query batch at 1 thread vs " + std::to_string(threads) +
+                          " (ISR_THREADS / hardware); shared model registry.");
+
+  const auto registry = std::make_shared<serve::ModelRegistry>();
+  serve::AdvisorService serial_service(service_config(1), registry);
+  serve::AdvisorService parallel_service(service_config(0), registry);
+
+  // Calibrate once, outside the timed region: serving must not be billed
+  // for the one-time corpus fit (that is the registry's whole point).
+  const auto calib_start = std::chrono::steady_clock::now();
+  const std::size_t corpus =
+      registry->models_for(serial_service.config().calibration).corpus_size;
+  const double t_calibrate = seconds_since(calib_start);
+
+  const std::vector<serve::AdvisorRequest> requests = query_grid();
+
+  const auto serial_start = std::chrono::steady_clock::now();
+  const std::vector<serve::AdvisorResponse> serial = serial_service.serve_batch(requests);
+  const double t_serial = seconds_since(serial_start);
+
+  const auto parallel_start = std::chrono::steady_clock::now();
+  const std::vector<serve::AdvisorResponse> parallel = parallel_service.serve_batch(requests);
+  const double t_parallel = seconds_since(parallel_start);
+
+  const bool same = identical(serial, parallel);
+  const int fits = registry->fits();
+
+  std::size_t answered = 0;
+  for (const serve::AdvisorResponse& r : serial) answered += r.ok ? 1 : 0;
+
+  const double n = static_cast<double>(requests.size());
+  const double speedup = t_parallel > 0.0 ? t_serial / t_parallel : 0.0;
+  std::printf("calibration: %zu observations fitted in %.3fs (registry fits: %d)\n\n", corpus,
+              t_calibrate, fits);
+  std::printf("%-22s %10s %12s %12s\n", "run", "threads", "seconds", "queries/sec");
+  bench::print_rule(60);
+  std::printf("%-22s %10d %12.4f %12.0f\n", "serial serve_batch", 1, t_serial, n / t_serial);
+  std::printf("%-22s %10d %12.4f %12.0f\n", "parallel serve_batch", threads, t_parallel,
+              n / t_parallel);
+  const bool all_ok = answered == requests.size();
+  std::printf("\n%zu queries (%zu ok%s); speedup %.2fx; responses byte-identical: %s\n",
+              requests.size(), answered, all_ok ? "" : " — DEGENERATE CALIBRATION",
+              speedup, same ? "yes" : "NO (BUG)");
+
+  std::printf(
+      "JSON {\"bench\":\"advisor_throughput\",\"queries\":%zu,\"threads\":%d,"
+      "\"calibration_seconds\":%.6f,\"corpus_observations\":%zu,\"registry_fits\":%d,"
+      "\"serial_seconds\":%.6f,\"parallel_seconds\":%.6f,\"qps_serial\":%.1f,"
+      "\"qps_parallel\":%.1f,\"speedup\":%.3f,\"identical\":%s}\n",
+      requests.size(), threads, t_calibrate, corpus, fits, t_serial, t_parallel, n / t_serial,
+      n / t_parallel, speedup, same ? "true" : "false");
+  // Three health gates: responses identical, calibration fitted exactly
+  // once (the shared-registry cache hit), every query answered ok.
+  return same && fits == 1 && all_ok ? 0 : 1;
+}

@@ -1,67 +1,133 @@
-// Feasibility advisor: the paper's §5.9 questions as a command-line tool.
-// Given a rendering configuration, fit the models from a quick calibration
-// study and report (a) predicted per-frame cost for each renderer, (b) how
-// many images fit a budget, and (c) the ray-tracing-vs-rasterization
-// recommendation.
+// Feasibility advisor: the paper's §5.9 questions as a thin client of the
+// serving layer (src/serve/). Two modes:
 //
-//   $ ./feasibility_advisor [N_per_task=200] [tasks=32] [image_edge=1024]
-//                           [budget_seconds=60]
+//   One-shot (the historical CLI):
+//     $ ./feasibility_advisor [N_per_task=200] [tasks=32] [image_edge=1024]
+//                             [budget_seconds=60]
+//   answers the configuration once, for every arch x renderer of the
+//   calibration corpus, via one serve_batch call.
+//
+//   Service:
+//     $ ./feasibility_advisor --serve
+//   runs the long-lived JSON-lines service on stdin/stdout (one request
+//   object per line, blank line or EOF flushes a batch; schema in
+//   docs/ARCHITECTURE.md). Models are fitted once and cached in the
+//   service's ModelRegistry, not refit per query.
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "model/feasibility.hpp"
-#include "model/study.hpp"
+#include "core/env.hpp"
+#include "serve/advisor.hpp"
+#include "serve/jsonl.hpp"
 
 using namespace isr;
 using model::RendererKind;
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [N_per_task=200] [tasks=32] [image_edge=1024] [budget_seconds=60]\n"
+               "       %s --serve     (JSON-lines service on stdin/stdout)\n",
+               argv0, argv0);
+  return 2;
+}
+
+// Positional-argument parsing with the core/env contract: garbage is
+// rejected loudly (usage + nonzero exit), never atoi'd to 0.
+bool parse_positional_int(const char* argv0, const char* name, const char* text, int& out) {
+  long v = 0;
+  const core::ParseStatus status = core::parse_long(text, v, /*require_positive=*/true);
+  if (status != core::ParseStatus::kOk || v > 1 << 20) {
+    std::fprintf(stderr, "%s: bad %s \"%s\" (%s)\n", argv0, name, text,
+                 status == core::ParseStatus::kOk ? "too large"
+                                                  : core::parse_status_message(status));
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_positional_double(const char* argv0, const char* name, const char* text,
+                             double& out) {
+  const core::ParseStatus status = core::parse_double(text, out, /*require_positive=*/true);
+  if (status != core::ParseStatus::kOk) {
+    std::fprintf(stderr, "%s: bad %s \"%s\" (%s)\n", argv0, name, text,
+                 core::parse_status_message(status));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 200;
-  const int tasks = argc > 2 ? std::atoi(argv[2]) : 32;
-  const int edge = argc > 3 ? std::atoi(argv[3]) : 1024;
-  const double budget = argc > 4 ? std::atof(argv[4]) : 60.0;
+  if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
+    if (argc > 2) return usage(argv[0]);
+    serve::run_jsonl(std::cin, std::cout);
+    return 0;
+  }
+  if (argc > 5) return usage(argv[0]);
+
+  int n = 200, tasks = 32, edge = 1024;
+  double budget = 60.0;
+  if (argc > 1 && !parse_positional_int(argv[0], "N_per_task", argv[1], n)) return usage(argv[0]);
+  if (argc > 2 && !parse_positional_int(argv[0], "tasks", argv[2], tasks)) return usage(argv[0]);
+  if (argc > 3 && !parse_positional_int(argv[0], "image_edge", argv[3], edge))
+    return usage(argv[0]);
+  if (argc > 4 && !parse_positional_double(argv[0], "budget_seconds", argv[4], budget))
+    return usage(argv[0]);
 
   std::printf("calibrating models (small study corpus on CPU1/GPU1 profiles)...\n");
-  model::StudyConfig cfg;
-  cfg.sims = {"cloverleaf"};
-  cfg.tasks = {1, 2, 4};
-  cfg.samples_per_config = 3;
-  cfg.min_image = 128;
-  cfg.max_image = 288;
-  cfg.min_n = 20;
-  cfg.max_n = 40;
-  cfg.vr_samples = 200;
-  const auto obs = model::run_study(cfg);
+  serve::AdvisorService service;  // default calibration; fits on first query
 
-  model::MappingConstants constants;
-  constants.spr_base = 0.93 * 200;
-  const double pixels = static_cast<double>(edge) * edge;
+  // One batch answers the whole arch x renderer table.
+  std::vector<serve::AdvisorRequest> requests;
+  for (const std::string arch : {"CPU1", "GPU1"}) {
+    for (const RendererKind kind :
+         {RendererKind::kRayTrace, RendererKind::kRasterize, RendererKind::kVolume}) {
+      serve::AdvisorRequest req;
+      req.arch = arch;
+      req.renderer = kind;
+      req.n_per_task = n;
+      req.tasks = tasks;
+      req.image_edge = edge;
+      req.budget_seconds = budget;
+      req.frames = 100;
+      requests.push_back(req);
+    }
+  }
+  const std::vector<serve::AdvisorResponse> responses = service.serve_batch(requests);
 
   std::printf("\nconfiguration: %d^3 cells/task, %d tasks, %dx%d image, %.0fs budget\n\n",
               n, tasks, edge, edge, budget);
   std::printf("%-6s %-14s %14s %16s\n", "arch", "renderer", "sec/frame", "frames/budget");
-  for (const std::string arch : {"CPU1", "GPU1"}) {
-    for (const RendererKind kind :
-         {RendererKind::kRayTrace, RendererKind::kRasterize, RendererKind::kVolume}) {
-      const model::PerfModel m =
-          model::PerfModel::fit(kind, model::samples_for(obs, arch, kind));
-      const auto points = model::images_in_budget(m, budget, n, tasks, {edge}, constants);
-      std::printf("%-6s %-14s %14.4f %16ld\n", arch.c_str(), model::renderer_name(kind),
-                  points[0].frame_seconds, points[0].images_in_budget);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const serve::AdvisorRequest& req = requests[i];
+    const serve::AdvisorResponse& resp = responses[i];
+    if (!resp.ok) {
+      std::printf("%-6s %-14s   error: %s\n", req.arch.c_str(),
+                  model::renderer_name(req.renderer), resp.error.c_str());
+      continue;
     }
+    std::printf("%-6s %-14s %14.4f %16ld\n", req.arch.c_str(),
+                model::renderer_name(req.renderer), resp.frame_seconds,
+                resp.images_in_budget);
   }
 
-  // RT vs rasterization recommendation at this configuration (100 frames).
-  const model::PerfModel rt = model::PerfModel::fit(
-      RendererKind::kRayTrace, model::samples_for(obs, "CPU1", RendererKind::kRayTrace));
-  const model::PerfModel rast = model::PerfModel::fit(
-      RendererKind::kRasterize, model::samples_for(obs, "CPU1", RendererKind::kRasterize));
-  const auto cells = model::rt_vs_rast(rt, rast, 100, tasks, {edge}, {n}, constants);
-  const double ratio = cells[0].ratio;
-  std::printf("\nsurface rendering recommendation (CPU1, 100 frames): %s\n",
-              ratio > 1.0 ? "RAY TRACING" : "RASTERIZATION");
-  std::printf("  T_RAST / T_RT = %.2f (RT %.2fs vs RAST %.2fs for 100 frames)\n", ratio,
-              cells[0].rt_seconds, cells[0].rast_seconds);
-  (void)pixels;
+  // RT vs rasterization recommendation at this configuration (100 frames),
+  // from the CPU1 response's verdict fields.
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (requests[i].arch != "CPU1" || !responses[i].ok || !responses[i].has_verdict) continue;
+    const serve::AdvisorResponse& resp = responses[i];
+    std::printf("\nsurface rendering recommendation (CPU1, 100 frames): %s\n",
+                resp.prefer_ray_tracing ? "RAY TRACING" : "RASTERIZATION");
+    std::printf("  T_RAST / T_RT = %.2f (RT %.2fs vs RAST %.2fs for 100 frames)\n", resp.ratio,
+                resp.rt_seconds, resp.rast_seconds);
+    break;
+  }
   return 0;
 }

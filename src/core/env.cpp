@@ -27,31 +27,56 @@ bool fully_parsed(const char* begin, const char* end) {
 // Warns once per variable name: call sites re-read their env var freely
 // (bench::scaled() hits ISR_BENCH_SCALE for every size parameter), and one
 // typo must not spam stderr dozens of times per run.
-void warn_ignored(const char* name, const char* value, const char* why) {
+void warn_ignored(const char* name, const char* value, ParseStatus status) {
   static std::mutex mutex;
   static std::set<std::string> warned;
   std::lock_guard<std::mutex> lock(mutex);
   if (!warned.insert(name).second) return;
-  std::fprintf(stderr, "insitu-perf: ignoring %s=\"%s\" (%s)\n", name, value, why);
+  std::fprintf(stderr, "insitu-perf: ignoring %s=\"%s\" (%s)\n", name, value,
+               parse_status_message(status));
 }
 
 }  // namespace
 
+const char* parse_status_message(ParseStatus status) {
+  switch (status) {
+    case ParseStatus::kOk: return "ok";
+    case ParseStatus::kNotANumber: return "not a number";
+    case ParseStatus::kNotFinite: return "not finite";
+    case ParseStatus::kOutOfRange: return "out of range";
+    case ParseStatus::kNotPositive: return "must be > 0";
+  }
+  return "?";
+}
+
+ParseStatus parse_double(const char* text, double& out, bool require_positive) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (!fully_parsed(text, end)) return ParseStatus::kNotANumber;
+  if (!std::isfinite(v)) return ParseStatus::kNotFinite;  // HUGE_VAL on overflow, "inf"
+  if (require_positive && !(v > 0.0)) return ParseStatus::kNotPositive;
+  out = v;
+  return ParseStatus::kOk;
+}
+
+ParseStatus parse_long(const char* text, long& out, bool require_positive) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (!fully_parsed(text, end)) return ParseStatus::kNotANumber;
+  if (errno == ERANGE) return ParseStatus::kOutOfRange;  // clamped to LONG_MIN/MAX
+  if (require_positive && v <= 0) return ParseStatus::kNotPositive;
+  out = v;
+  return ParseStatus::kOk;
+}
+
 double env_double(const char* name, double fallback, bool require_positive) {
   const char* value = std::getenv(name);
   if (!value) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(value, &end);
-  if (!fully_parsed(value, end)) {
-    warn_ignored(name, value, "not a number");
-    return fallback;
-  }
-  if (!std::isfinite(v)) {  // strtod returns HUGE_VAL on overflow, accepts "inf"
-    warn_ignored(name, value, "not finite");
-    return fallback;
-  }
-  if (require_positive && !(v > 0.0)) {
-    warn_ignored(name, value, "must be > 0");
+  double v = fallback;
+  const ParseStatus status = parse_double(value, v, require_positive);
+  if (status != ParseStatus::kOk) {
+    warn_ignored(name, value, status);
     return fallback;
   }
   return v;
@@ -60,19 +85,10 @@ double env_double(const char* name, double fallback, bool require_positive) {
 long env_long(const char* name, long fallback, bool require_positive) {
   const char* value = std::getenv(name);
   if (!value) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(value, &end, 10);
-  if (!fully_parsed(value, end)) {
-    warn_ignored(name, value, "not an integer");
-    return fallback;
-  }
-  if (errno == ERANGE) {  // strtol clamps to LONG_MIN/MAX on overflow
-    warn_ignored(name, value, "out of range");
-    return fallback;
-  }
-  if (require_positive && v <= 0) {
-    warn_ignored(name, value, "must be > 0");
+  long v = fallback;
+  const ParseStatus status = parse_long(value, v, require_positive);
+  if (status != ParseStatus::kOk) {
+    warn_ignored(name, value, status);
     return fallback;
   }
   return v;

@@ -1,18 +1,36 @@
-// Validated environment-variable parsing.
+// Validated number parsing: environment variables and CLI arguments.
 //
 // std::atof / std::atoi silently return 0 on garbage, which call sites then
 // "fix up" to a default — so a typo like ISR_BENCH_SCALE=O.5 quietly runs at
 // the default scale with no hint anything was ignored. These helpers parse
 // with strtod/strtol, require the whole value to be consumed (trailing
-// whitespace allowed), and warn on stderr whenever a set variable is
-// rejected, so misconfiguration is loud instead of silent.
+// whitespace allowed), and report rejection: the env_* helpers warn on
+// stderr and fall back, the parse_* primitives return a status so CLI call
+// sites can print usage text and exit nonzero instead.
 #pragma once
 
 namespace isr::core {
 
-// Parses `name` as a double. Returns `fallback` when the variable is unset;
-// warns and returns `fallback` when it is set but not a number, has trailing
-// junk, or (with require_positive) is not > 0.
+// Why a parse was rejected. parse_status_message gives the human-readable
+// form used in env warnings and CLI errors.
+enum class ParseStatus {
+  kOk,
+  kNotANumber,   // empty, non-numeric, or trailing junk
+  kNotFinite,    // inf/nan or double overflow
+  kOutOfRange,   // long overflow
+  kNotPositive,  // require_positive and value <= 0
+};
+const char* parse_status_message(ParseStatus status);
+
+// Parses the whole of `text` as a double / base-10 long (trailing
+// whitespace allowed). On kOk fills `out`; otherwise leaves it untouched.
+// Never warns — callers own the error report.
+ParseStatus parse_double(const char* text, double& out, bool require_positive = false);
+ParseStatus parse_long(const char* text, long& out, bool require_positive = false);
+
+// Parses `name` from the environment as a double. Returns `fallback` when
+// the variable is unset; warns on stderr (once per name) and returns
+// `fallback` when it is set but rejected by parse_double.
 double env_double(const char* name, double fallback, bool require_positive = true);
 
 // Same contract for integers (base 10).

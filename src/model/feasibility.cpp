@@ -1,8 +1,22 @@
 #include "model/feasibility.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace isr::model {
+
+namespace {
+
+// double -> long with saturation: casting a double >= 2^63 to long is
+// undefined behavior, and an absurd budget must yield LONG_MAX images,
+// not a negative count. 2^63 is exactly representable, so the comparison
+// is exact and anything below it casts safely.
+long saturating_count(double count) {
+  constexpr double kLongMax = static_cast<double>(std::numeric_limits<long>::max());
+  return count >= kLongMax ? std::numeric_limits<long>::max() : static_cast<long>(count);
+}
+
+}  // namespace
 
 std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_seconds,
                                           int n_per_task, int tasks,
@@ -17,10 +31,10 @@ std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_
     p.image_edge = edge;
     p.frame_seconds = model.predict_render(in);
     // One build at the start of the batch (ray tracing only).
-    const double build = model.predict_build(in);
+    p.build_seconds = model.predict_build(in);
     p.images_in_budget =
         p.frame_seconds > 0.0
-            ? static_cast<long>(std::max(0.0, (budget_seconds - build) / p.frame_seconds))
+            ? saturating_count(std::max(0.0, (budget_seconds - p.build_seconds) / p.frame_seconds))
             : 0;
     out.push_back(p);
   }

@@ -21,6 +21,9 @@ namespace isr::model {
 struct BudgetPoint {
   int image_edge = 0;
   double frame_seconds = 0.0;
+  double build_seconds = 0.0;  // the once-per-batch build charge (RT only)
+  // Saturates at LONG_MAX rather than overflowing when budget/frame_time
+  // exceeds the representable range.
   long images_in_budget = 0;
 };
 std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_seconds,

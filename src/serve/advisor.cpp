@@ -1,0 +1,184 @@
+#include "serve/advisor.hpp"
+
+#include <cstdio>
+
+#include "core/parallel_for.hpp"
+#include "model/feasibility.hpp"
+
+namespace isr::serve {
+
+namespace {
+
+AdvisorResponse error_response(std::string message) {
+  AdvisorResponse r;
+  r.ok = false;
+  r.error = std::move(message);
+  return r;
+}
+
+// The pure per-request computation both serve_one and serve_batch run: a
+// function of (fitted models, constants, request) only, so execution order
+// and thread count cannot change a response.
+AdvisorResponse answer(const FittedModels& fitted, const model::MappingConstants& constants,
+                       const AdvisorRequest& req) {
+  if (req.n_per_task <= 0) return error_response("n_per_task must be > 0");
+  if (req.tasks <= 0) return error_response("tasks must be > 0");
+  if (req.image_edge <= 0) return error_response("image_edge must be > 0");
+  if (!(req.budget_seconds >= 0.0)) return error_response("budget_seconds must be >= 0");
+  if (req.frames <= 0) return error_response("frames must be > 0");
+
+  const model::PerfModel* m = fitted.find(req.arch, req.renderer);
+  if (!m)
+    return error_response("no fitted model for arch \"" + req.arch + "\" renderer \"" +
+                          renderer_token(req.renderer) + "\" in the calibration corpus");
+  if (!m->ok())
+    return error_response("model fit failed for arch \"" + req.arch + "\" renderer \"" +
+                          renderer_token(req.renderer) + "\" (degenerate calibration corpus)");
+
+  AdvisorResponse resp;
+  resp.ok = true;
+
+  // Fig 14: one frame and the images-in-budget count at this configuration.
+  const std::vector<model::BudgetPoint> points = model::images_in_budget(
+      *m, req.budget_seconds, req.n_per_task, req.tasks, {req.image_edge}, constants);
+  resp.frame_seconds = points[0].frame_seconds;
+  resp.build_seconds = points[0].build_seconds;
+  resp.images_in_budget = points[0].images_in_budget;
+
+  // Fig 15: the surface-rendering verdict on this arch, when the corpus
+  // fitted both surface models.
+  const model::PerfModel* rt = fitted.find(req.arch, model::RendererKind::kRayTrace);
+  const model::PerfModel* rast = fitted.find(req.arch, model::RendererKind::kRasterize);
+  if (rt && rt->ok() && rast && rast->ok()) {
+    const std::vector<model::RatioCell> cells = model::rt_vs_rast(
+        *rt, *rast, req.frames, req.tasks, {req.image_edge}, {req.n_per_task}, constants);
+    resp.has_verdict = true;
+    resp.rt_seconds = cells[0].rt_seconds;
+    resp.rast_seconds = cells[0].rast_seconds;
+    resp.ratio = cells[0].ratio;
+    resp.prefer_ray_tracing = cells[0].ratio > 1.0;
+  }
+  return resp;
+}
+
+// JSON string escaping for error messages: quote, backslash, and control
+// characters (everything else in our messages is ASCII).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b) {
+  return a.ok == b.ok && a.error == b.error && a.frame_seconds == b.frame_seconds &&
+         a.build_seconds == b.build_seconds && a.images_in_budget == b.images_in_budget &&
+         a.has_verdict == b.has_verdict && a.rt_seconds == b.rt_seconds &&
+         a.rast_seconds == b.rast_seconds && a.ratio == b.ratio &&
+         a.prefer_ray_tracing == b.prefer_ray_tracing;
+}
+
+std::string to_jsonl(const AdvisorResponse& r) {
+  if (!r.ok) return "{\"ok\":false,\"error\":\"" + json_escape(r.error) + "\"}";
+  const char* recommendation =
+      r.has_verdict ? (r.prefer_ray_tracing ? "raytrace" : "rasterize") : "";
+  // Two-pass snprintf into an exactly-sized string, as in study.cpp.
+  const char* fmt =
+      "{\"ok\":true,\"frame_seconds\":%.9g,\"build_seconds\":%.9g,"
+      "\"images_in_budget\":%ld,\"has_verdict\":%s,\"rt_seconds\":%.9g,"
+      "\"rast_seconds\":%.9g,\"ratio\":%.9g,\"recommendation\":\"%s\"}";
+  const char* verdict = r.has_verdict ? "true" : "false";
+  const int len = std::snprintf(nullptr, 0, fmt, r.frame_seconds, r.build_seconds,
+                                r.images_in_budget, verdict, r.rt_seconds, r.rast_seconds,
+                                r.ratio, recommendation);
+  std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
+  std::snprintf(&line[0], line.size() + 1, fmt, r.frame_seconds, r.build_seconds,
+                r.images_in_budget, verdict, r.rt_seconds, r.rast_seconds, r.ratio,
+                recommendation);
+  return line;
+}
+
+const char* renderer_token(model::RendererKind kind) {
+  switch (kind) {
+    case model::RendererKind::kRayTrace: return "raytrace";
+    case model::RendererKind::kRasterize: return "rasterize";
+    case model::RendererKind::kVolume: return "volume";
+  }
+  return "?";
+}
+
+bool renderer_from_token(const std::string& token, model::RendererKind& kind) {
+  if (token == "raytrace") kind = model::RendererKind::kRayTrace;
+  else if (token == "rasterize") kind = model::RendererKind::kRasterize;
+  else if (token == "volume") kind = model::RendererKind::kVolume;
+  else return false;
+  return true;
+}
+
+model::StudyConfig default_calibration() {
+  model::StudyConfig cfg;
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2, 4};
+  cfg.samples_per_config = 3;
+  cfg.min_image = 128;
+  cfg.max_image = 288;
+  cfg.min_n = 20;
+  cfg.max_n = 40;
+  cfg.vr_samples = 200;
+  return cfg;
+}
+
+ServiceConfig::ServiceConfig() : calibration(default_calibration()) {
+  // 0 = derive from the calibration corpus at service construction. The
+  // SPR mapping must assume the sampling density the corpus was actually
+  // rendered at, so overriding calibration.vr_samples alone stays
+  // consistent; set spr_base explicitly to decouple them.
+  constants.spr_base = 0.0;
+}
+
+AdvisorService::AdvisorService(ServiceConfig config, std::shared_ptr<ModelRegistry> registry)
+    : config_(std::move(config)),
+      registry_(registry ? std::move(registry) : std::make_shared<ModelRegistry>()),
+      pool_(config_.threads) {
+  // The advisor's historical density->SPR factor (0.93 * vr_samples; 186
+  // for the default 200-sample calibration).
+  if (config_.constants.spr_base <= 0.0)
+    config_.constants.spr_base = 0.93 * config_.calibration.vr_samples;
+}
+
+AdvisorResponse AdvisorService::serve_one(const AdvisorRequest& request) {
+  const FittedModels& fitted = registry_->models_for(config_.calibration);
+  return answer(fitted, config_.constants, request);
+}
+
+std::vector<AdvisorResponse> AdvisorService::serve_batch(
+    const std::vector<AdvisorRequest>& requests) {
+  // A batch of zero answerable requests (e.g. every line of a JSONL batch
+  // failed to parse) must not pay for a calibration fit.
+  if (requests.empty()) return {};
+  // Fit (or cache-hit) once, before the fan-out, so workers never contend
+  // on the registry lock.
+  const FittedModels& fitted = registry_->models_for(config_.calibration);
+  std::vector<AdvisorResponse> responses(requests.size());
+  // Requests are uniform and cheap (a handful of model evaluations), so the
+  // auto-chunked variant amortizes queue traffic.
+  core::parallel_for_chunked(pool_, requests.size(), [&](std::size_t i) {
+    responses[i] = answer(fitted, config_.constants, requests[i]);
+  });
+  return responses;
+}
+
+}  // namespace isr::serve

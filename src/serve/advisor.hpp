@@ -1,0 +1,121 @@
+// Batch feasibility-prediction serving: the paper's §5.9 questions ("how
+// many images fit the budget?", "ray tracing or rasterization?") as a
+// typed request/response service. An in situ framework faces these
+// decisions online every cycle; this layer answers them at query rates by
+// fitting models once (serve/registry.hpp) and fanning request batches out
+// over the core thread pool.
+//
+// Determinism contract: a response is a pure function of (request, fitted
+// models, mapping constants). serve_batch writes responses into pre-sized
+// slots, so a batched multi-thread run is bit-identical — and, through
+// to_jsonl, byte-identical — to a serial run of the same requests, the same
+// guarantee model/study.* makes for the calibration corpus itself.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "model/mapping.hpp"
+#include "model/perfmodel.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::serve {
+
+// One feasibility query: a rendering configuration (the user-facing terms
+// of §5.8 — per-task data size, rank count, image resolution) plus the
+// question parameters (time budget, amortization horizon).
+struct AdvisorRequest {
+  std::string arch = "CPU1";
+  model::RendererKind renderer = model::RendererKind::kRayTrace;
+  int n_per_task = 200;        // N of the N^3 cells-per-task block
+  int tasks = 32;              // simulated MPI ranks
+  int image_edge = 1024;       // square image edge in pixels
+  double budget_seconds = 60;  // Fig 14's budget question
+  int frames = 100;            // Fig 15's BVH-amortization horizon
+};
+
+struct AdvisorResponse {
+  bool ok = false;
+  std::string error;  // set when !ok; every other field is then zero
+
+  // Fig 14: predicted cost of the requested (arch, renderer) configuration.
+  double frame_seconds = 0.0;  // per frame, build amortized away
+  double build_seconds = 0.0;  // one-time BVH build (ray tracing only)
+  long images_in_budget = 0;
+
+  // Fig 15: the RT-vs-RAST verdict on the requested arch over `frames`
+  // frames. has_verdict is false when the calibration corpus lacks either
+  // surface model for this arch.
+  bool has_verdict = false;
+  double rt_seconds = 0.0;    // frames * render + one build
+  double rast_seconds = 0.0;  // frames * render
+  double ratio = 0.0;         // rast / rt; > 1 means ray tracing wins
+  bool prefer_ray_tracing = false;
+};
+
+// Exact equality of every field — the serial-vs-batched identity contract,
+// single source of truth for test_serve and bench_advisor_throughput.
+bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b);
+
+// One response as a JSON line (no trailing newline). Fixed field order and
+// printf-formatted numbers, so identical responses serialize to identical
+// bytes. Schema documented in docs/ARCHITECTURE.md.
+std::string to_jsonl(const AdvisorResponse& response);
+
+// Renderer tokens used by the wire format: "raytrace" / "rasterize" /
+// "volume". renderer_from_token returns false on anything else.
+const char* renderer_token(model::RendererKind kind);
+bool renderer_from_token(const std::string& token, model::RendererKind& kind);
+
+struct ServiceConfig {
+  // The calibration study the models are fitted from. The default is the
+  // advisor's quick CPU1/GPU1 corpus (see default_calibration()).
+  model::StudyConfig calibration;
+  // §5.8 configuration -> model-variable mapping constants. spr_base <= 0
+  // (the default) derives it from calibration.vr_samples at service
+  // construction, keeping the SPR mapping consistent with the sampling
+  // density the corpus was rendered at.
+  model::MappingConstants constants;
+  // Worker threads for serve_batch: 0 = ISR_THREADS env / hardware,
+  // 1 = serial (the pool runs inline).
+  int threads = 0;
+
+  ServiceConfig();
+};
+
+// The quick calibration corpus the one-shot advisor CLI has always used:
+// cloverleaf on CPU1/GPU1 at small sizes, all three renderers. Fits in
+// about a second; pass a bigger StudyConfig for production-grade models.
+model::StudyConfig default_calibration();
+
+// A long-lived advisor: owns the registry (fitted models) and the pool.
+// Thread-safe for concurrent serve_one calls; serve_batch is the intended
+// high-throughput entry point.
+class AdvisorService {
+ public:
+  // A registry may be shared between services (e.g. one serial and one
+  // parallel service answering from the same fitted models); by default
+  // the service creates its own.
+  explicit AdvisorService(ServiceConfig config = {},
+                          std::shared_ptr<ModelRegistry> registry = nullptr);
+
+  // Answers one request serially.
+  AdvisorResponse serve_one(const AdvisorRequest& request);
+
+  // Answers a batch: responses land in pre-sized slots, response[i] for
+  // request[i], fanned out over the service's thread pool. Bit-identical
+  // to calling serve_one in a loop, at any thread count.
+  std::vector<AdvisorResponse> serve_batch(const std::vector<AdvisorRequest>& requests);
+
+  ModelRegistry& registry() { return *registry_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  core::ThreadPool pool_;
+};
+
+}  // namespace isr::serve

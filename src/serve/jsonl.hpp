@@ -1,0 +1,38 @@
+// JSON-lines front-end for the advisor service: one request object per
+// input line, one response object per output line, in request order. Blank
+// lines (and end of input) flush the accumulated batch through
+// AdvisorService::serve_batch, so a client controls batching by where it
+// puts blank lines — stream continuously for latency, batch for
+// throughput. This is what turns the one-shot advisor CLI into a
+// long-lived stdin/stdout service.
+//
+// Request schema (all keys optional; defaults are AdvisorRequest's):
+//   {"arch":"CPU1","renderer":"raytrace","n_per_task":200,"tasks":32,
+//    "image_edge":1024,"budget_seconds":60,"frames":100}
+// Unknown keys, type mismatches, and malformed JSON yield an
+// {"ok":false,"error":...} response in that request's slot — loud,
+// order-preserving, and non-fatal to the rest of the batch. The full
+// schema, with the response fields, is documented in docs/ARCHITECTURE.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/advisor.hpp"
+
+namespace isr::serve {
+
+// Parses one request line (a flat JSON object; every schema value is a
+// string or a number). On success fills `request` (starting from defaults)
+// and returns true; on failure returns false and sets `error`.
+bool parse_request_line(const std::string& line, AdvisorRequest& request, std::string& error);
+
+// Reads requests from `in` until EOF, serving each blank-line-delimited
+// batch through `service` and writing responses (and a flush) to `out`.
+// Returns the number of requests answered, error responses included.
+std::size_t run_jsonl(std::istream& in, std::ostream& out, AdvisorService& service);
+
+// Convenience overload owning a fresh service configured by `config`.
+std::size_t run_jsonl(std::istream& in, std::ostream& out, ServiceConfig config = {});
+
+}  // namespace isr::serve

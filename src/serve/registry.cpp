@@ -1,0 +1,72 @@
+#include "serve/registry.hpp"
+
+#include "math/rng.hpp"
+
+namespace isr::serve {
+
+const model::PerfModel* FittedModels::find(const std::string& arch,
+                                           model::RendererKind kind) const {
+  for (const Entry& e : entries)
+    if (e.arch == arch && e.kind == kind) return &e.model;
+  return nullptr;
+}
+
+std::uint64_t ModelRegistry::fingerprint(const model::StudyConfig& config) {
+  // Length-prefix every list so ({"a","b"},{}) and ({"a"},{"b"}) cannot
+  // collide by concatenation.
+  std::uint64_t h = hash_seed(config.seed, std::uint64_t{0x5EBEDull});
+  h = hash_combine(h, config.archs.size());
+  for (const std::string& a : config.archs) h = hash_combine(h, a);
+  h = hash_combine(h, config.renderers.size());
+  for (const model::RendererKind k : config.renderers)
+    h = hash_combine(h, static_cast<std::uint64_t>(k));
+  h = hash_combine(h, config.sims.size());
+  for (const std::string& s : config.sims) h = hash_combine(h, s);
+  h = hash_combine(h, config.tasks.size());
+  for (const int t : config.tasks) h = hash_combine(h, static_cast<std::uint64_t>(t));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.samples_per_config));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.min_image));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.max_image));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.min_n));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.max_n));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.vr_samples));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.sim_steps));
+  return h;
+}
+
+const FittedModels& ModelRegistry::models_for(const model::StudyConfig& config) {
+  const std::uint64_t key = fingerprint(config);
+  // The fit runs under the lock: concurrent first queries for the same
+  // config must not both pay for (or race on) a calibration study. Fits
+  // are rare (once per config) and the study uses its own pool, so the
+  // coarse critical section costs nothing in steady state.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  auto fitted = std::make_unique<FittedModels>();
+  fitted->fingerprint = key;
+  const std::vector<model::Observation> obs = model::run_study(config);
+  fitted->corpus_size = obs.size();
+  for (const std::string& arch : config.archs) {
+    for (const model::RendererKind kind : config.renderers) {
+      const std::vector<model::RenderSample> samples = model::samples_for(obs, arch, kind);
+      if (samples.empty()) continue;  // combination excluded from the corpus
+      FittedModels::Entry entry;
+      entry.arch = arch;
+      entry.kind = kind;
+      entry.model = model::PerfModel::fit(kind, samples);
+      fitted->entries.push_back(std::move(entry));
+    }
+  }
+  fitted->composite = model::CompositeModel::fit(model::composite_samples(obs));
+  ++fits_;
+  return *cache_.emplace(key, std::move(fitted)).first->second;
+}
+
+int ModelRegistry::fits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fits_;
+}
+
+}  // namespace isr::serve

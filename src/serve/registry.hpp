@@ -1,0 +1,67 @@
+// Fitted-model ownership for the serving layer: a ModelRegistry fits the
+// §5.5 models from a calibration corpus ONCE and hands out the fitted
+// bundle on every subsequent query. The old advisor CLI refit from scratch
+// per invocation — fine for one question, fatal for query traffic, since a
+// calibration study is seconds of work and a prediction is nanoseconds.
+//
+// Cache key: a hash_seed-derived fingerprint over every StudyConfig field
+// that shapes the corpus. `threads` is deliberately excluded — run_study
+// guarantees the corpus is bit-identical at any thread count, so a config
+// that differs only in worker count must hit the same cache entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/perfmodel.hpp"
+#include "model/study.hpp"
+
+namespace isr::serve {
+
+// Everything fitted from one calibration corpus: the up-to-six single-node
+// models (arch x renderer, §5.5-§5.6) plus the compositing model (Eq. 5.5).
+struct FittedModels {
+  std::uint64_t fingerprint = 0;
+  std::size_t corpus_size = 0;  // observations the fits consumed
+
+  struct Entry {
+    std::string arch;
+    model::RendererKind kind = model::RendererKind::kRayTrace;
+    model::PerfModel model;
+  };
+  std::vector<Entry> entries;  // calibration-config order (archs x renderers)
+  model::CompositeModel composite;
+
+  // Fitted model for (arch, kind), or nullptr when the calibration config
+  // never produced samples for that combination (e.g. the volume renderer
+  // on a surface-only corpus, or an arch outside the config).
+  const model::PerfModel* find(const std::string& arch, model::RendererKind kind) const;
+};
+
+class ModelRegistry {
+ public:
+  // Corpus fingerprint: pure function of the config fields that determine
+  // the observations (sims, archs, renderers, tasks, sizes, seed — not
+  // `threads`, see header comment).
+  static std::uint64_t fingerprint(const model::StudyConfig& config);
+
+  // The fitted bundle for `config`, running the calibration study and the
+  // regressions at most once per fingerprint. Thread-safe; the returned
+  // reference stays valid for the registry's lifetime (entries are never
+  // evicted — calibration configs are few and bundles are tiny).
+  const FittedModels& models_for(const model::StudyConfig& config);
+
+  // Number of calibration fits performed so far (cache misses).
+  int fits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::unique_ptr<FittedModels>> cache_;
+  int fits_ = 0;
+};
+
+}  // namespace isr::serve

@@ -109,6 +109,39 @@ TEST(Env, LongParsesValidates) {
   EXPECT_EQ(core::env_long("ISR_TEST_ENV_L", 7), 7);
 }
 
+TEST(Parse, DoubleReportsWhyAndLeavesOutputUntouched) {
+  double v = 42.0;
+  EXPECT_EQ(core::parse_double("2.5", v), core::ParseStatus::kOk);
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_EQ(core::parse_double("  1e-3 ", v), core::ParseStatus::kOk);
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  v = 42.0;
+  EXPECT_EQ(core::parse_double("garbage", v), core::ParseStatus::kNotANumber);
+  EXPECT_EQ(core::parse_double("2.5x", v), core::ParseStatus::kNotANumber);
+  EXPECT_EQ(core::parse_double("", v), core::ParseStatus::kNotANumber);
+  EXPECT_EQ(core::parse_double("inf", v), core::ParseStatus::kNotFinite);
+  EXPECT_EQ(core::parse_double("-3", v, /*require_positive=*/true),
+            core::ParseStatus::kNotPositive);
+  EXPECT_DOUBLE_EQ(v, 42.0);  // rejected parses never write
+  EXPECT_EQ(core::parse_double("-3", v), core::ParseStatus::kOk);
+  EXPECT_DOUBLE_EQ(v, -3.0);
+  EXPECT_STREQ(core::parse_status_message(core::ParseStatus::kNotANumber), "not a number");
+}
+
+TEST(Parse, LongReportsWhyAndLeavesOutputUntouched) {
+  long v = 42;
+  EXPECT_EQ(core::parse_long("12", v), core::ParseStatus::kOk);
+  EXPECT_EQ(v, 12);
+  v = 42;
+  EXPECT_EQ(core::parse_long("12.5", v), core::ParseStatus::kNotANumber);
+  EXPECT_EQ(core::parse_long("99999999999999999999999", v), core::ParseStatus::kOutOfRange);
+  EXPECT_EQ(core::parse_long("0", v, /*require_positive=*/true),
+            core::ParseStatus::kNotPositive);
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(core::parse_long("-4", v), core::ParseStatus::kOk);
+  EXPECT_EQ(v, -4);
+}
+
 TEST(HashSeed, IsDeterministicAndKeySensitive) {
   EXPECT_EQ(hash_seed(77, "cloverleaf", 4, 2), hash_seed(77, "cloverleaf", 4, 2));
   EXPECT_NE(hash_seed(77, "cloverleaf", 4, 2), hash_seed(77, "kripke", 4, 2));

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "math/rng.hpp"
 #include "model/feasibility.hpp"
@@ -270,6 +271,30 @@ TEST(Feasibility, LargerImagesFitFewerInBudget) {
   EXPECT_GT(points[0].images_in_budget, points[1].images_in_budget);
   EXPECT_GT(points[1].images_in_budget, points[2].images_in_budget);
   EXPECT_GT(points[0].images_in_budget, 0);
+}
+
+TEST(Feasibility, MoreBudgetFitsAtLeastAsManyImages) {
+  const PerfModel model =
+      PerfModel::fit(RendererKind::kRayTrace, synthetic_samples(RendererKind::kRayTrace, 20, 0.0));
+  long previous = -1;
+  for (const double budget : {0.0, 1.0, 30.0, 60.0, 3600.0}) {
+    const auto points = images_in_budget(model, budget, 200, 32, {1024});
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_GE(points[0].images_in_budget, previous) << "budget " << budget;
+    EXPECT_GE(points[0].images_in_budget, 0);
+    previous = points[0].images_in_budget;
+  }
+}
+
+TEST(Feasibility, AbsurdBudgetSaturatesInsteadOfOverflowing) {
+  const PerfModel model =
+      PerfModel::fit(RendererKind::kRayTrace, synthetic_samples(RendererKind::kRayTrace, 21, 0.0));
+  // budget/frame_time far beyond LONG_MAX: the double->long cast must
+  // saturate, never wrap to a negative count.
+  const auto points = images_in_budget(model, 1e30, 200, 32, {1024});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].images_in_budget, std::numeric_limits<long>::max());
+  EXPECT_GT(points[0].build_seconds, 0.0);  // RT pays a build charge
 }
 
 TEST(Feasibility, RayTracingWinsWithBigDataSmallImages) {

@@ -1,0 +1,347 @@
+// Tests for the serving layer: registry fingerprinting and cache-hit
+// behavior, the typed advisor API, batch-vs-serial response identity at
+// any thread count, and the JSON-lines front-end.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "serve/advisor.hpp"
+#include "serve/jsonl.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::serve {
+namespace {
+
+// A calibration corpus small enough that a registry fit costs well under a
+// second: 1 sim x 2 tasks x 3 samples x 2 archs x 3 renderers = 36 obs.
+model::StudyConfig tiny_calibration() {
+  model::StudyConfig cfg;
+  cfg.archs = {"CPU1", "GPU1"};
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2};
+  cfg.samples_per_config = 3;
+  cfg.min_image = 96;
+  cfg.max_image = 192;
+  cfg.min_n = 16;
+  cfg.max_n = 28;
+  cfg.vr_samples = 120;
+  cfg.sim_steps = 1;
+  cfg.seed = 123;
+  return cfg;
+}
+
+ServiceConfig tiny_service_config(int threads = 0) {
+  ServiceConfig cfg;
+  cfg.calibration = tiny_calibration();
+  cfg.threads = threads;
+  return cfg;
+}
+
+// One service and one registry shared by the suite, so the calibration
+// corpus is fitted once for all the serving tests (the registry's own
+// point, exercised for real in the dedicated registry tests below).
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = std::make_shared<ModelRegistry>();
+    service_ = new AdvisorService(tiny_service_config(), registry_);
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+    registry_.reset();
+  }
+  static AdvisorService* service_;
+  static std::shared_ptr<ModelRegistry> registry_;
+};
+
+AdvisorService* ServeFixture::service_ = nullptr;
+std::shared_ptr<ModelRegistry> ServeFixture::registry_;
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ModelRegistryTest, FitsOncePerFingerprintAndCaches) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.fits(), 0);
+  const FittedModels& first = registry.models_for(tiny_calibration());
+  EXPECT_EQ(registry.fits(), 1);
+  EXPECT_EQ(first.corpus_size, 36u);
+  EXPECT_EQ(first.entries.size(), 6u);  // 2 archs x 3 renderers
+
+  // Same config again: cache hit, same bundle, no refit.
+  const FittedModels& again = registry.models_for(tiny_calibration());
+  EXPECT_EQ(registry.fits(), 1);
+  EXPECT_EQ(&first, &again);
+
+  // A corpus-shaping change is a different fingerprint and a refit.
+  model::StudyConfig changed = tiny_calibration();
+  changed.seed = 124;
+  registry.models_for(changed);
+  EXPECT_EQ(registry.fits(), 2);
+}
+
+TEST(ModelRegistryTest, FingerprintCoversCorpusShapeButNotThreads) {
+  const model::StudyConfig base = tiny_calibration();
+  const std::uint64_t h = ModelRegistry::fingerprint(base);
+
+  // run_study guarantees thread-count invariance of the corpus, so a config
+  // differing only in worker count must hit the same cache entry.
+  model::StudyConfig threaded = base;
+  threaded.threads = 7;
+  EXPECT_EQ(ModelRegistry::fingerprint(threaded), h);
+
+  model::StudyConfig other = base;
+  other.min_image = base.min_image + 1;
+  EXPECT_NE(ModelRegistry::fingerprint(other), h);
+  other = base;
+  other.sims = {"cloverleaf", "lulesh"};
+  EXPECT_NE(ModelRegistry::fingerprint(other), h);
+  other = base;
+  other.renderers = {model::RendererKind::kRayTrace};
+  EXPECT_NE(ModelRegistry::fingerprint(other), h);
+  other = base;
+  other.tasks = {1, 4};
+  EXPECT_NE(ModelRegistry::fingerprint(other), h);
+}
+
+TEST(ModelRegistryTest, FindReturnsNullForUnfittedCombination) {
+  ModelRegistry registry;
+  model::StudyConfig cfg = tiny_calibration();
+  cfg.archs = {"CPU1"};
+  cfg.renderers = {model::RendererKind::kRayTrace};
+  const FittedModels& fitted = registry.models_for(cfg);
+  EXPECT_NE(fitted.find("CPU1", model::RendererKind::kRayTrace), nullptr);
+  EXPECT_EQ(fitted.find("GPU1", model::RendererKind::kRayTrace), nullptr);
+  EXPECT_EQ(fitted.find("CPU1", model::RendererKind::kVolume), nullptr);
+}
+
+// --- Typed advisor API ------------------------------------------------------
+
+TEST_F(ServeFixture, AnswersAFeasibilityQuery) {
+  AdvisorRequest req;
+  req.arch = "CPU1";
+  req.renderer = model::RendererKind::kRayTrace;
+  req.n_per_task = 100;
+  req.tasks = 8;
+  req.image_edge = 512;
+  req.budget_seconds = 60.0;
+  const AdvisorResponse resp = service_->serve_one(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_GT(resp.frame_seconds, 0.0);
+  EXPECT_GT(resp.build_seconds, 0.0);  // ray tracing pays a BVH build
+  EXPECT_GT(resp.images_in_budget, 0);
+  ASSERT_TRUE(resp.has_verdict);
+  EXPECT_GT(resp.rt_seconds, 0.0);
+  EXPECT_GT(resp.rast_seconds, 0.0);
+  EXPECT_NEAR(resp.ratio, resp.rast_seconds / resp.rt_seconds, 1e-12);
+  EXPECT_EQ(resp.prefer_ray_tracing, resp.ratio > 1.0);
+}
+
+TEST_F(ServeFixture, MoreBudgetNeverMeansFewerImages) {
+  AdvisorRequest req;
+  req.n_per_task = 100;
+  req.tasks = 8;
+  req.image_edge = 512;
+  long previous = -1;
+  for (const double budget : {0.0, 10.0, 60.0, 600.0}) {
+    req.budget_seconds = budget;
+    const AdvisorResponse resp = service_->serve_one(req);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_GE(resp.images_in_budget, previous) << "budget " << budget;
+    previous = resp.images_in_budget;
+  }
+}
+
+TEST_F(ServeFixture, UnknownArchAndInvalidValuesAreLoudErrors) {
+  AdvisorRequest req;
+  req.arch = "TPU9";
+  AdvisorResponse resp = service_->serve_one(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("TPU9"), std::string::npos);
+  EXPECT_EQ(resp.images_in_budget, 0);
+
+  req = AdvisorRequest{};
+  req.tasks = 0;
+  resp = service_->serve_one(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("tasks"), std::string::npos);
+
+  req = AdvisorRequest{};
+  req.budget_seconds = -1.0;
+  EXPECT_FALSE(service_->serve_one(req).ok);
+
+  // An absurd but non-negative budget is answerable: the count saturates
+  // (model/feasibility.*) rather than overflowing to a negative.
+  req = AdvisorRequest{};
+  req.budget_seconds = 1e30;
+  const AdvisorResponse huge = service_->serve_one(req);
+  ASSERT_TRUE(huge.ok) << huge.error;
+  EXPECT_EQ(huge.images_in_budget, std::numeric_limits<long>::max());
+}
+
+TEST_F(ServeFixture, BatchMatchesSerialBitForBitAtAnyThreadCount) {
+  // A mixed batch: every arch x renderer, several sizes, one error slot.
+  std::vector<AdvisorRequest> requests;
+  for (const std::string arch : {"CPU1", "GPU1"}) {
+    for (const model::RendererKind kind :
+         {model::RendererKind::kRayTrace, model::RendererKind::kRasterize,
+          model::RendererKind::kVolume}) {
+      for (const int edge : {256, 1024}) {
+        AdvisorRequest req;
+        req.arch = arch;
+        req.renderer = kind;
+        req.image_edge = edge;
+        requests.push_back(req);
+      }
+    }
+  }
+  AdvisorRequest bad;
+  bad.arch = "nope";
+  requests.push_back(bad);
+
+  // Serial reference: serve_one in a loop on the shared (fitted) service.
+  std::vector<AdvisorResponse> serial;
+  for (const AdvisorRequest& req : requests) serial.push_back(service_->serve_one(req));
+
+  // Batched at several thread counts, answering from the fixture's
+  // registry: the same fitted models, no refits, only the fan-out varies.
+  for (const int threads : {1, 3, 4}) {
+    AdvisorService service(tiny_service_config(threads), registry_);
+    const std::vector<AdvisorResponse> batched = service.serve_batch(requests);
+    ASSERT_EQ(batched.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(responses_identical(serial[i], batched[i])) << "slot " << i;
+      EXPECT_EQ(to_jsonl(serial[i]), to_jsonl(batched[i])) << "slot " << i;
+    }
+  }
+}
+
+TEST(AdvisorServiceTest, SprBaseFollowsCalibrationSamplingDensity) {
+  // Construction is lazy (no fit), so these are cheap. The default
+  // spr_base sentinel derives from vr_samples so an overridden calibration
+  // density keeps the §5.8 SPR mapping consistent with the corpus.
+  AdvisorService derived(tiny_service_config());  // vr_samples = 120
+  EXPECT_DOUBLE_EQ(derived.config().constants.spr_base, 0.93 * 120);
+
+  ServiceConfig pinned = tiny_service_config();
+  pinned.constants.spr_base = 42.0;  // explicit value wins
+  AdvisorService pinned_service(std::move(pinned));
+  EXPECT_DOUBLE_EQ(pinned_service.config().constants.spr_base, 42.0);
+}
+
+TEST(AdvisorServiceTest, EmptyBatchDoesNotTriggerCalibration) {
+  AdvisorService service(tiny_service_config());
+  EXPECT_TRUE(service.serve_batch({}).empty());
+  EXPECT_EQ(service.registry().fits(), 0);
+}
+
+TEST(AdvisorServiceTest, SharedRegistryFitsOnlyOnce) {
+  const auto registry = std::make_shared<ModelRegistry>();
+  AdvisorService serial(tiny_service_config(1), registry);
+  AdvisorService parallel(tiny_service_config(4), registry);
+  serial.serve_one(AdvisorRequest{});
+  parallel.serve_one(AdvisorRequest{});
+  EXPECT_EQ(registry->fits(), 1);
+}
+
+// --- Wire format ------------------------------------------------------------
+
+TEST(JsonlParse, AcceptsFullPartialAndEmptyObjects) {
+  AdvisorRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_request_line(
+      R"({"arch":"GPU1","renderer":"volume","n_per_task":80,"tasks":4,)"
+      R"("image_edge":256,"budget_seconds":12.5,"frames":7})",
+      req, error))
+      << error;
+  EXPECT_EQ(req.arch, "GPU1");
+  EXPECT_EQ(req.renderer, model::RendererKind::kVolume);
+  EXPECT_EQ(req.n_per_task, 80);
+  EXPECT_EQ(req.tasks, 4);
+  EXPECT_EQ(req.image_edge, 256);
+  EXPECT_DOUBLE_EQ(req.budget_seconds, 12.5);
+  EXPECT_EQ(req.frames, 7);
+
+  // Unset keys keep the schema defaults.
+  req = AdvisorRequest{};
+  ASSERT_TRUE(parse_request_line(R"({"renderer":"rasterize"})", req, error)) << error;
+  EXPECT_EQ(req.renderer, model::RendererKind::kRasterize);
+  EXPECT_EQ(req.arch, "CPU1");
+  EXPECT_EQ(req.tasks, 32);
+
+  ASSERT_TRUE(parse_request_line("{}", req, error)) << error;
+  ASSERT_TRUE(parse_request_line("  { \"tasks\" : 16 }  ", req, error)) << error;
+  EXPECT_EQ(req.tasks, 16);
+}
+
+TEST(JsonlParse, RejectsMalformedInputWithReasons) {
+  AdvisorRequest req;
+  const AdvisorRequest defaults;
+  std::string error;
+  EXPECT_FALSE(parse_request_line("not json", req, error));
+  EXPECT_FALSE(parse_request_line(R"({"unknown_key":1})", req, error));
+  EXPECT_NE(error.find("unknown_key"), std::string::npos);
+  EXPECT_FALSE(parse_request_line(R"({"tasks":"eight"})", req, error));
+  EXPECT_FALSE(parse_request_line(R"({"tasks":4.5})", req, error));
+  EXPECT_NE(error.find("integer"), std::string::npos);
+  EXPECT_FALSE(parse_request_line(R"({"renderer":"opengl"})", req, error));
+  EXPECT_FALSE(parse_request_line(R"({"tasks":8,"tasks":64})", req, error));
+  EXPECT_NE(error.find("duplicate key"), std::string::npos);
+  EXPECT_FALSE(parse_request_line(R"({"arch":"CPU1")", req, error));  // no closing brace
+  EXPECT_FALSE(parse_request_line(R"({"arch":"CPU1"} trailing)", req, error));
+  // A failed parse must not half-mutate the request.
+  EXPECT_EQ(req.arch, defaults.arch);
+  EXPECT_EQ(req.tasks, defaults.tasks);
+}
+
+TEST(JsonlService, ServesBatchesInOrderWithErrorSlots) {
+  std::istringstream in(
+      "{\"arch\":\"CPU1\",\"renderer\":\"raytrace\",\"image_edge\":256}\n"
+      "garbage\n"
+      "{\"arch\":\"GPU1\",\"renderer\":\"volume\",\"n_per_task\":24,\"tasks\":2}\n"
+      "\n"
+      "{\"renderer\":\"rasterize\"}\n");
+  std::ostringstream out;
+  AdvisorService service(tiny_service_config());
+  const std::size_t answered = run_jsonl(in, out, service);
+  EXPECT_EQ(answered, 4u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(responses[0].find("\"images_in_budget\":"), std::string::npos);
+  EXPECT_NE(responses[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(responses[1].find("parse error"), std::string::npos);
+  EXPECT_NE(responses[2].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(responses[3].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(responses[3].find("\"recommendation\":\""), std::string::npos);
+}
+
+TEST(JsonlService, ResponseLinesMatchServeOneByteForByte) {
+  AdvisorService service(tiny_service_config());
+  AdvisorRequest req;
+  req.arch = "GPU1";
+  req.renderer = model::RendererKind::kRasterize;
+  req.image_edge = 640;
+  const std::string expected = to_jsonl(service.serve_one(req));
+
+  std::istringstream in(R"({"arch":"GPU1","renderer":"rasterize","image_edge":640})");
+  std::ostringstream out;
+  run_jsonl(in, out, service);
+  EXPECT_EQ(out.str(), expected + "\n");
+}
+
+TEST(JsonlFormat, ErrorResponsesEscapeJsonMetacharacters) {
+  AdvisorResponse r;
+  r.ok = false;
+  r.error = "bad \"value\"\nwith\\slash";
+  EXPECT_EQ(to_jsonl(r),
+            "{\"ok\":false,\"error\":\"bad \\\"value\\\"\\u000awith\\\\slash\"}");
+}
+
+}  // namespace
+}  // namespace isr::serve
