@@ -8,17 +8,22 @@
 //   calibration corpus, via one serve_batch call.
 //
 //   Service:
-//     $ ./feasibility_advisor --serve
+//     $ ./feasibility_advisor --serve [--shards N] [--cache ENTRIES]
 //   runs the long-lived JSON-lines service on stdin/stdout (one request
 //   object per line, blank line or EOF flushes a batch; schema in
-//   docs/ARCHITECTURE.md). Models are fitted once and cached in the
-//   service's ModelRegistry, not refit per query.
+//   docs/ARCHITECTURE.md). Requests route through the sharded serving
+//   cluster (src/cluster/): models are fitted once, replicated to every
+//   shard, and repeated requests hit the LRU response cache. --shards and
+//   --cache override the ISR_SHARDS (default 1) and ISR_CACHE_ENTRIES
+//   (default 1024; 0 disables) environment variables; a cluster-metrics
+//   JSON line goes to stderr at EOF, keeping stdout pure responses.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/env.hpp"
 #include "serve/advisor.hpp"
 #include "serve/jsonl.hpp"
@@ -31,7 +36,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [N_per_task=200] [tasks=32] [image_edge=1024] [budget_seconds=60]\n"
-               "       %s --serve     (JSON-lines service on stdin/stdout)\n",
+               "       %s --serve [--shards N] [--cache ENTRIES]\n"
+               "                      (JSON-lines service on stdin/stdout; defaults come\n"
+               "                       from ISR_SHARDS / ISR_CACHE_ENTRIES, 0 cache = off)\n",
                argv0, argv0);
   return 2;
 }
@@ -66,8 +73,52 @@ bool parse_positional_double(const char* argv0, const char* name, const char* te
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
-    if (argc > 2) return usage(argv[0]);
-    serve::run_jsonl(std::cin, std::cout);
+    // Env defaults, overridable by flags. 0 cache entries disables caching;
+    // a garbled env value warns and falls back (core/env contract). The env
+    // path honors the same shard cap as the flag: each shard allocates a
+    // registry + queue + 64 router ring points, so an absurd value must
+    // clamp loudly, not OOM silently.
+    long shards = core::env_long("ISR_SHARDS", 1);
+    if (shards > 4096) {
+      std::fprintf(stderr, "%s: ISR_SHARDS=%ld too large, clamping to 4096\n", argv[0], shards);
+      shards = 4096;
+    }
+    long cache_entries = core::env_long("ISR_CACHE_ENTRIES", 1024, /*require_positive=*/false);
+    for (int a = 2; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+        const core::ParseStatus status =
+            core::parse_long(argv[++a], shards, /*require_positive=*/true);
+        if (status != core::ParseStatus::kOk || shards > 4096) {
+          std::fprintf(stderr, "%s: bad --shards \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk ? "too large"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
+      } else if (std::strcmp(argv[a], "--cache") == 0 && a + 1 < argc) {
+        const core::ParseStatus status = core::parse_long(argv[++a], cache_entries);
+        if (status != core::ParseStatus::kOk || cache_entries < 0) {
+          std::fprintf(stderr, "%s: bad --cache \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk
+                           ? "must be >= 0"
+                           : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (cache_entries < 0) cache_entries = 0;
+
+    cluster::ClusterConfig config;
+    config.shards = static_cast<int>(shards);
+    config.cache_entries = static_cast<std::size_t>(cache_entries);
+    cluster::ServingCluster serving(std::move(config));
+    serve::run_jsonl(std::cin, std::cout,
+                     [&serving](const std::vector<serve::AdvisorRequest>& requests) {
+                       return serving.serve_batch(requests);
+                     });
+    // Operational snapshot on stderr so stdout stays pure response lines.
+    std::fprintf(stderr, "%s\n", serving.metrics().to_jsonl().c_str());
     return 0;
   }
   if (argc > 5) return usage(argv[0]);

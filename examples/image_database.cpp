@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/env.hpp"
 #include "dpp/device.hpp"
 #include "math/colormap.hpp"
 #include "mesh/fields.hpp"
@@ -18,8 +19,30 @@
 
 using namespace isr;
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [budget_seconds=10] [output_dir=.]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const double budget = argc > 1 ? std::atof(argv[1]) : 10.0;
+  if (argc > 3) return usage(argv[0]);
+  // Validated argv (core/env contract): garbage is rejected loudly with
+  // usage + exit 2, never atof'd to 0 — a mistyped budget must not silently
+  // produce a zero-frame database.
+  double budget = 10.0;
+  if (argc > 1) {
+    const core::ParseStatus status =
+        core::parse_double(argv[1], budget, /*require_positive=*/true);
+    if (status != core::ParseStatus::kOk) {
+      std::fprintf(stderr, "%s: bad budget_seconds \"%s\" (%s)\n", argv[0], argv[1],
+                   core::parse_status_message(status));
+      return usage(argv[0]);
+    }
+  }
   const std::string out_dir = argc > 2 ? argv[2] : ".";
 
   const int n = 80;

@@ -9,13 +9,36 @@
 #include <cstdio>
 #include <string>
 
+#include "core/env.hpp"
 #include "insitu/strawman.hpp"
 #include "sims/cloverleaf.hpp"
 
 using namespace isr;
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [cycles=20] [output_dir=.]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int cycles = argc > 1 ? std::atoi(argv[1]) : 20;
+  if (argc > 3) return usage(argv[0]);
+  // Validated argv (core/env contract): garbage rejected loudly with
+  // usage + exit 2, never atoi'd to 0.
+  long cycles = 20;
+  if (argc > 1) {
+    const core::ParseStatus status =
+        core::parse_long(argv[1], cycles, /*require_positive=*/true);
+    if (status != core::ParseStatus::kOk || cycles > 1 << 20) {
+      std::fprintf(stderr, "%s: bad cycles \"%s\" (%s)\n", argv[0], argv[1],
+                   status == core::ParseStatus::kOk ? "too large"
+                                                    : core::parse_status_message(status));
+      return usage(argv[0]);
+    }
+  }
   const std::string out_dir = argc > 2 ? argv[2] : ".";
 
   sims::CloverLeaf sim(48, 48, 48);

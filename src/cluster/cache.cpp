@@ -1,0 +1,95 @@
+#include "cluster/cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "math/rng.hpp"
+
+namespace isr::cluster {
+
+std::string canonical_request_key(const serve::AdvisorRequest& r) {
+  std::uint64_t budget_bits = 0;
+  static_assert(sizeof(budget_bits) == sizeof(r.budget_seconds), "double must be 64-bit");
+  std::memcpy(&budget_bits, &r.budget_seconds, sizeof(budget_bits));
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "|%s|%d|%d|%d|%016llx|%d",
+                serve::renderer_token(r.renderer), r.n_per_task, r.tasks, r.image_edge,
+                static_cast<unsigned long long>(budget_bits), r.frames);
+  char head[24];
+  std::snprintf(head, sizeof(head), "%zu:", r.arch.size());
+  std::string key;
+  key.reserve(r.arch.size() + 48);
+  key += head;
+  key += r.arch;
+  key += tail;
+  return key;
+}
+
+ResponseCache::ResponseCache(std::size_t entries, int ways) {
+  if (entries == 0) return;  // disabled
+  if (ways < 1) ways = 1;
+  if (static_cast<std::size_t>(ways) > entries) ways = static_cast<int>(entries);
+  const std::size_t per_way = (entries + static_cast<std::size_t>(ways) - 1) /
+                              static_cast<std::size_t>(ways);
+  ways_.reserve(static_cast<std::size_t>(ways));
+  for (int w = 0; w < ways; ++w) {
+    auto way = std::make_unique<Way>();
+    way->capacity = per_way;
+    ways_.push_back(std::move(way));
+  }
+}
+
+ResponseCache::Way& ResponseCache::way_for(const std::string& key) {
+  // hash_combine's FNV-1a path over the key bytes; splitmix64-finalized, so
+  // the low bits used for way selection are well mixed.
+  const std::uint64_t h = hash_combine(0x57A9E5ull, key);
+  return *ways_[static_cast<std::size_t>(h % ways_.size())];
+}
+
+bool ResponseCache::lookup(const std::string& key, serve::AdvisorResponse& out) {
+  if (!enabled()) return false;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Way& way = way_for(key);
+  std::lock_guard<std::mutex> lock(way.mutex);
+  const auto it = way.index.find(key);
+  if (it == way.index.end()) return false;
+  way.lru.splice(way.lru.begin(), way.lru, it->second);  // refresh recency
+  out = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResponseCache::insert(const std::string& key, const serve::AdvisorResponse& response) {
+  if (!enabled()) return;
+  Way& way = way_for(key);
+  std::lock_guard<std::mutex> lock(way.mutex);
+  const auto it = way.index.find(key);
+  if (it != way.index.end()) {
+    it->second->second = response;
+    way.lru.splice(way.lru.begin(), way.lru, it->second);
+    return;
+  }
+  if (way.lru.size() >= way.capacity) {
+    way.index.erase(way.lru.back().first);  // evict least recently used
+    way.lru.pop_back();
+  }
+  way.lru.emplace_front(key, response);
+  way.index.emplace(way.lru.front().first, way.lru.begin());
+}
+
+std::size_t ResponseCache::size() const {
+  std::size_t total = 0;
+  for (const auto& way : ways_) {
+    std::lock_guard<std::mutex> lock(way->mutex);
+    total += way->lru.size();
+  }
+  return total;
+}
+
+std::size_t ResponseCache::capacity() const {
+  std::size_t total = 0;
+  for (const auto& way : ways_) total += way->capacity;
+  return total;
+}
+
+}  // namespace isr::cluster

@@ -1,0 +1,73 @@
+// Response cache for the serving cluster: an LRU keyed by the canonical
+// byte serialization of a request, sharded into independently locked ways
+// so concurrent shard workers do not serialize on one mutex. A hit returns
+// the stored AdvisorResponse verbatim — and because a response is a pure
+// function of (request, fitted models), a cached response is bitwise the
+// response evaluation would have produced, so cache state can never change
+// the bytes a client sees (the cluster's determinism contract).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/advisor.hpp"
+
+namespace isr::cluster {
+
+// The canonical request bytes: every AdvisorRequest field in fixed order,
+// integers in decimal, the budget as its exact IEEE-754 bit pattern (so
+// 0.1 + 0.2 and 0.3 are different keys, as they must be — they produce
+// different predictions), and the arch length-prefixed so no crafted arch
+// string can collide with another request's encoding.
+std::string canonical_request_key(const serve::AdvisorRequest& request);
+
+class ResponseCache {
+ public:
+  // `entries` caps the TOTAL cached responses across all ways; 0 disables
+  // the cache (lookup always misses, insert is a no-op). `ways` is the
+  // lock-sharding factor; each way holds an independent LRU of
+  // ceil(entries/ways) entries, so the effective total can exceed `entries`
+  // by at most ways-1.
+  explicit ResponseCache(std::size_t entries, int ways = 8);
+
+  bool enabled() const { return !ways_.empty(); }
+
+  // On hit copies the stored response into `out`, refreshes recency, and
+  // returns true. Both outcomes count toward the hit-rate metrics.
+  bool lookup(const std::string& key, serve::AdvisorResponse& out);
+
+  // Inserts (or refreshes) `key`, evicting the way's least-recently-used
+  // entry when full.
+  void insert(const std::string& key, const serve::AdvisorResponse& response);
+
+  long lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  long hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t size() const;      // responses currently held
+  std::size_t capacity() const;  // sum of the ways' capacities
+
+ private:
+  struct Way {
+    std::mutex mutex;
+    std::size_t capacity = 0;
+    // Front = most recently used. The map indexes into the list.
+    std::list<std::pair<std::string, serve::AdvisorResponse>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, serve::AdvisorResponse>>::iterator>
+        index;
+  };
+
+  Way& way_for(const std::string& key);
+
+  std::vector<std::unique_ptr<Way>> ways_;  // empty when disabled
+  std::atomic<long> lookups_{0};
+  std::atomic<long> hits_{0};
+};
+
+}  // namespace isr::cluster

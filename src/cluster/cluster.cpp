@@ -1,0 +1,167 @@
+#include "cluster/cluster.hpp"
+
+#include <exception>
+
+#include "core/parallel_for.hpp"
+
+namespace isr::cluster {
+
+ServingCluster::ServingCluster(ClusterConfig config,
+                               std::shared_ptr<serve::ModelRegistry> primary)
+    : config_(std::move(config)),
+      primary_(primary ? std::move(primary) : std::make_shared<serve::ModelRegistry>()),
+      router_(config_.shards,
+              serve::ModelRegistry::fingerprint(config_.service.calibration)),
+      cache_(config_.cache_entries, config_.cache_ways),
+      pool_(config_.threads) {
+  // Mirror AdvisorService's spr_base derivation: the SPR mapping must
+  // assume the sampling density the calibration corpus was rendered at.
+  if (config_.service.constants.spr_base <= 0.0)
+    config_.service.constants.spr_base = 0.93 * config_.service.calibration.vr_samples;
+  const int n_shards = config_.shards > 0 ? config_.shards : 1;
+  config_.shards = n_shards;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  // A batch can never outgrow the queue: a producer helping on a FULL
+  // queue must find an immediately poppable (kSize) batch, not wait out
+  // the coalescing deadline.
+  if (config_.batch_size > config_.queue_capacity)
+    config_.batch_size = config_.queue_capacity;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  const auto deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(
+          config_.batch_deadline_ms > 0.0 ? config_.batch_deadline_ms : 0.0));
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(s, config_.service.constants,
+                                              config_.queue_capacity, config_.batch_size,
+                                              deadline));
+}
+
+void ServingCluster::ensure_replicated() {
+  std::lock_guard<std::mutex> lock(replicate_mutex_);
+  if (replicated_) return;
+  // One fit per distinct corpus fingerprint, on the primary; every shard
+  // replica adopts a copy of the bundle (adoption never counts as a fit).
+  const serve::FittedModels& fitted = primary_->models_for(config_.service.calibration);
+  for (const auto& shard : shards_) shard->adopt(fitted);
+  replicated_ = true;
+}
+
+std::vector<serve::AdvisorResponse> ServingCluster::serve_batch(
+    const std::vector<serve::AdvisorRequest>& requests) {
+  if (requests.empty()) return {};
+  ensure_replicated();
+  // One batch in flight at a time: the shard queues' reopen/close lifecycle
+  // and the slot indices in flight belong to the current batch, so
+  // overlapping batches must serialize here (the fan-out below is where
+  // the parallelism lives).
+  std::lock_guard<std::mutex> serve_lock(serve_mutex_);
+
+  const std::size_t n = requests.size();
+  std::vector<serve::AdvisorResponse> responses(n);
+
+  // Cache pass (serial, cheap): hits fill their slots and skip evaluation
+  // entirely; misses carry their canonical key to the shard for insertion.
+  // With the cache off, keys are never built — the uncached hot path pays
+  // nothing for the cache's existence.
+  const bool caching = cache_.enabled();
+  std::vector<std::size_t> miss;
+  std::vector<std::string> miss_key;
+  miss.reserve(n);
+  miss_key.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key = caching ? canonical_request_key(requests[i]) : std::string();
+    if (!caching || !cache_.lookup(key, responses[i])) {
+      miss.push_back(i);
+      miss_key.push_back(std::move(key));
+    }
+  }
+
+  if (!miss.empty()) {
+    for (const auto& shard : shards_) shard->reopen();
+    ResponseCache* cache = cache_.enabled() ? &cache_ : nullptr;
+    const std::size_t lanes = shards_.size() + 1;
+
+    // Lane 0 produces: route each miss to its shard's bounded queue; when a
+    // queue is full, help by draining a batch (backpressure, and the reason
+    // a 1-thread pool cannot deadlock). Lanes 1..N are the shard workers.
+    core::parallel_for(pool_, lanes, [&](std::size_t lane) {
+      if (lane == 0) {
+        try {
+          for (std::size_t j = 0; j < miss.size(); ++j) {
+            const std::size_t i = miss[j];
+            Shard& shard = *shards_[static_cast<std::size_t>(
+                router_.shard_for(requests[i].arch))];
+            RoutedRequest item;
+            item.request = requests[i];
+            item.slot = i;
+            item.cache_key = std::move(miss_key[j]);
+            item.enqueued = std::chrono::steady_clock::now();
+            // A full queue converts the producer into a worker: drain one
+            // batch, then retry the same (untouched-on-failure) item.
+            while (!shard.try_enqueue(std::move(item)))
+              shard.drain_one_batch(responses, cache);
+          }
+        } catch (...) {
+          // A wedged producer must still release the workers: close every
+          // queue so blocked pop_batch calls return, then rethrow through
+          // the pool (parallel_for surfaces the first exception).
+          for (const auto& shard : shards_) shard->close();
+          throw;
+        }
+        for (const auto& shard : shards_) shard->close();
+      } else {
+        Shard& shard = *shards_[lane - 1];
+        while (shard.drain_one_batch(responses, cache)) {
+        }
+      }
+    });
+  }
+
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  queries_ += static_cast<long>(n);
+  for (const auto& shard : shards_) shard->drain_latencies(latencies_ms_);
+  // Bound the latency reservoir: a long-lived service must not grow a
+  // sample per request forever. Keep the most recent window; percentiles
+  // in metrics() describe it.
+  constexpr std::size_t kLatencyWindow = 65536;
+  if (latencies_ms_.size() > kLatencyWindow)
+    latencies_ms_.erase(latencies_ms_.begin(),
+                        latencies_ms_.end() - static_cast<std::ptrdiff_t>(kLatencyWindow));
+  return responses;
+}
+
+ClusterMetrics ServingCluster::metrics() const {
+  ClusterMetrics m;
+  m.shards = static_cast<int>(shards_.size());
+  m.shard_queries.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const ShardStats s = shard->stats();
+    m.shard_queries.push_back(s.queries);
+    m.batches += s.batches;
+    m.size_flushes += s.size_flushes;
+    m.deadline_flushes += s.deadline_flushes;
+    m.close_flushes += s.close_flushes;
+    if (shard->max_queue_depth() > m.max_queue_depth)
+      m.max_queue_depth = shard->max_queue_depth();
+  }
+  m.cache_lookups = cache_.lookups();
+  m.cache_hits = cache_.hits();
+  m.cache_hit_rate =
+      m.cache_lookups > 0
+          ? static_cast<double>(m.cache_hits) / static_cast<double>(m.cache_lookups)
+          : 0.0;
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  m.queries = queries_;
+  m.p50_latency_ms = percentile(latencies_ms_, 50.0);
+  m.p99_latency_ms = percentile(latencies_ms_, 99.0);
+  return m;
+}
+
+int ServingCluster::registry_fits() const {
+  int total = primary_->fits();
+  for (const auto& shard : shards_) total += shard->registry().fits();
+  return total;
+}
+
+}  // namespace isr::cluster

@@ -1,0 +1,120 @@
+// The sharded serving cluster (layer 5): turns the single-registry advisor
+// of src/serve/ into a simulated multi-shard cluster on one machine —
+// the ROADMAP's "sharding/replication ... on the road to heavy-traffic
+// serving" item made concrete.
+//
+// A serve_batch call flows:
+//
+//   requests ──canonical key──> ResponseCache ──hit──────────────> slot
+//                  │ miss
+//                  └─> Router (consistent hash of arch + corpus
+//                      fingerprint) ─> per-shard bounded BatchQueue
+//                      ─> shard worker (core::ThreadPool lane) drains
+//                         coalesced batches ─> serve::answer_request
+//                         against the shard's replicated registry ─> slot
+//                         (+ cache insert)
+//
+// Determinism contract (the cluster's load-bearing promise, enforced by
+// test_cluster and bench_cluster_throughput): a response vector — and its
+// serve::to_jsonl bytes — is identical for any shard count, any thread
+// count, and any cache state, because every response is a pure function of
+// (request, fitted models) and all replicas adopt bundles from one fit.
+//
+// Replication: the cluster fits the calibration corpus exactly once per
+// distinct fingerprint (on the primary registry, which callers may share
+// across clusters) and copies the fitted bundle into each shard's replica;
+// registry_fits() exposes the invariant.
+//
+// Deadlock-free by construction at any pool width: the producer lane never
+// blocks — when a shard's bounded queue is full it drains a batch itself
+// (backpressure turns the producer into a worker), so even a 1-thread pool
+// (every lane inline, in order) completes: the producer enqueues-or-drains
+// everything, closes the queues, and the worker lanes mop up.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/cache.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/router.hpp"
+#include "cluster/shard.hpp"
+#include "core/thread_pool.hpp"
+#include "serve/advisor.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::cluster {
+
+struct ClusterConfig {
+  // Calibration corpus + mapping constants, exactly as a single
+  // AdvisorService takes them (the `threads` field is ignored — the
+  // cluster's own `threads` below governs the pool).
+  serve::ServiceConfig service;
+
+  int shards = 1;                    // serving shards (>= 1)
+  std::size_t cache_entries = 1024;  // total ResponseCache entries; 0 = off
+  int cache_ways = 8;                // cache lock-sharding factor
+
+  std::size_t queue_capacity = 1024;  // per-shard admission queue bound
+  std::size_t batch_size = 64;        // coalescing flush threshold
+  double batch_deadline_ms = 0.5;     // coalescing deadline
+
+  // Pool lanes for the fan-out (producer + shard workers): 0 = ISR_THREADS
+  // env / hardware, 1 = fully serial (inline lanes, still correct).
+  int threads = 0;
+};
+
+class ServingCluster {
+ public:
+  // A primary registry may be shared between clusters (e.g. the benchmark's
+  // 1-shard serial and N-shard parallel clusters answering from one fit);
+  // by default the cluster creates its own.
+  explicit ServingCluster(ClusterConfig config = {},
+                          std::shared_ptr<serve::ModelRegistry> primary = nullptr);
+
+  // Answers a batch: response[i] for request[i], byte-identical through
+  // serve::to_jsonl to a serial single-registry run of the same requests.
+  // Thread-safe by serialization: concurrent callers queue on an internal
+  // mutex, one batch in flight at a time — the shard queues and response
+  // slots belong to the current batch, and parallelism comes from the
+  // cluster's own fan-out, not from overlapping batches.
+  std::vector<serve::AdvisorResponse> serve_batch(
+      const std::vector<serve::AdvisorRequest>& requests);
+
+  // Cumulative metrics snapshot (percentiles computed over every latency
+  // recorded so far).
+  ClusterMetrics metrics() const;
+
+  // Calibration fits performed across the primary and every shard replica.
+  // Must equal the number of distinct corpus fingerprints served — shards
+  // adopt, they never refit.
+  int registry_fits() const;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  // Fit-once-replicate-everywhere: runs the calibration on the primary (or
+  // takes its cached bundle) and adopts it into every shard replica.
+  void ensure_replicated();
+
+  ClusterConfig config_;
+  std::shared_ptr<serve::ModelRegistry> primary_;
+  Router router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ResponseCache cache_;
+  core::ThreadPool pool_;
+  bool replicated_ = false;
+  std::mutex replicate_mutex_;
+  std::mutex serve_mutex_;  // one batch in flight at a time (see serve_batch)
+
+  mutable std::mutex metrics_mutex_;
+  long queries_ = 0;
+  // Most recent per-request latencies, bounded so a long-lived service
+  // cannot grow without limit; percentiles describe this sliding window.
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace isr::cluster

@@ -1,0 +1,48 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace isr::cluster {
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  if (p >= 100.0) return samples.back();
+  // Nearest rank: the ceil(p/100 * n)-th smallest sample (1-based).
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank > 0 ? rank - 1 : 0];
+}
+
+std::string ClusterMetrics::to_jsonl() const {
+  std::string shard_list = "[";
+  for (std::size_t s = 0; s < shard_queries.size(); ++s) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%s%ld", s == 0 ? "" : ",", shard_queries[s]);
+    shard_list += buf;
+  }
+  shard_list += "]";
+
+  const char* fmt =
+      "{\"shards\":%d,\"queries\":%ld,\"shard_queries\":%s,"
+      "\"cache_lookups\":%ld,\"cache_hits\":%ld,\"cache_hit_rate\":%.6f,"
+      "\"batches\":%ld,\"size_flushes\":%ld,\"deadline_flushes\":%ld,"
+      "\"close_flushes\":%ld,\"max_queue_depth\":%zu,"
+      "\"p50_latency_ms\":%.6f,\"p99_latency_ms\":%.6f}";
+  // Two-pass snprintf into an exactly-sized string, as in study.cpp.
+  const int len = std::snprintf(nullptr, 0, fmt, shards, queries, shard_list.c_str(),
+                                cache_lookups, cache_hits, cache_hit_rate, batches,
+                                size_flushes, deadline_flushes, close_flushes,
+                                max_queue_depth, p50_latency_ms, p99_latency_ms);
+  std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
+  std::snprintf(&line[0], line.size() + 1, fmt, shards, queries, shard_list.c_str(),
+                cache_lookups, cache_hits, cache_hit_rate, batches, size_flushes,
+                deadline_flushes, close_flushes, max_queue_depth, p50_latency_ms,
+                p99_latency_ms);
+  return line;
+}
+
+}  // namespace isr::cluster

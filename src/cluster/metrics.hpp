@@ -1,0 +1,44 @@
+// Operational metrics for the serving cluster, exported as one JSON line
+// (fixed field order, printf-formatted numbers — the same stable-bytes
+// discipline as the response wire format). Metrics are observability, not
+// part of the determinism contract: latencies are wall-clock measurements
+// and vary run to run; everything else (queries, shard counts, hit rates)
+// is deterministic for a deterministic workload.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace isr::cluster {
+
+// Nearest-rank percentile of `samples` (copied and sorted internally);
+// p in [0, 100]. Returns 0 for an empty sample set.
+double percentile(std::vector<double> samples, double p);
+
+struct ClusterMetrics {
+  int shards = 0;
+  long queries = 0;                 // total requests answered (hits included)
+  std::vector<long> shard_queries;  // evaluated per shard (cache misses)
+
+  long cache_lookups = 0;
+  long cache_hits = 0;
+  double cache_hit_rate = 0.0;  // hits / lookups; 0 when the cache is off
+
+  long batches = 0;  // coalesced batches drained across all shards
+  long size_flushes = 0;      // batch reached the configured batch size
+  long deadline_flushes = 0;  // coalescing deadline fired first
+  long close_flushes = 0;     // queue close drained a partial batch
+  std::size_t max_queue_depth = 0;  // deepest any shard queue ever was
+
+  // Enqueue -> response written, per request, over the most recent sample
+  // window (the cluster bounds its latency reservoir so a long-lived
+  // service cannot grow without limit).
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  // One JSON object, no trailing newline. Schema in docs/ARCHITECTURE.md.
+  std::string to_jsonl() const;
+};
+
+}  // namespace isr::cluster

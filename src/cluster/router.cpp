@@ -1,0 +1,35 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+
+#include "math/rng.hpp"
+
+namespace isr::cluster {
+
+namespace {
+// Domain-separation salt so ring points can never collide with the request
+// key hashes they are compared against.
+constexpr std::uint64_t kRingSalt = 0xC105732Bull;
+}  // namespace
+
+Router::Router(int shards, std::uint64_t corpus_fingerprint, int replicas)
+    : shards_(shards > 0 ? shards : 1), fingerprint_(corpus_fingerprint) {
+  if (replicas < 1) replicas = 1;
+  ring_.reserve(static_cast<std::size_t>(shards_) * static_cast<std::size_t>(replicas));
+  for (int s = 0; s < shards_; ++s)
+    for (int v = 0; v < replicas; ++v)
+      ring_.emplace_back(hash_seed(kRingSalt, static_cast<std::uint64_t>(s),
+                                   static_cast<std::uint64_t>(v)),
+                         s);
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int Router::shard_for(const std::string& arch) const {
+  if (shards_ == 1) return 0;
+  const std::uint64_t key = hash_seed(fingerprint_, arch);
+  const auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                                   std::make_pair(key, 0));
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+}  // namespace isr::cluster

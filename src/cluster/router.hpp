@@ -1,0 +1,40 @@
+// Request routing for the serving cluster: a consistent-hash ring over the
+// shards, keyed by (calibration-corpus fingerprint, request architecture).
+// Every request for one architecture lands on the same shard — shard
+// affinity keeps that architecture's models hot in one replica's cache
+// lines — and the assignment is a pure function of the key and the shard
+// count, so routing is stable across runs, processes, and machines.
+//
+// Consistent hashing (virtual nodes on a sorted ring) rather than
+// `hash % shards` so that resizing the cluster moves only ~1/N of the key
+// space: a shard added to a warm cluster leaves most architectures pinned
+// to their old replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isr::cluster {
+
+class Router {
+ public:
+  // `replicas` is the virtual-node count per shard; more replicas smooth
+  // the key-space split at the cost of a larger (still tiny) ring.
+  explicit Router(int shards, std::uint64_t corpus_fingerprint, int replicas = 64);
+
+  // The shard owning `arch`'s slice of the ring, in [0, shards()).
+  int shard_for(const std::string& arch) const;
+
+  int shards() const { return shards_; }
+
+ private:
+  int shards_;
+  std::uint64_t fingerprint_;
+  // Sorted (ring position, shard) points; shard_for takes the successor of
+  // the key's hash (wrapping to the first point).
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+};
+
+}  // namespace isr::cluster

@@ -1,0 +1,61 @@
+#include "cluster/shard.hpp"
+
+#include "cluster/cache.hpp"
+
+namespace isr::cluster {
+
+Shard::Shard(int index, model::MappingConstants constants, std::size_t queue_capacity,
+             std::size_t batch_size, std::chrono::nanoseconds batch_deadline)
+    : index_(index),
+      constants_(constants),
+      batch_size_(batch_size > 0 ? batch_size : 1),
+      batch_deadline_(batch_deadline),
+      registry_(std::make_unique<serve::ModelRegistry>()),
+      queue_(queue_capacity) {}
+
+void Shard::adopt(const serve::FittedModels& bundle) {
+  fitted_ = &registry_->adopt(bundle);
+}
+
+bool Shard::drain_one_batch(std::vector<serve::AdvisorResponse>& responses,
+                            ResponseCache* cache) {
+  std::vector<RoutedRequest> batch;
+  const core::BatchFlush flush = queue_.pop_batch(batch_size_, batch_deadline_, batch);
+  if (flush == core::BatchFlush::kEmpty) return false;
+  // A racing drain (the producer helping under backpressure) can empty the
+  // queue while this caller waits out the coalescing deadline; that is not
+  // a batch — record nothing and keep watching the queue.
+  if (batch.empty()) return true;
+
+  // Evaluate outside any lock: responses are pure functions of
+  // (request, fitted models), and slots are disjoint across items.
+  for (const RoutedRequest& item : batch) {
+    responses[item.slot] = serve::answer_request(*fitted_, constants_, item.request);
+    if (cache) cache->insert(item.cache_key, responses[item.slot]);
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.queries += static_cast<long>(batch.size());
+  stats_.batches += 1;
+  if (flush == core::BatchFlush::kSize) stats_.size_flushes += 1;
+  else if (flush == core::BatchFlush::kDeadline) stats_.deadline_flushes += 1;
+  else stats_.close_flushes += 1;
+  for (const RoutedRequest& item : batch)
+    latencies_ms_.push_back(
+        std::chrono::duration<double, std::milli>(now - item.enqueued).count());
+  return true;
+}
+
+ShardStats Shard::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Shard::drain_latencies(std::vector<double>& into) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  into.insert(into.end(), latencies_ms_.begin(), latencies_ms_.end());
+  latencies_ms_.clear();
+}
+
+}  // namespace isr::cluster

@@ -1,0 +1,97 @@
+// One serving shard: a replicated serve::ModelRegistry (the primary fits
+// the calibration corpus once; every shard adopts a copy of the fitted
+// bundle, so a cluster performs exactly one fit per distinct corpus
+// fingerprint no matter how many shards it runs), fed by a bounded
+// core::BatchQueue the cluster's producer lane pushes routed requests into.
+// The shard's worker drains coalesced batches — flushed on batch size, on
+// the coalescing deadline, or on queue close — and evaluates each request
+// through serve::answer_request against the replica's models, writing the
+// response into its pre-assigned slot and (on a miss path) into the shared
+// response cache.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/batch_queue.hpp"
+#include "serve/advisor.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::cluster {
+
+class ResponseCache;
+
+// One routed request in flight: where its response goes, its cache key, and
+// when it entered the queue (the latency measurement's start point).
+struct RoutedRequest {
+  serve::AdvisorRequest request;
+  std::size_t slot = 0;
+  std::string cache_key;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+// Per-shard counters, merged into ClusterMetrics by the cluster.
+struct ShardStats {
+  long queries = 0;  // requests this shard evaluated
+  long batches = 0;
+  long size_flushes = 0;
+  long deadline_flushes = 0;
+  long close_flushes = 0;
+};
+
+class Shard {
+ public:
+  Shard(int index, model::MappingConstants constants, std::size_t queue_capacity,
+        std::size_t batch_size, std::chrono::nanoseconds batch_deadline);
+
+  int index() const { return index_; }
+
+  // Replication: installs the primary's fitted bundle into this shard's
+  // replica registry (no refit) and binds evaluation to it.
+  void adopt(const serve::FittedModels& bundle);
+
+  // Admission. try_enqueue returns false when the queue is full, leaving
+  // `item` intact so the producer can drain a batch itself and retry;
+  // close() marks the end of the current batch's pushes; reopen() re-arms
+  // for the next call.
+  bool try_enqueue(RoutedRequest&& item) { return queue_.try_push(std::move(item)); }
+  void close() { queue_.close(); }
+  void reopen() { queue_.reopen(); }
+
+  // Drains and evaluates ONE coalesced batch: responses land in
+  // `responses[item.slot]`, evaluated responses are inserted into `cache`
+  // (when non-null and enabled), per-request latencies are recorded.
+  // Returns false when the queue is closed and empty — the worker's stop
+  // signal. Safe to call concurrently (the producer lane helps under
+  // backpressure while the worker lane drains).
+  bool drain_one_batch(std::vector<serve::AdvisorResponse>& responses, ResponseCache* cache);
+
+  // Metrics accessors (post-drain; the cluster snapshots between batches).
+  ShardStats stats() const;
+  std::size_t max_queue_depth() const { return queue_.max_depth(); }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  void drain_latencies(std::vector<double>& into);  // moves out recorded ms
+
+  // The replica registry, exposed so the cluster can count fits (which must
+  // stay zero here — replicas adopt, never fit).
+  const serve::ModelRegistry& registry() const { return *registry_; }
+
+ private:
+  int index_;
+  model::MappingConstants constants_;
+  std::size_t batch_size_;
+  std::chrono::nanoseconds batch_deadline_;
+  std::unique_ptr<serve::ModelRegistry> registry_;
+  const serve::FittedModels* fitted_ = nullptr;  // owned by registry_
+  core::BatchQueue<RoutedRequest> queue_;
+
+  mutable std::mutex stats_mutex_;
+  ShardStats stats_;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace isr::cluster

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/parallel_for.hpp"
+
 namespace isr::comm {
 
 namespace {
@@ -71,6 +73,24 @@ std::size_t buf_compressed_bytes(const Buf& b, std::size_t sub_lo, std::size_t s
   return 16 + runs * 8 + active * payload;
 }
 
+// Same wire size computed straight from a source image over absolute pixel
+// range [lo, hi), so the communication-accounting pass needs no Buf copy.
+// pixel_active and buf_active test the same fields, so this matches
+// buf_compressed_bytes of a Buf cut from the image exactly.
+std::size_t image_compressed_bytes(const render::Image& img, std::size_t lo, std::size_t hi,
+                                   CompositeMode mode) {
+  const std::size_t payload = mode == CompositeMode::kSurface ? 8 : 4;
+  std::size_t runs = 0, active = 0;
+  bool prev = false;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const bool a = pixel_active(img, i);
+    if (a != prev || i == lo) ++runs;
+    if (a) ++active;
+    prev = a;
+  }
+  return 16 + runs * 8 + active * payload;
+}
+
 // Blends fragment `src` into `dst` over their overlapping pixel range.
 // `src_in_front` gives the visibility order for volume blending.
 void blend_into(Buf& dst, const Buf& src, CompositeMode mode, bool src_in_front) {
@@ -130,32 +150,53 @@ void gather_to_root(Comm& comm, const std::vector<Buf>& pieces, CompositeMode mo
   }
 }
 
+// Every algorithm below runs each round in two phases. Phase 1 — serial —
+// performs the communication accounting (sends, exchanges, blend-compute
+// charges) in the exact order the historical fused loop issued it, reading
+// only wire sizes of unmodified inputs, so the simulated clocks are
+// unchanged by the refactor and independent of thread count. Phase 2 fans
+// the round's pure pixel blending over `pool`: work items write disjoint
+// output slots and each fold runs in a fixed order inside its item, so the
+// composited image is bit-identical at any thread count.
 std::vector<Buf> direct_send(Comm& comm, const std::vector<const render::Image*>& img,
-                             CompositeMode mode, std::size_t n_pixels) {
+                             CompositeMode mode, std::size_t n_pixels,
+                             core::ThreadPool* pool) {
   const int R = comm.size();
   std::vector<Buf> result(static_cast<std::size_t>(R));
   // Chunk d belongs to rank d.
   auto chunk_lo = [&](int d) { return n_pixels * static_cast<std::size_t>(d) / static_cast<std::size_t>(R); };
+
+  // Phase 1: every chunk of every source rank goes to its destination.
   for (int d = 0; d < R; ++d) {
+    const std::size_t lo = chunk_lo(d), hi = chunk_lo(d + 1);
+    if (d != 0) comm.send(0, d, image_compressed_bytes(*img[0], lo, hi, mode));
+    for (int s = 1; s < R; ++s) {
+      if (s != d)
+        comm.send(s, d, image_compressed_bytes(*img[static_cast<std::size_t>(s)], lo, hi, mode));
+      comm.add_compute(d, blend_cost(comm, hi - lo));
+    }
+  }
+
+  // Phase 2: per-destination blend folds, disjoint result slots.
+  core::maybe_parallel_for(pool, static_cast<std::size_t>(R), [&](std::size_t di) {
+    const int d = static_cast<int>(di);
     const std::size_t lo = chunk_lo(d), hi = chunk_lo(d + 1);
     // Fold chunks in strict visibility order (virtual rank 0 is closest to
     // the camera), so the over operator composes correctly.
     Buf acc = make_buf(*img[0], lo, hi, 0);
-    if (d != 0) comm.send(0, d, buf_compressed_bytes(acc, 0, acc.size(), mode));
     for (int s = 1; s < R; ++s) {
       Buf frag = make_buf(*img[static_cast<std::size_t>(s)], lo, hi, s);
-      if (s != d) comm.send(s, d, buf_compressed_bytes(frag, 0, frag.size(), mode));
       blend_into(acc, frag, mode, /*src_in_front=*/false);
       acc.block_size += 1;
-      comm.add_compute(d, blend_cost(comm, frag.size()));
     }
-    result[static_cast<std::size_t>(d)] = std::move(acc);
-  }
+    result[di] = std::move(acc);
+  });
   return result;
 }
 
 std::vector<Buf> binary_swap(Comm& comm, const std::vector<const render::Image*>& img,
-                             CompositeMode mode, std::size_t n_pixels) {
+                             CompositeMode mode, std::size_t n_pixels,
+                             core::ThreadPool* pool) {
   const int R = comm.size();
   if ((R & (R - 1)) != 0)
     throw std::invalid_argument("binary swap requires a power-of-two rank count");
@@ -165,9 +206,26 @@ std::vector<Buf> binary_swap(Comm& comm, const std::vector<const render::Image*>
 
   for (int bit = 0; (1 << bit) < R; ++bit) {
     std::vector<Buf> next(static_cast<std::size_t>(R));
+
+    // Phase 1: pairwise exchanges + blend charges, ascending lower rank.
     for (int r = 0; r < R; ++r) {
       const int partner = r ^ (1 << bit);
-      if (partner < r) continue;  // the lower rank of the pair fills next[r]
+      if (partner < r) continue;
+      const Buf& a = bufs[static_cast<std::size_t>(r)];
+      const Buf& b = bufs[static_cast<std::size_t>(partner)];
+      const std::size_t mid = a.lo + a.size() / 2;
+      comm.exchange(r, partner,
+                    buf_compressed_bytes(a, mid - a.lo, a.size(), mode),
+                    buf_compressed_bytes(b, 0, mid - b.lo, mode));
+      comm.add_compute(r, blend_cost(comm, mid - a.lo));
+      comm.add_compute(partner, blend_cost(comm, b.hi - mid));
+    }
+
+    // Phase 2: per-pair blends; each pair writes its own two next slots.
+    core::maybe_parallel_for(pool, static_cast<std::size_t>(R), [&](std::size_t ri) {
+      const int r = static_cast<int>(ri);
+      const int partner = r ^ (1 << bit);
+      if (partner < r) return;  // the lower rank of the pair fills next[r]
       Buf& a = bufs[static_cast<std::size_t>(r)];
       Buf& b = bufs[static_cast<std::size_t>(partner)];
       const std::size_t half = a.size() / 2;
@@ -177,28 +235,24 @@ std::vector<Buf> binary_swap(Comm& comm, const std::vector<const render::Image*>
       Buf a_send = make_sub(a, mid, a.hi);
       Buf b_keep = make_sub(b, mid, b.hi);
       Buf b_send = make_sub(b, b.lo, mid);
-      comm.exchange(r, partner,
-                    buf_compressed_bytes(a, mid - a.lo, a.size(), mode),
-                    buf_compressed_bytes(b, 0, mid - b.lo, mode));
       const bool b_front = b.block_lo < a.block_lo;
       blend_into(a_keep, b_send, mode, b_front);
       blend_into(b_keep, a_send, mode, !b_front);
-      comm.add_compute(r, blend_cost(comm, a_keep.size()));
-      comm.add_compute(partner, blend_cost(comm, b_keep.size()));
       const int merged_lo = std::min(a.block_lo, b.block_lo);
       const int merged_size = a.block_size + b.block_size;
       a_keep.block_lo = b_keep.block_lo = merged_lo;
       a_keep.block_size = b_keep.block_size = merged_size;
       next[static_cast<std::size_t>(r)] = std::move(a_keep);
       next[static_cast<std::size_t>(partner)] = std::move(b_keep);
-    }
+    });
     bufs = std::move(next);
   }
   return bufs;
 }
 
 std::vector<Buf> radix_k(Comm& comm, const std::vector<const render::Image*>& img,
-                         CompositeMode mode, std::size_t n_pixels, int radix) {
+                         CompositeMode mode, std::size_t n_pixels, int radix,
+                         core::ThreadPool* pool) {
   const int R = comm.size();
   std::vector<Buf> bufs(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r)
@@ -225,47 +279,72 @@ std::vector<Buf> radix_k(Comm& comm, const std::vector<const render::Image*>& im
   int stride = 1;
   for (const int k : rounds) {
     std::vector<Buf> next(static_cast<std::size_t>(R));
-    std::vector<bool> done(static_cast<std::size_t>(R), false);
-    for (int r = 0; r < R; ++r) {
-      if (done[static_cast<std::size_t>(r)]) continue;
-      const int m = (r / stride) % k;
-      const int base = r - m * stride;
-      // Gather the whole group once (when visiting its first member).
-      std::vector<int> group(static_cast<std::size_t>(k));
-      for (int j = 0; j < k; ++j) group[static_cast<std::size_t>(j)] = base + j * stride;
-      // Each member keeps piece `j == its index`, receives that piece from
-      // all others, and sends the other pieces out.
-      const Buf& ref = bufs[static_cast<std::size_t>(group[0])];
-      const std::size_t piece = ref.size() / static_cast<std::size_t>(k);
-      for (int j = 0; j < k; ++j) {
-        const int owner = group[static_cast<std::size_t>(j)];
-        const std::size_t plo = ref.lo + piece * static_cast<std::size_t>(j);
-        const std::size_t phi = (j == k - 1) ? ref.hi : plo + piece;
-        // Group members' blocks are ordered by their index (member jj holds
-        // visibility block [base + jj*stride, ...)), so folding jj ascending
-        // is strict front-to-back order.
-        Buf acc = make_sub(bufs[static_cast<std::size_t>(group[0])], plo, phi);
-        if (group[0] != owner) {
-          const Buf& sb = bufs[static_cast<std::size_t>(group[0])];
-          comm.send(group[0], owner,
-                    buf_compressed_bytes(sb, plo - sb.lo, phi - sb.lo, mode));
-        }
-        int merged_size = acc.block_size;
-        for (int jj = 1; jj < k; ++jj) {
-          const int src = group[static_cast<std::size_t>(jj)];
-          const Buf& sb = bufs[static_cast<std::size_t>(src)];
-          Buf frag = make_sub(sb, plo, phi);
-          if (src != owner)
-            comm.send(src, owner, buf_compressed_bytes(sb, plo - sb.lo, phi - sb.lo, mode));
-          blend_into(acc, frag, mode, /*src_in_front=*/false);
-          merged_size += sb.block_size;
-          comm.add_compute(owner, blend_cost(comm, frag.size()));
-        }
-        acc.block_size = merged_size;
-        next[static_cast<std::size_t>(owner)] = std::move(acc);
-        done[static_cast<std::size_t>(owner)] = true;
+
+    // Enumerate this round's groups in order of their first member — the
+    // order the historical single loop visited them.
+    std::vector<int> group_base;
+    {
+      std::vector<bool> done(static_cast<std::size_t>(R), false);
+      for (int r = 0; r < R; ++r) {
+        if (done[static_cast<std::size_t>(r)]) continue;
+        const int base = r - ((r / stride) % k) * stride;
+        group_base.push_back(base);
+        for (int j = 0; j < k; ++j) done[static_cast<std::size_t>(base + j * stride)] = true;
       }
     }
+    // Every group member owns one piece of the group's pixel range; the
+    // (group, piece) pairs are this round's independent work items.
+    const auto piece_range = [&](int base, int j, std::size_t& plo, std::size_t& phi) {
+      const Buf& ref = bufs[static_cast<std::size_t>(base)];
+      const std::size_t piece = ref.size() / static_cast<std::size_t>(k);
+      plo = ref.lo + piece * static_cast<std::size_t>(j);
+      phi = (j == k - 1) ? ref.hi : plo + piece;
+    };
+
+    // Phase 1: each member sends every piece it does not own to that
+    // piece's owner, who is charged one blend per received fragment.
+    for (const int base : group_base) {
+      for (int j = 0; j < k; ++j) {
+        const int owner = base + j * stride;
+        std::size_t plo, phi;
+        piece_range(base, j, plo, phi);
+        if (base != owner) {
+          const Buf& sb = bufs[static_cast<std::size_t>(base)];
+          comm.send(base, owner, buf_compressed_bytes(sb, plo - sb.lo, phi - sb.lo, mode));
+        }
+        for (int jj = 1; jj < k; ++jj) {
+          const int src = base + jj * stride;
+          const Buf& sb = bufs[static_cast<std::size_t>(src)];
+          if (src != owner)
+            comm.send(src, owner, buf_compressed_bytes(sb, plo - sb.lo, phi - sb.lo, mode));
+          comm.add_compute(owner, blend_cost(comm, phi - plo));
+        }
+      }
+    }
+
+    // Phase 2: per-owner folds; owners are distinct across the whole
+    // round, so every item writes its own next slot.
+    core::maybe_parallel_for(
+        pool, group_base.size() * static_cast<std::size_t>(k), [&](std::size_t item) {
+          const int base = group_base[item / static_cast<std::size_t>(k)];
+          const int j = static_cast<int>(item % static_cast<std::size_t>(k));
+          const int owner = base + j * stride;
+          std::size_t plo, phi;
+          piece_range(base, j, plo, phi);
+          // Group members' blocks are ordered by their index (member jj
+          // holds visibility block [base + jj*stride, ...)), so folding jj
+          // ascending is strict front-to-back order.
+          Buf acc = make_sub(bufs[static_cast<std::size_t>(base)], plo, phi);
+          int merged_size = acc.block_size;
+          for (int jj = 1; jj < k; ++jj) {
+            const Buf& sb = bufs[static_cast<std::size_t>(base + jj * stride)];
+            Buf frag = make_sub(sb, plo, phi);
+            blend_into(acc, frag, mode, /*src_in_front=*/false);
+            merged_size += sb.block_size;
+          }
+          acc.block_size = merged_size;
+          next[static_cast<std::size_t>(owner)] = std::move(acc);
+        });
     bufs = std::move(next);
     stride *= k;
   }
@@ -275,7 +354,8 @@ std::vector<Buf> radix_k(Comm& comm, const std::vector<const render::Image*>& im
 }  // namespace
 
 CompositeResult composite(Comm& comm, const std::vector<RankImage>& inputs,
-                          CompositeMode mode, CompositeAlgorithm algorithm, int radix) {
+                          CompositeMode mode, CompositeAlgorithm algorithm, int radix,
+                          core::ThreadPool* pool) {
   if (inputs.empty()) return {};
   if (static_cast<int>(inputs.size()) != comm.size())
     throw std::invalid_argument("composite: rank image count != comm size");
@@ -299,9 +379,15 @@ CompositeResult composite(Comm& comm, const std::vector<RankImage>& inputs,
 
   std::vector<Buf> pieces;
   switch (algorithm) {
-    case CompositeAlgorithm::kDirectSend: pieces = direct_send(comm, img, mode, n_pixels); break;
-    case CompositeAlgorithm::kBinarySwap: pieces = binary_swap(comm, img, mode, n_pixels); break;
-    case CompositeAlgorithm::kRadixK: pieces = radix_k(comm, img, mode, n_pixels, radix); break;
+    case CompositeAlgorithm::kDirectSend:
+      pieces = direct_send(comm, img, mode, n_pixels, pool);
+      break;
+    case CompositeAlgorithm::kBinarySwap:
+      pieces = binary_swap(comm, img, mode, n_pixels, pool);
+      break;
+    case CompositeAlgorithm::kRadixK:
+      pieces = radix_k(comm, img, mode, n_pixels, radix, pool);
+      break;
   }
   comm.barrier();
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "core/thread_pool.hpp"
 #include "render/image.hpp"
 
 namespace isr::comm {
@@ -44,8 +45,15 @@ struct CompositeResult {
 // Composites rank sub-images. All images must share the final resolution.
 // `radix` is the per-round group size for kRadixK (the factorization uses
 // `radix` until the remainder, matching common IceT configurations).
+//
+// `pool` fans each round's blend loop out over core::parallel_for (null =
+// serial). Communication accounting always runs serially in a fixed order,
+// so the simulated clocks, byte counts, and the composited image are
+// bit-identical at any thread count — the same determinism contract the
+// study harness and the serving layers make.
 CompositeResult composite(Comm& comm, const std::vector<RankImage>& inputs,
-                          CompositeMode mode, CompositeAlgorithm algorithm, int radix = 8);
+                          CompositeMode mode, CompositeAlgorithm algorithm, int radix = 8,
+                          core::ThreadPool* pool = nullptr);
 
 // Serial reference: composite everything on one rank with no communication.
 // Used by tests to check the parallel algorithms bit-for-bit.

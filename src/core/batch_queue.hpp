@@ -1,0 +1,126 @@
+// A bounded multi-producer/multi-consumer queue whose consumers pop
+// *coalesced batches*: pop_batch blocks until a full batch accumulates, the
+// coalescing deadline passes with at least one item waiting, or the queue is
+// closed. This is the serving-cluster admission primitive (src/cluster/
+// feeds each shard's worker through one), but it is deliberately generic —
+// batching-with-a-deadline is the standard latency/throughput dial for any
+// streaming consumer.
+//
+// Backpressure contract: the queue is bounded and push never blocks —
+// try_push returns false when the queue is full (or closed) and the
+// *producer* decides what to do (the cluster's producer lane drains a batch
+// itself, so a full queue converts the producer into a worker instead of
+// deadlocking a serial pool).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace isr::core {
+
+// Why pop_batch returned: a full batch, the coalescing deadline, the close
+// drain, or nothing left (closed and empty — the consumer's stop signal).
+enum class BatchFlush { kSize, kDeadline, kClosed, kEmpty };
+
+template <class T>
+class BatchQueue {
+ public:
+  explicit BatchQueue(std::size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+  // Enqueues one item. Returns false when the queue is full or closed; the
+  // item is genuinely untouched in that case (rvalue-reference parameter:
+  // nothing is moved until the push is known to succeed), so the caller can
+  // retry the same object after making room.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > max_depth_) max_depth_ = items_.size();
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  // No more pushes; consumers drain what remains and then see kEmpty.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    pop_cv_.notify_all();
+  }
+
+  // Re-arms the queue for the next burst of pushes, discarding anything
+  // still queued: leftovers can exist only when the previous burst was
+  // aborted (e.g. a producer exception), and their routing context died
+  // with it. The high-water mark persists across reopens (it describes the
+  // queue's whole lifetime).
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+    items_.clear();
+  }
+
+  // Pops up to `max_items` into `out` (cleared first). Blocks until one of:
+  //   - `max_items` are waiting                      -> kSize
+  //   - `deadline` passed with >= 1 item waiting     -> kDeadline
+  //   - the queue is closed (drains what remains)    -> kClosed, or kEmpty
+  //     when nothing remained — the consumer's signal to stop.
+  // The deadline clock starts when the first item becomes available, not at
+  // the call, so an idle consumer parked on an empty open queue waits
+  // indefinitely without spinning.
+  BatchFlush pop_batch(std::size_t max_items, std::chrono::nanoseconds deadline,
+                       std::vector<T>& out) {
+    out.clear();
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mutex_);
+    pop_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    BatchFlush reason;
+    if (items_.size() >= max_items) {
+      reason = BatchFlush::kSize;
+    } else if (closed_) {
+      reason = items_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
+    } else {
+      const auto flush_at = std::chrono::steady_clock::now() + deadline;
+      pop_cv_.wait_until(lock, flush_at,
+                         [&] { return closed_ || items_.size() >= max_items; });
+      if (items_.size() >= max_items) reason = BatchFlush::kSize;
+      else if (closed_) reason = items_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
+      else reason = BatchFlush::kDeadline;
+    }
+    const std::size_t take = items_.size() < max_items ? items_.size() : max_items;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return reason;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  // Deepest the queue has ever been — the backpressure indicator the
+  // cluster's metrics report.
+  std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable pop_cv_;
+  std::deque<T> items_;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace isr::core

@@ -27,4 +27,16 @@ void parallel_for_chunked(ThreadPool& pool, std::size_t n, F&& f) {
   parallel_for(pool, n, std::forward<F>(f), grain);
 }
 
+// Pool-optional variant for call sites whose public API takes a nullable
+// pool (e.g. comm::composite): a null pool runs the loop inline, so serial
+// callers pay nothing and need no ThreadPool at hand.
+template <class F>
+void maybe_parallel_for(ThreadPool* pool, std::size_t n, F&& f, std::size_t grain = 1) {
+  if (pool) {
+    parallel_for(*pool, n, std::forward<F>(f), grain);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  }
+}
+
 }  // namespace isr::core

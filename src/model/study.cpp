@@ -282,8 +282,11 @@ std::vector<Observation> run_study(const StudyConfig& config, bool verbose) {
       const comm::CompositeMode mode = kind == RendererKind::kVolume
                                            ? comm::CompositeMode::kVolume
                                            : comm::CompositeMode::kSurface;
-      const comm::CompositeResult comp =
-          comm::composite(comm, images, mode, comm::CompositeAlgorithm::kRadixK);
+      // The per-round blend fan-out nests on the study pool (idle workers
+      // drain it); blends fold in a fixed order, so the corpus stays
+      // bit-identical at any thread count.
+      const comm::CompositeResult comp = comm::composite(
+          comm, images, mode, comm::CompositeAlgorithm::kRadixK, /*radix=*/8, &pool);
 
       Observation& obs = observations[c];
       obs.arch = arch;

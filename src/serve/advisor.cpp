@@ -16,11 +16,31 @@ AdvisorResponse error_response(std::string message) {
   return r;
 }
 
-// The pure per-request computation both serve_one and serve_batch run: a
-// function of (fitted models, constants, request) only, so execution order
-// and thread count cannot change a response.
-AdvisorResponse answer(const FittedModels& fitted, const model::MappingConstants& constants,
-                       const AdvisorRequest& req) {
+// JSON string escaping for error messages: quote, backslash, and control
+// characters (everything else in our messages is ASCII).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AdvisorResponse answer_request(const FittedModels& fitted,
+                               const model::MappingConstants& constants,
+                               const AdvisorRequest& req) {
   if (req.n_per_task <= 0) return error_response("n_per_task must be > 0");
   if (req.tasks <= 0) return error_response("tasks must be > 0");
   if (req.image_edge <= 0) return error_response("image_edge must be > 0");
@@ -60,28 +80,6 @@ AdvisorResponse answer(const FittedModels& fitted, const model::MappingConstants
   }
   return resp;
 }
-
-// JSON string escaping for error messages: quote, backslash, and control
-// characters (everything else in our messages is ASCII).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b) {
   return a.ok == b.ok && a.error == b.error && a.frame_seconds == b.frame_seconds &&
@@ -161,7 +159,7 @@ AdvisorService::AdvisorService(ServiceConfig config, std::shared_ptr<ModelRegist
 
 AdvisorResponse AdvisorService::serve_one(const AdvisorRequest& request) {
   const FittedModels& fitted = registry_->models_for(config_.calibration);
-  return answer(fitted, config_.constants, request);
+  return answer_request(fitted, config_.constants, request);
 }
 
 std::vector<AdvisorResponse> AdvisorService::serve_batch(
@@ -176,7 +174,7 @@ std::vector<AdvisorResponse> AdvisorService::serve_batch(
   // Requests are uniform and cheap (a handful of model evaluations), so the
   // auto-chunked variant amortizes queue traffic.
   core::parallel_for_chunked(pool_, requests.size(), [&](std::size_t i) {
-    responses[i] = answer(fitted, config_.constants, requests[i]);
+    responses[i] = answer_request(fitted, config_.constants, requests[i]);
   });
   return responses;
 }

@@ -59,6 +59,15 @@ struct AdvisorResponse {
 // single source of truth for test_serve and bench_advisor_throughput.
 bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b);
 
+// The pure per-request evaluation every serving path runs: a function of
+// (fitted models, mapping constants, request) only, so execution order,
+// thread count, shard assignment, and cache state cannot change a response.
+// serve_one/serve_batch call it internally; src/cluster/ shards call it
+// against their replicated registries.
+AdvisorResponse answer_request(const FittedModels& fitted,
+                               const model::MappingConstants& constants,
+                               const AdvisorRequest& request);
+
 // One response as a JSON line (no trailing newline). Fixed field order and
 // printf-formatted numbers, so identical responses serialize to identical
 // bytes. Schema documented in docs/ARCHITECTURE.md.

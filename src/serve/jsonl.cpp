@@ -176,9 +176,9 @@ bool parse_request_line(const std::string& line, AdvisorRequest& request, std::s
 namespace {
 
 // Serves one accumulated batch: parse failures get error responses in
-// their slots, everything else goes through serve_batch, and responses
+// their slots, everything else goes through the handler, and responses
 // come out in request order.
-std::size_t flush_batch(const std::vector<std::string>& lines, AdvisorService& service,
+std::size_t flush_batch(const std::vector<std::string>& lines, const BatchHandler& handler,
                         std::ostream& out) {
   std::vector<AdvisorResponse> responses(lines.size());
   std::vector<AdvisorRequest> valid;
@@ -196,8 +196,9 @@ std::size_t flush_batch(const std::vector<std::string>& lines, AdvisorService& s
       responses[i].error = "parse error: " + error;
     }
   }
-  const std::vector<AdvisorResponse> served = service.serve_batch(valid);
-  for (std::size_t j = 0; j < served.size(); ++j) responses[slot[j]] = served[j];
+  const std::vector<AdvisorResponse> served = handler(valid);
+  for (std::size_t j = 0; j < served.size() && j < slot.size(); ++j)
+    responses[slot[j]] = served[j];
   for (const AdvisorResponse& r : responses) out << to_jsonl(r) << '\n';
   out.flush();
   return responses.size();
@@ -205,7 +206,7 @@ std::size_t flush_batch(const std::vector<std::string>& lines, AdvisorService& s
 
 }  // namespace
 
-std::size_t run_jsonl(std::istream& in, std::ostream& out, AdvisorService& service) {
+std::size_t run_jsonl(std::istream& in, std::ostream& out, const BatchHandler& handler) {
   std::size_t answered = 0;
   std::vector<std::string> batch;
   std::string line;
@@ -213,15 +214,21 @@ std::size_t run_jsonl(std::istream& in, std::ostream& out, AdvisorService& servi
     const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
     if (blank) {
       if (!batch.empty()) {
-        answered += flush_batch(batch, service, out);
+        answered += flush_batch(batch, handler, out);
         batch.clear();
       }
       continue;
     }
     batch.push_back(line);
   }
-  if (!batch.empty()) answered += flush_batch(batch, service, out);
+  if (!batch.empty()) answered += flush_batch(batch, handler, out);
   return answered;
+}
+
+std::size_t run_jsonl(std::istream& in, std::ostream& out, AdvisorService& service) {
+  return run_jsonl(in, out, [&service](const std::vector<AdvisorRequest>& requests) {
+    return service.serve_batch(requests);
+  });
 }
 
 std::size_t run_jsonl(std::istream& in, std::ostream& out, ServiceConfig config) {

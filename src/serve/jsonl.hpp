@@ -15,8 +15,10 @@
 // schema, with the response fields, is documented in docs/ARCHITECTURE.md.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "serve/advisor.hpp"
 
@@ -27,9 +29,19 @@ namespace isr::serve {
 // and returns true; on failure returns false and sets `error`.
 bool parse_request_line(const std::string& line, AdvisorRequest& request, std::string& error);
 
+// What answers a parsed batch: response[i] for request[i]. The front-end is
+// deliberately agnostic about who serves — a single AdvisorService or the
+// sharded cluster (src/cluster/) plug in equally, and layering stays
+// downward-only (serve never includes cluster).
+using BatchHandler =
+    std::function<std::vector<AdvisorResponse>(const std::vector<AdvisorRequest>&)>;
+
 // Reads requests from `in` until EOF, serving each blank-line-delimited
-// batch through `service` and writing responses (and a flush) to `out`.
+// batch through `handler` and writing responses (and a flush) to `out`.
 // Returns the number of requests answered, error responses included.
+std::size_t run_jsonl(std::istream& in, std::ostream& out, const BatchHandler& handler);
+
+// Convenience overload serving through `service.serve_batch`.
 std::size_t run_jsonl(std::istream& in, std::ostream& out, AdvisorService& service);
 
 // Convenience overload owning a fresh service configured by `config`.

@@ -64,6 +64,14 @@ const FittedModels& ModelRegistry::models_for(const model::StudyConfig& config) 
   return *cache_.emplace(key, std::move(fitted)).first->second;
 }
 
+const FittedModels& ModelRegistry::adopt(const FittedModels& bundle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(bundle.fingerprint);
+  if (it != cache_.end()) return *it->second;
+  return *cache_.emplace(bundle.fingerprint, std::make_unique<FittedModels>(bundle))
+              .first->second;
+}
+
 int ModelRegistry::fits() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fits_;

@@ -55,7 +55,15 @@ class ModelRegistry {
   // evicted — calibration configs are few and bundles are tiny).
   const FittedModels& models_for(const model::StudyConfig& config);
 
-  // Number of calibration fits performed so far (cache misses).
+  // Replication path: installs a copy of an already-fitted bundle under its
+  // own fingerprint, so a replica registry (one per cluster shard) answers
+  // from the primary's models without re-running the calibration study.
+  // Does NOT count as a fit; an existing entry for the fingerprint is kept
+  // (first writer wins — bundles for one fingerprint are identical).
+  const FittedModels& adopt(const FittedModels& bundle);
+
+  // Number of calibration fits performed so far (cache misses; adopted
+  // bundles excluded).
   int fits() const;
 
  private:

@@ -1,0 +1,447 @@
+// Tests for the sharded serving cluster: router partition stability,
+// LRU response-cache behavior, queue coalescing (size / deadline / close
+// flushes), and — the load-bearing contract — response byte-identity
+// across shard counts, thread counts, and cache states, with exactly one
+// registry fit per distinct calibration corpus.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cache.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/router.hpp"
+#include "core/batch_queue.hpp"
+#include "serve/jsonl.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::cluster {
+namespace {
+
+using serve::AdvisorRequest;
+using serve::AdvisorResponse;
+
+// The same fast calibration corpus test_serve uses: 36 observations, fits
+// well under a second.
+model::StudyConfig tiny_calibration() {
+  model::StudyConfig cfg;
+  cfg.archs = {"CPU1", "GPU1"};
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2};
+  cfg.samples_per_config = 3;
+  cfg.min_image = 96;
+  cfg.max_image = 192;
+  cfg.min_n = 16;
+  cfg.max_n = 28;
+  cfg.vr_samples = 120;
+  cfg.sim_steps = 1;
+  cfg.seed = 123;
+  return cfg;
+}
+
+ClusterConfig tiny_cluster_config(int shards, int threads, std::size_t cache_entries) {
+  ClusterConfig cfg;
+  cfg.service.calibration = tiny_calibration();
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.cache_entries = cache_entries;
+  cfg.batch_size = 4;  // small, so multi-batch coalescing is exercised
+  return cfg;
+}
+
+// A mixed batch: every arch x renderer x two sizes, plus an error slot —
+// the same shape test_serve's identity test uses.
+std::vector<AdvisorRequest> mixed_requests() {
+  std::vector<AdvisorRequest> requests;
+  for (const std::string arch : {"CPU1", "GPU1"}) {
+    for (const model::RendererKind kind :
+         {model::RendererKind::kRayTrace, model::RendererKind::kRasterize,
+          model::RendererKind::kVolume}) {
+      for (const int edge : {256, 1024}) {
+        AdvisorRequest req;
+        req.arch = arch;
+        req.renderer = kind;
+        req.image_edge = edge;
+        requests.push_back(req);
+      }
+    }
+  }
+  AdvisorRequest bad;
+  bad.arch = "nope";
+  requests.push_back(bad);
+  return requests;
+}
+
+AdvisorResponse ok_response(double frame_seconds) {
+  AdvisorResponse r;
+  r.ok = true;
+  r.frame_seconds = frame_seconds;
+  return r;
+}
+
+// --- Router -----------------------------------------------------------------
+
+TEST(RouterTest, SameKeySameShardAcrossInstances) {
+  const std::uint64_t fp = serve::ModelRegistry::fingerprint(tiny_calibration());
+  const Router a(4, fp), b(4, fp);
+  for (int i = 0; i < 200; ++i) {
+    const std::string arch = "arch" + std::to_string(i);
+    EXPECT_EQ(a.shard_for(arch), b.shard_for(arch)) << arch;
+    EXPECT_GE(a.shard_for(arch), 0);
+    EXPECT_LT(a.shard_for(arch), 4);
+  }
+}
+
+TEST(RouterTest, SpreadsKeysAcrossShards) {
+  const Router router(4, 42);
+  std::set<int> used;
+  for (int i = 0; i < 200; ++i) used.insert(router.shard_for("arch" + std::to_string(i)));
+  EXPECT_EQ(used.size(), 4u);  // 200 keys must reach every one of 4 shards
+}
+
+TEST(RouterTest, ConsistentHashMovesFewKeysOnResize) {
+  // Adding a fifth shard should move roughly 1/5 of the key space; a
+  // modulo router would move ~4/5. Assert we are on the consistent side.
+  const Router four(4, 42), five(5, 42);
+  int moved = 0;
+  const int keys = 500;
+  for (int i = 0; i < keys; ++i) {
+    const std::string arch = "arch" + std::to_string(i);
+    if (four.shard_for(arch) != five.shard_for(arch)) ++moved;
+  }
+  EXPECT_GT(moved, 0);                // resize must hand the new shard work
+  EXPECT_LT(moved, keys / 2);         // ...but far less than a modulo remap
+}
+
+TEST(RouterTest, RoutingDependsOnCorpusFingerprint) {
+  const Router a(8, 1), b(8, 2);
+  int differ = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.shard_for("arch" + std::to_string(i)) != b.shard_for("arch" + std::to_string(i)))
+      ++differ;
+  EXPECT_GT(differ, 0);
+}
+
+// --- Canonical request key --------------------------------------------------
+
+TEST(CanonicalKeyTest, DistinguishesEveryField) {
+  const AdvisorRequest base;
+  const std::string key = canonical_request_key(base);
+  AdvisorRequest r = base;
+  r.arch = "GPU1";
+  EXPECT_NE(canonical_request_key(r), key);
+  r = base;
+  r.renderer = model::RendererKind::kVolume;
+  EXPECT_NE(canonical_request_key(r), key);
+  r = base;
+  r.n_per_task += 1;
+  EXPECT_NE(canonical_request_key(r), key);
+  r = base;
+  r.tasks += 1;
+  EXPECT_NE(canonical_request_key(r), key);
+  r = base;
+  r.image_edge += 1;
+  EXPECT_NE(canonical_request_key(r), key);
+  r = base;
+  r.budget_seconds += 1e-9;  // exact bit pattern, not a rounded print
+  EXPECT_NE(canonical_request_key(r), key);
+  r = base;
+  r.frames += 1;
+  EXPECT_NE(canonical_request_key(r), key);
+  // Identical requests share a key.
+  EXPECT_EQ(canonical_request_key(base), canonical_request_key(AdvisorRequest{}));
+}
+
+// --- Response cache ---------------------------------------------------------
+
+TEST(ResponseCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  ResponseCache cache(2, /*ways=*/1);  // one way: exact global LRU order
+  cache.insert("a", ok_response(1.0));
+  cache.insert("b", ok_response(2.0));
+  AdvisorResponse out;
+  ASSERT_TRUE(cache.lookup("a", out));  // refreshes a: LRU order is now b, a
+  EXPECT_DOUBLE_EQ(out.frame_seconds, 1.0);
+
+  cache.insert("c", ok_response(3.0));  // evicts b (least recently used)
+  EXPECT_FALSE(cache.lookup("b", out));
+  EXPECT_TRUE(cache.lookup("a", out));
+  EXPECT_TRUE(cache.lookup("c", out));
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.insert("d", ok_response(4.0));  // now a is LRU (c, a after lookups)
+  EXPECT_FALSE(cache.lookup("a", out));
+  EXPECT_TRUE(cache.lookup("c", out));
+  EXPECT_TRUE(cache.lookup("d", out));
+}
+
+TEST(ResponseCacheTest, DisabledCacheNeverHits) {
+  ResponseCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert("a", ok_response(1.0));
+  AdvisorResponse out;
+  EXPECT_FALSE(cache.lookup("a", out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResponseCacheTest, CountsLookupsAndHits) {
+  ResponseCache cache(8);
+  AdvisorResponse out;
+  EXPECT_FALSE(cache.lookup("a", out));
+  cache.insert("a", ok_response(1.0));
+  EXPECT_TRUE(cache.lookup("a", out));
+  EXPECT_EQ(cache.lookups(), 2);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+// --- Batch queue ------------------------------------------------------------
+
+TEST(BatchQueueTest, SizeFlushAtBatchSize) {
+  core::BatchQueue<int> q(16);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(std::move(i)));
+  std::vector<int> batch;
+  EXPECT_EQ(q.pop_batch(4, std::chrono::seconds(10), batch), core::BatchFlush::kSize);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.max_depth(), 8u);
+}
+
+TEST(BatchQueueTest, DeadlineFlushesPartialBatch) {
+  core::BatchQueue<int> q(16);
+  int v = 7;
+  EXPECT_TRUE(q.try_push(std::move(v)));
+  std::vector<int> batch;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_batch(8, std::chrono::milliseconds(20), batch),
+            core::BatchFlush::kDeadline);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch, std::vector<int>{7});
+  EXPECT_GE(waited, std::chrono::milliseconds(15));  // really waited the deadline out
+}
+
+TEST(BatchQueueTest, CloseDrainsThenSignalsEmpty) {
+  core::BatchQueue<int> q(16);
+  int a = 1, b = 2;
+  EXPECT_TRUE(q.try_push(std::move(a)));
+  EXPECT_TRUE(q.try_push(std::move(b)));
+  q.close();
+  int c = 3;
+  EXPECT_FALSE(q.try_push(std::move(c)));  // closed: no more admissions
+  std::vector<int> batch;
+  EXPECT_EQ(q.pop_batch(8, std::chrono::seconds(10), batch), core::BatchFlush::kClosed);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(q.pop_batch(8, std::chrono::seconds(10), batch), core::BatchFlush::kEmpty);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BatchQueueTest, BoundedRejectsWhenFull) {
+  core::BatchQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.try_push(std::move(a)));
+  EXPECT_TRUE(q.try_push(std::move(b)));
+  EXPECT_FALSE(q.try_push(std::move(c)));  // full; c stays with the caller
+  std::vector<int> batch;
+  q.pop_batch(1, std::chrono::seconds(10), batch);
+  EXPECT_TRUE(q.try_push(std::move(c)));  // room again
+}
+
+TEST(BatchQueueTest, ReopenDiscardsLeftoversFromAnAbortedBurst) {
+  // Items stranded by an aborted burst (producer exception) must not leak
+  // into the next burst — their routing context died with the old batch.
+  core::BatchQueue<int> q(8);
+  int a = 1, b = 2;
+  q.try_push(std::move(a));
+  q.try_push(std::move(b));
+  q.close();
+  q.reopen();
+  EXPECT_EQ(q.depth(), 0u);
+  int c = 3;
+  EXPECT_TRUE(q.try_push(std::move(c)));
+  q.close();
+  std::vector<int> batch;
+  EXPECT_EQ(q.pop_batch(8, std::chrono::seconds(10), batch), core::BatchFlush::kClosed);
+  EXPECT_EQ(batch, std::vector<int>{3});
+}
+
+TEST(BatchQueueTest, WakesABlockedConsumerOnPush) {
+  core::BatchQueue<int> q(4);
+  std::vector<int> batch;
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    int v = 42;
+    q.try_push(std::move(v));
+  });
+  // Blocks on the empty open queue until the producer's push arrives; the
+  // deadline clock starts at first availability, so this returns promptly.
+  EXPECT_EQ(q.pop_batch(8, std::chrono::milliseconds(1), batch),
+            core::BatchFlush::kDeadline);
+  EXPECT_EQ(batch, std::vector<int>{42});
+  producer.join();
+}
+
+// --- Cluster determinism contract -------------------------------------------
+
+// One registry fit shared by every cluster in the suite: the replication
+// contract says shard replicas adopt rather than refit, so a shared primary
+// keeps the whole file at a single calibration study.
+class ClusterFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    primary_ = std::make_shared<serve::ModelRegistry>();
+  }
+  static void TearDownTestSuite() { primary_.reset(); }
+  static std::shared_ptr<serve::ModelRegistry> primary_;
+};
+
+std::shared_ptr<serve::ModelRegistry> ClusterFixture::primary_;
+
+TEST_F(ClusterFixture, NShardResponsesIdenticalToOneShardSerial) {
+  const std::vector<AdvisorRequest> requests = mixed_requests();
+
+  ServingCluster reference(tiny_cluster_config(1, 1, 0), primary_);
+  const std::vector<AdvisorResponse> expected = reference.serve_batch(requests);
+  ASSERT_EQ(expected.size(), requests.size());
+
+  for (const int shards : {2, 3, 4}) {
+    for (const int threads : {1, 3, 4}) {
+      ServingCluster cluster(tiny_cluster_config(shards, threads, 0), primary_);
+      const std::vector<AdvisorResponse> got = cluster.serve_batch(requests);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(serve::responses_identical(expected[i], got[i]))
+            << "shards " << shards << " threads " << threads << " slot " << i;
+        EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(got[i]))
+            << "shards " << shards << " threads " << threads << " slot " << i;
+      }
+      // Replication, not refitting: the suite-wide fit count stays 1.
+      EXPECT_EQ(cluster.registry_fits(), 1);
+    }
+  }
+}
+
+TEST_F(ClusterFixture, CacheHitsAreByteIdenticalToMisses) {
+  const std::vector<AdvisorRequest> requests = mixed_requests();
+  ServingCluster cluster(tiny_cluster_config(3, 4, 256), primary_);
+
+  const std::vector<AdvisorResponse> cold = cluster.serve_batch(requests);  // all misses
+  const std::vector<AdvisorResponse> warm = cluster.serve_batch(requests);  // all hits
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_TRUE(serve::responses_identical(cold[i], warm[i])) << "slot " << i;
+    EXPECT_EQ(serve::to_jsonl(cold[i]), serve::to_jsonl(warm[i])) << "slot " << i;
+  }
+
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.queries, static_cast<long>(2 * requests.size()));
+  EXPECT_EQ(m.cache_lookups, static_cast<long>(2 * requests.size()));
+  EXPECT_EQ(m.cache_hits, static_cast<long>(requests.size()));  // the warm pass
+  EXPECT_DOUBLE_EQ(m.cache_hit_rate, 0.5);
+  // Hits skip evaluation entirely: shards only ever saw the cold pass.
+  long evaluated = 0;
+  for (const long q : m.shard_queries) evaluated += q;
+  EXPECT_EQ(evaluated, static_cast<long>(requests.size()));
+}
+
+TEST_F(ClusterFixture, BackpressureTinyQueueStillCorrect) {
+  // A 2-deep queue against a 25-request batch forces the producer into
+  // help-drain mode constantly — responses must still be identical.
+  const std::vector<AdvisorRequest> requests = mixed_requests();
+  ClusterConfig config = tiny_cluster_config(2, 1, 0);  // serial pool: worst case
+  config.queue_capacity = 2;
+  config.batch_size = 2;
+  ServingCluster cluster(std::move(config), primary_);
+  const std::vector<AdvisorResponse> got = cluster.serve_batch(requests);
+
+  ServingCluster reference(tiny_cluster_config(1, 1, 0), primary_);
+  const std::vector<AdvisorResponse> expected = reference.serve_batch(requests);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_TRUE(serve::responses_identical(expected[i], got[i])) << "slot " << i;
+  EXPECT_LE(cluster.metrics().max_queue_depth, 2u);
+}
+
+TEST_F(ClusterFixture, MetricsJsonLineHasTheDocumentedShape)  {
+  ServingCluster cluster(tiny_cluster_config(2, 2, 64), primary_);
+  cluster.serve_batch(mixed_requests());
+  const std::string line = cluster.metrics().to_jsonl();
+  for (const char* key :
+       {"\"shards\":", "\"queries\":", "\"shard_queries\":[", "\"cache_lookups\":",
+        "\"cache_hits\":", "\"cache_hit_rate\":", "\"batches\":", "\"size_flushes\":",
+        "\"deadline_flushes\":", "\"close_flushes\":", "\"max_queue_depth\":",
+        "\"p50_latency_ms\":", "\"p99_latency_ms\":"})
+    EXPECT_NE(line.find(key), std::string::npos) << key << " missing from " << line;
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST_F(ClusterFixture, JsonlFrontEndRoutesThroughTheCluster) {
+  // The same wiring example_feasibility_advisor --serve uses: run_jsonl
+  // with the cluster's serve_batch as the batch handler.
+  ServingCluster cluster(tiny_cluster_config(2, 2, 64), primary_);
+  std::istringstream in(
+      "{\"arch\":\"CPU1\",\"renderer\":\"raytrace\",\"image_edge\":256}\n"
+      "garbage\n"
+      "{\"arch\":\"GPU1\",\"renderer\":\"volume\",\"n_per_task\":24,\"tasks\":2}\n");
+  std::ostringstream out;
+  const std::size_t answered = serve::run_jsonl(
+      in, out, [&cluster](const std::vector<AdvisorRequest>& requests) {
+        return cluster.serve_batch(requests);
+      });
+  EXPECT_EQ(answered, 3u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(responses[1].find("parse error"), std::string::npos);
+  EXPECT_NE(responses[2].find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ClusterFixture, ConcurrentServeBatchCallersGetCorrectResponses) {
+  // serve_batch serializes overlapping batches internally; four threads
+  // hammering one cluster must each get the full, correct response vector.
+  const std::vector<AdvisorRequest> requests = mixed_requests();
+  ServingCluster reference(tiny_cluster_config(1, 1, 0), primary_);
+  const std::vector<AdvisorResponse> expected = reference.serve_batch(requests);
+
+  ServingCluster cluster(tiny_cluster_config(2, 2, 64), primary_);
+  std::vector<std::vector<AdvisorResponse>> got(4);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t)
+    callers.emplace_back([&cluster, &requests, &got, t] {
+      got[static_cast<std::size_t>(t)] = cluster.serve_batch(requests);
+    });
+  for (std::thread& caller : callers) caller.join();
+
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(got[static_cast<std::size_t>(t)].size(), expected.size()) << "caller " << t;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_TRUE(serve::responses_identical(expected[i], got[static_cast<std::size_t>(t)][i]))
+          << "caller " << t << " slot " << i;
+  }
+}
+
+TEST(ClusterTest, EmptyBatchDoesNotTriggerCalibration) {
+  ServingCluster cluster(tiny_cluster_config(4, 2, 64));
+  EXPECT_TRUE(cluster.serve_batch({}).empty());
+  EXPECT_EQ(cluster.registry_fits(), 0);
+}
+
+// --- Percentiles ------------------------------------------------------------
+
+TEST(PercentileTest, NearestRank) {
+  const std::vector<double> samples = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace isr::cluster

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/compositor.hpp"
+#include "core/thread_pool.hpp"
 #include "math/rng.hpp"
 
 namespace isr::comm {
@@ -57,6 +58,44 @@ TEST_P(CompositorAlgos, MatchesSerialReference) {
     EXPECT_GT(result.simulated_seconds, 0.0);
   else
     EXPECT_DOUBLE_EQ(result.simulated_seconds, 0.0);  // nothing to exchange
+}
+
+// Exact equality of two images — the compositor's parallel-blend contract
+// is bitwise, not approximate.
+bool images_bit_identical(const render::Image& a, const render::Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) return false;
+  for (std::size_t p = 0; p < a.pixel_count(); ++p) {
+    const Vec4f& pa = a.pixels()[p];
+    const Vec4f& pb = b.pixels()[p];
+    if (pa.x != pb.x || pa.y != pb.y || pa.z != pb.z || pa.w != pb.w) return false;
+    if (a.depths()[p] != b.depths()[p]) return false;
+  }
+  return true;
+}
+
+TEST_P(CompositorAlgos, PoolBlendBitIdenticalAtAnyThreadCount) {
+  // The per-round blend fan-out must not change a single bit of the image
+  // or a single simulated metric: serial (no pool), a 1-thread pool, and a
+  // 4-thread pool all reproduce each other exactly.
+  const auto [algo, mode, ranks] = GetParam();
+  const auto inputs = random_rank_images(ranks, 64, 48, 99u + static_cast<unsigned>(ranks), true);
+
+  Comm serial_comm(ranks);
+  const CompositeResult serial = composite(serial_comm, inputs, mode, algo, 4, nullptr);
+
+  core::ThreadPool pool1(1), pool4(4);
+  for (core::ThreadPool* pool : {&pool1, &pool4}) {
+    Comm comm(ranks);
+    const CompositeResult pooled = composite(comm, inputs, mode, algo, 4, pool);
+    EXPECT_TRUE(images_bit_identical(serial.image, pooled.image))
+        << "pool size " << pool->size();
+    // Communication accounting runs serially in a fixed order regardless of
+    // the pool, so the simulated measurements are exactly reproduced too.
+    EXPECT_EQ(serial.simulated_seconds, pooled.simulated_seconds);
+    EXPECT_EQ(serial.bytes_sent, pooled.bytes_sent);
+    EXPECT_EQ(serial.messages, pooled.messages);
+    EXPECT_EQ(serial.avg_active_pixels, pooled.avg_active_pixels);
+  }
 }
 
 TEST(Compositor, RadixKHandlesNonPowerOfTwo) {
