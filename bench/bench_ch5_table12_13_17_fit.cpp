@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "core/thread_pool.hpp"
 #include "model/study.hpp"
 
 using namespace isr;
@@ -57,6 +58,9 @@ int main() {
   }
 
   // ---- Table 13 + Fig. 11: cross validation -------------------------------
+  // CV folds fan out over the pool (ISR_THREADS); results are bit-identical
+  // to a serial run at any thread count.
+  core::ThreadPool cv_pool;
   std::printf("\nTable 13: 3-fold CV accuracy (%% of predictions within error bound)\n");
   std::printf("%-6s %-16s %7s %7s %7s %7s %10s\n", "Arch", "Renderer", "50%", "25%", "10%",
               "5%", "Avg err %");
@@ -65,7 +69,7 @@ int main() {
     for (const RendererKind kind : kinds) {
       const auto samples = model::samples_for(obs, arch, kind);
       const model::PerfModel m = model::PerfModel::fit(kind, samples);
-      const model::CrossValidation cv = m.cross_validate(samples);
+      const model::CrossValidation cv = m.cross_validate(samples, 3, 0xCF01Du, &cv_pool);
       std::printf("%-6s %-16s %7.1f %7.1f %7.1f %7.1f %10.1f\n", arch.c_str(),
                   model::renderer_name(kind), 100 * cv.fraction_within(0.50),
                   100 * cv.fraction_within(0.25), 100 * cv.fraction_within(0.10),
@@ -81,7 +85,7 @@ int main() {
     for (const RendererKind kind : kinds) {
       const auto samples = model::samples_for(obs, arch, kind);
       const model::PerfModel m = model::PerfModel::fit(kind, samples);
-      const model::CrossValidation cv = m.cross_validate(samples);
+      const model::CrossValidation cv = m.cross_validate(samples, 3, 0xCF01Du, &cv_pool);
       double lo = 1e30, hi = 0, worst = 0;
       for (std::size_t i = 0; i < cv.actual.size(); ++i) {
         lo = std::min(lo, cv.predicted[i]);

@@ -9,14 +9,23 @@
 //
 //   Service:
 //     $ ./feasibility_advisor --serve [--shards N] [--cache ENTRIES]
+//                             [--corpus NAME=SEED]... [--imbalance-ratio R]
 //   runs the long-lived JSON-lines service on stdin/stdout (one request
 //   object per line, blank line or EOF flushes a batch; schema in
 //   docs/ARCHITECTURE.md). Requests route through the sharded serving
-//   cluster (src/cluster/): models are fitted once, replicated to every
-//   shard, and repeated requests hit the LRU response cache. --shards and
-//   --cache override the ISR_SHARDS (default 1) and ISR_CACHE_ENTRIES
-//   (default 1024; 0 disables) environment variables; a cluster-metrics
-//   JSON line goes to stderr at EOF, keeping stdout pure responses.
+//   cluster (src/cluster/): models are fitted once per distinct corpus,
+//   replicated to every shard, and repeated requests hit the LRU response
+//   cache. Each repeatable --corpus flag makes another calibration corpus
+//   resident under NAME (the default-calibration shape re-seeded with
+//   SEED — a distinct fingerprint and its own fit); requests select it
+//   with {"corpus":"NAME"}. --imbalance-ratio tunes the hot-key
+//   rebalancer (a (corpus, arch) key hotter than R times a shard's fair
+//   share spreads across shards; 0 pins every key to its home shard).
+//   Flags override the ISR_SHARDS (default 1), ISR_CACHE_ENTRIES (default
+//   1024; 0 disables), and ISR_IMBALANCE_RATIO (default 1.25) environment
+//   variables; a cluster-metrics JSON line (including per-corpus query
+//   counts) goes to stderr at EOF, keeping stdout pure responses.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -37,10 +46,50 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [N_per_task=200] [tasks=32] [image_edge=1024] [budget_seconds=60]\n"
                "       %s --serve [--shards N] [--cache ENTRIES]\n"
+               "                      [--corpus NAME=SEED]... [--imbalance-ratio R]\n"
                "                      (JSON-lines service on stdin/stdout; defaults come\n"
-               "                       from ISR_SHARDS / ISR_CACHE_ENTRIES, 0 cache = off)\n",
+               "                       from ISR_SHARDS / ISR_CACHE_ENTRIES /\n"
+               "                       ISR_IMBALANCE_RATIO; 0 cache = off, 0 ratio = no\n"
+               "                       rebalancing; each --corpus adds a resident corpus\n"
+               "                       requests select with {\"corpus\":\"NAME\"})\n",
                argv0, argv0);
   return 2;
+}
+
+// A --corpus value is NAME=SEED: NAME a nonempty [A-Za-z0-9_.-]+ token
+// (it travels inside JSON metrics and request lines; keep it quoting-free),
+// SEED a nonnegative integer re-seeding the default calibration shape.
+bool parse_corpus_flag(const char* argv0, const char* text, std::string& name, long& seed) {
+  const char* eq = std::strchr(text, '=');
+  if (!eq || eq == text) {
+    std::fprintf(stderr, "%s: bad --corpus \"%s\" (expected NAME=SEED)\n", argv0, text);
+    return false;
+  }
+  name.assign(text, static_cast<std::size_t>(eq - text));
+  if (name == "default") {
+    std::fprintf(stderr,
+                 "%s: --corpus name \"default\" is reserved (it aliases the built-in "
+                 "default corpus in the metrics)\n",
+                 argv0);
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) {
+      std::fprintf(stderr, "%s: bad --corpus name \"%s\" (use [A-Za-z0-9_.-]+)\n", argv0,
+                   name.c_str());
+      return false;
+    }
+  }
+  const core::ParseStatus status = core::parse_long(eq + 1, seed);
+  if (status != core::ParseStatus::kOk || seed < 0) {
+    std::fprintf(stderr, "%s: bad --corpus seed \"%s\" (%s)\n", argv0, eq + 1,
+                 status == core::ParseStatus::kOk ? "must be >= 0"
+                                                  : core::parse_status_message(status));
+    return false;
+  }
+  return true;
 }
 
 // Positional-argument parsing with the core/env contract: garbage is
@@ -84,6 +133,10 @@ int main(int argc, char** argv) {
       shards = 4096;
     }
     long cache_entries = core::env_long("ISR_CACHE_ENTRIES", 1024, /*require_positive=*/false);
+    // <= 0 pins every key to its home shard (rebalancing off).
+    double imbalance_ratio =
+        core::env_double("ISR_IMBALANCE_RATIO", 1.25, /*require_positive=*/false);
+    std::vector<cluster::CorpusConfig> corpora;
     for (int a = 2; a < argc; ++a) {
       if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
         const core::ParseStatus status =
@@ -103,6 +156,31 @@ int main(int argc, char** argv) {
                            : core::parse_status_message(status));
           return usage(argv[0]);
         }
+      } else if (std::strcmp(argv[a], "--corpus") == 0 && a + 1 < argc) {
+        std::string name;
+        long seed = 0;
+        if (!parse_corpus_flag(argv[0], argv[++a], name, seed)) return usage(argv[0]);
+        // The cluster would silently keep the first writer; a duplicate
+        // flag is operator error and must be as loud as any other bad flag.
+        for (const cluster::CorpusConfig& existing : corpora)
+          if (existing.name == name) {
+            std::fprintf(stderr, "%s: duplicate --corpus name \"%s\"\n", argv[0],
+                         name.c_str());
+            return usage(argv[0]);
+          }
+        cluster::CorpusConfig corpus;
+        corpus.name = std::move(name);
+        corpus.service.calibration = serve::default_calibration();
+        corpus.service.calibration.seed = static_cast<std::uint64_t>(seed);
+        corpora.push_back(std::move(corpus));
+      } else if (std::strcmp(argv[a], "--imbalance-ratio") == 0 && a + 1 < argc) {
+        const core::ParseStatus status =
+            core::parse_double(argv[++a], imbalance_ratio, /*require_positive=*/false);
+        if (status != core::ParseStatus::kOk) {
+          std::fprintf(stderr, "%s: bad --imbalance-ratio \"%s\" (%s)\n", argv[0], argv[a],
+                       core::parse_status_message(status));
+          return usage(argv[0]);
+        }
       } else {
         return usage(argv[0]);
       }
@@ -112,6 +190,9 @@ int main(int argc, char** argv) {
     cluster::ClusterConfig config;
     config.shards = static_cast<int>(shards);
     config.cache_entries = static_cast<std::size_t>(cache_entries);
+    config.corpora = std::move(corpora);
+    config.rebalance = imbalance_ratio > 0.0;
+    config.imbalance_ratio = imbalance_ratio;
     cluster::ServingCluster serving(std::move(config));
     serve::run_jsonl(std::cin, std::cout,
                      [&serving](const std::vector<serve::AdvisorRequest>& requests) {

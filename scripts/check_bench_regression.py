@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the throughput trackers.
+
+Each throughput bench prints one machine-readable ``JSON {...}`` line; CI
+captures it to ``<name>.json`` and this script compares every throughput
+field (``qps_*`` / ``obs_per_sec_*``) against the committed baseline in
+``bench/baselines/<name>.json``.
+
+The tolerance is deliberately generous: CI runners vary wildly, so only a
+collapse — current throughput below baseline/FACTOR (default 2x) — fails.
+Improvements are reported but never fail, and the nightly job uploads
+freshly measured baselines as artifacts so the committed ones can be
+refreshed when hardware or the benches change shape.
+
+Usage:
+    check_bench_regression.py --baseline-dir bench/baselines \
+        --current-dir build/bench_out [--max-regression 2.0]
+
+Exit status: 0 when every throughput field of every baseline holds up,
+1 on a regression, missing current file, or malformed JSON.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+THROUGHPUT_PREFIXES = ("qps_", "obs_per_sec_")
+
+
+def throughput_fields(record):
+    return {
+        key: value
+        for key, value in record.items()
+        if key.startswith(THROUGHPUT_PREFIXES) and isinstance(value, (int, float))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--current-dir", required=True, type=pathlib.Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when current < baseline / FACTOR (default: 2.0)",
+    )
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"error: no baselines found in {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for baseline_path in baselines:
+        current_path = args.current_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"FAIL {baseline_path.name}: no current result at {current_path}")
+            failures += 1
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            current = json.loads(current_path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"FAIL {baseline_path.name}: malformed JSON ({err})")
+            failures += 1
+            continue
+
+        fields = throughput_fields(baseline)
+        if not fields:
+            print(f"FAIL {baseline_path.name}: baseline has no qps_*/obs_per_sec_* fields")
+            failures += 1
+            continue
+
+        for key, base_value in sorted(fields.items()):
+            if base_value <= 0:
+                continue  # a zero baseline cannot regress
+            value = current.get(key)
+            if not isinstance(value, (int, float)):
+                print(f"FAIL {baseline_path.name}: {key} missing from current result")
+                failures += 1
+                continue
+            ratio = value / base_value
+            if ratio < 1.0 / args.max_regression:
+                print(
+                    f"FAIL {baseline_path.name}: {key} {value:.1f} vs baseline "
+                    f"{base_value:.1f} ({ratio:.2f}x, limit {1.0 / args.max_regression:.2f}x)"
+                )
+                failures += 1
+            else:
+                print(
+                    f"  ok {baseline_path.name}: {key} {value:.1f} vs baseline "
+                    f"{base_value:.1f} ({ratio:.2f}x)"
+                )
+
+    if failures:
+        print(f"\n{failures} bench regression check(s) failed "
+              f"(>{args.max_regression:.1f}x below baseline)")
+        return 1
+    print("\nall bench regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

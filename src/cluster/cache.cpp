@@ -12,16 +12,20 @@ std::string canonical_request_key(const serve::AdvisorRequest& r) {
   static_assert(sizeof(budget_bits) == sizeof(r.budget_seconds), "double must be 64-bit");
   std::memcpy(&budget_bits, &r.budget_seconds, sizeof(budget_bits));
   char tail[96];
-  std::snprintf(tail, sizeof(tail), "|%s|%d|%d|%d|%016llx|%d",
+  std::snprintf(tail, sizeof(tail), "|%s|%d|%d|%d|%016llx|%d|",
                 serve::renderer_token(r.renderer), r.n_per_task, r.tasks, r.image_edge,
                 static_cast<unsigned long long>(budget_bits), r.frames);
   char head[24];
   std::snprintf(head, sizeof(head), "%zu:", r.arch.size());
+  char corpus_head[24];
+  std::snprintf(corpus_head, sizeof(corpus_head), "%zu:", r.corpus.size());
   std::string key;
-  key.reserve(r.arch.size() + 48);
+  key.reserve(r.arch.size() + r.corpus.size() + 64);
   key += head;
   key += r.arch;
   key += tail;
+  key += corpus_head;
+  key += r.corpus;
   return key;
 }
 

@@ -24,8 +24,10 @@ namespace isr::cluster {
 // The canonical request bytes: every AdvisorRequest field in fixed order,
 // integers in decimal, the budget as its exact IEEE-754 bit pattern (so
 // 0.1 + 0.2 and 0.3 are different keys, as they must be — they produce
-// different predictions), and the arch length-prefixed so no crafted arch
-// string can collide with another request's encoding.
+// different predictions), and the arch and corpus strings length-prefixed
+// so no crafted string can collide with another request's encoding. The
+// corpus selector is part of the key, so responses cached for one resident
+// corpus can never be served for another.
 std::string canonical_request_key(const serve::AdvisorRequest& request);
 
 class ResponseCache {

@@ -1,23 +1,82 @@
 #include "cluster/cluster.hpp"
 
+#include <cstring>
 #include <exception>
+#include <set>
 
 #include "core/parallel_for.hpp"
+#include "math/rng.hpp"
 
 namespace isr::cluster {
+
+namespace {
+
+// Mirror AdvisorService's spr_base derivation: the SPR mapping must assume
+// the sampling density the calibration corpus was rendered at.
+void derive_spr_base(serve::ServiceConfig& service) {
+  if (service.constants.spr_base <= 0.0)
+    service.constants.spr_base = 0.93 * service.calibration.vr_samples;
+}
+
+// The replica/routing key: calibration fingerprint + the exact bit
+// patterns of the mapping constants. Two corpora sharing a calibration but
+// differing in constants (e.g. an explicit spr_base) predict differently,
+// so they must select distinct shard replica entries — while still sharing
+// the calibration's single fit.
+std::uint64_t corpus_key_for(const serve::ServiceConfig& service,
+                             std::uint64_t fingerprint) {
+  std::uint64_t key = hash_seed(fingerprint, std::uint64_t{0xC0B905ull});
+  const auto mix_double = [&key](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    key = hash_combine(key, bits);
+  };
+  mix_double(service.constants.ap_fill);
+  mix_double(service.constants.ppt);
+  mix_double(service.constants.spr_base);
+  return key;
+}
+
+}  // namespace
 
 ServingCluster::ServingCluster(ClusterConfig config,
                                std::shared_ptr<serve::ModelRegistry> primary)
     : config_(std::move(config)),
       primary_(primary ? std::move(primary) : std::make_shared<serve::ModelRegistry>()),
-      router_(config_.shards,
-              serve::ModelRegistry::fingerprint(config_.service.calibration)),
+      router_(config_.shards > 0 ? config_.shards : 1,
+              RouterOptions{/*replicas=*/64, config_.rebalance, config_.imbalance_ratio,
+                            config_.rebalance_window > 0 ? config_.rebalance_window : 1,
+                            /*min_hot_load=*/32.0}),
       cache_(config_.cache_entries, config_.cache_ways),
       pool_(config_.threads) {
-  // Mirror AdvisorService's spr_base derivation: the SPR mapping must
-  // assume the sampling density the calibration corpus was rendered at.
-  if (config_.service.constants.spr_base <= 0.0)
-    config_.service.constants.spr_base = 0.93 * config_.service.calibration.vr_samples;
+  // Resolve the resident corpora up front: the default first (selector ""),
+  // then each valid named corpus. Empty, "default", and duplicate names
+  // are dropped — "" is reserved for the default corpus, "default" is its
+  // metrics alias (a named reuse would emit colliding JSON keys), and a
+  // duplicate would make resolution ambiguous (first writer wins, like the
+  // registry's adopt).
+  derive_spr_base(config_.service);
+  CorpusState default_corpus;
+  default_corpus.service = config_.service;
+  default_corpus.fingerprint =
+      serve::ModelRegistry::fingerprint(config_.service.calibration);
+  default_corpus.corpus_key =
+      corpus_key_for(default_corpus.service, default_corpus.fingerprint);
+  corpora_.push_back(std::move(default_corpus));
+  for (const CorpusConfig& named : config_.corpora) {
+    if (named.name.empty() || named.name == "default" || resolve_corpus(named.name) >= 0)
+      continue;
+    CorpusState state;
+    state.name = named.name;
+    state.service = named.service;
+    derive_spr_base(state.service);
+    state.fingerprint = serve::ModelRegistry::fingerprint(state.service.calibration);
+    state.corpus_key = corpus_key_for(state.service, state.fingerprint);
+    corpora_.push_back(std::move(state));
+  }
+  corpus_queries_.assign(corpora_.size(), 0);
+
   const int n_shards = config_.shards > 0 ? config_.shards : 1;
   config_.shards = n_shards;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
@@ -32,18 +91,40 @@ ServingCluster::ServingCluster(ClusterConfig config,
           config_.batch_deadline_ms > 0.0 ? config_.batch_deadline_ms : 0.0));
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s)
-    shards_.push_back(std::make_unique<Shard>(s, config_.service.constants,
-                                              config_.queue_capacity, config_.batch_size,
-                                              deadline));
+    shards_.push_back(std::make_unique<Shard>(s, config_.queue_capacity,
+                                              config_.batch_size, deadline));
+}
+
+int ServingCluster::resolve_corpus(const std::string& name) const {
+  // Linear scan: resident corpora are few (one per served machine
+  // configuration), and the scan avoids a map the metrics would then have
+  // to keep ordered anyway.
+  if (name.empty()) return corpora_.empty() ? -1 : 0;
+  for (std::size_t c = 1; c < corpora_.size(); ++c)
+    if (corpora_[c].name == name) return static_cast<int>(c);
+  return -1;
+}
+
+std::uint64_t ServingCluster::corpus_fingerprint(const std::string& name) const {
+  const int idx = resolve_corpus(name);
+  return idx < 0 ? 0 : corpora_[static_cast<std::size_t>(idx)].fingerprint;
 }
 
 void ServingCluster::ensure_replicated() {
   std::lock_guard<std::mutex> lock(replicate_mutex_);
   if (replicated_) return;
-  // One fit per distinct corpus fingerprint, on the primary; every shard
-  // replica adopts a copy of the bundle (adoption never counts as a fit).
-  const serve::FittedModels& fitted = primary_->models_for(config_.service.calibration);
-  for (const auto& shard : shards_) shard->adopt(fitted);
+  // One fit per distinct calibration fingerprint, on the primary (its
+  // cache dedups repeat calls); every shard adopts a replica entry per
+  // distinct corpus key (adoption never counts as a fit), so any shard can
+  // evaluate any resident corpus — which is what lets the rebalancer place
+  // hot keys anywhere.
+  std::set<std::uint64_t> adopted;
+  for (const CorpusState& corpus : corpora_) {
+    if (!adopted.insert(corpus.corpus_key).second) continue;
+    const serve::FittedModels& bundle = primary_->models_for(corpus.service.calibration);
+    for (const auto& shard : shards_)
+      shard->adopt(bundle, corpus.service.constants, corpus.corpus_key);
+  }
   replicated_ = true;
 }
 
@@ -60,16 +141,37 @@ std::vector<serve::AdvisorResponse> ServingCluster::serve_batch(
   const std::size_t n = requests.size();
   std::vector<serve::AdvisorResponse> responses(n);
 
+  // Resolution pass (serial, cheap): map each request's corpus selector to
+  // a resident corpus. Unknown selectors fill their slots with error
+  // responses right here — they never touch the cache or a shard.
+  std::vector<int> corpus_of(n, -1);
+  std::vector<long> corpus_counts(corpora_.size(), 0);
+  long unknown = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int idx = resolve_corpus(requests[i].corpus);
+    corpus_of[i] = idx;
+    if (idx < 0) {
+      ++unknown;
+      responses[i].ok = false;
+      responses[i].error =
+          "unknown corpus \"" + requests[i].corpus + "\" (not resident on this cluster)";
+    } else {
+      ++corpus_counts[static_cast<std::size_t>(idx)];
+    }
+  }
+
   // Cache pass (serial, cheap): hits fill their slots and skip evaluation
   // entirely; misses carry their canonical key to the shard for insertion.
   // With the cache off, keys are never built — the uncached hot path pays
-  // nothing for the cache's existence.
+  // nothing for the cache's existence. The canonical key includes the
+  // corpus selector, so entries can never collide across corpora.
   const bool caching = cache_.enabled();
   std::vector<std::size_t> miss;
   std::vector<std::string> miss_key;
   miss.reserve(n);
   miss_key.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    if (corpus_of[i] < 0) continue;  // already an error slot
     std::string key = caching ? canonical_request_key(requests[i]) : std::string();
     if (!caching || !cache_.lookup(key, responses[i])) {
       miss.push_back(i);
@@ -90,10 +192,13 @@ std::vector<serve::AdvisorResponse> ServingCluster::serve_batch(
         try {
           for (std::size_t j = 0; j < miss.size(); ++j) {
             const std::size_t i = miss[j];
+            const CorpusState& corpus =
+                corpora_[static_cast<std::size_t>(corpus_of[i])];
             Shard& shard = *shards_[static_cast<std::size_t>(
-                router_.shard_for(requests[i].arch))];
+                router_.route(corpus.corpus_key, requests[i].arch))];
             RoutedRequest item;
             item.request = requests[i];
+            item.corpus_key = corpus.corpus_key;
             item.slot = i;
             item.cache_key = std::move(miss_key[j]);
             item.enqueued = std::chrono::steady_clock::now();
@@ -120,6 +225,10 @@ std::vector<serve::AdvisorResponse> ServingCluster::serve_batch(
 
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   queries_ += static_cast<long>(n);
+  for (std::size_t c = 0; c < corpus_counts.size(); ++c)
+    corpus_queries_[c] += corpus_counts[c];
+  unknown_corpus_queries_ += unknown;
+  hot_keys_ = router_.hot_keys();  // still under serve_mutex_: no racing route()
   for (const auto& shard : shards_) shard->drain_latencies(latencies_ms_);
   // Bound the latency reservoir: a long-lived service must not grow a
   // sample per request forever. Keep the most recent window; percentiles
@@ -145,6 +254,7 @@ ClusterMetrics ServingCluster::metrics() const {
     if (shard->max_queue_depth() > m.max_queue_depth)
       m.max_queue_depth = shard->max_queue_depth();
   }
+  m.rebalanced_queries = router_.rebalanced();
   m.cache_lookups = cache_.lookups();
   m.cache_hits = cache_.hits();
   m.cache_hit_rate =
@@ -153,6 +263,11 @@ ClusterMetrics ServingCluster::metrics() const {
           : 0.0;
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   m.queries = queries_;
+  m.corpus_queries.reserve(corpora_.size());
+  for (std::size_t c = 0; c < corpora_.size(); ++c)
+    m.corpus_queries.emplace_back(corpora_[c].name, corpus_queries_[c]);
+  m.unknown_corpus_queries = unknown_corpus_queries_;
+  m.hot_keys = hot_keys_;
   m.p50_latency_ms = percentile(latencies_ms_, 50.0);
   m.p99_latency_ms = percentile(latencies_ms_, 99.0);
   return m;

@@ -1,29 +1,39 @@
 // The sharded serving cluster (layer 5): turns the single-registry advisor
-// of src/serve/ into a simulated multi-shard cluster on one machine —
-// the ROADMAP's "sharding/replication ... on the road to heavy-traffic
-// serving" item made concrete.
+// of src/serve/ into a simulated multi-shard, multi-corpus cluster on one
+// machine — the ROADMAP's "sharding/replication ... on the road to
+// heavy-traffic serving" and "multi-corpus cluster" items made concrete.
+// The paper's feasibility model is only meaningful per calibration corpus
+// (one machine/configuration fit, Tables 12-17); a production advisor
+// serves many machines at once, so the cluster holds several corpora
+// resident and requests carry a `corpus` selector.
 //
 // A serve_batch call flows:
 //
-//   requests ──canonical key──> ResponseCache ──hit──────────────> slot
+//   requests ──corpus selector──> resident corpus (unknown name: in-slot
+//                  │               error response, no routing)
+//                  ├──canonical key──> ResponseCache ──hit──────────> slot
 //                  │ miss
-//                  └─> Router (consistent hash of arch + corpus
-//                      fingerprint) ─> per-shard bounded BatchQueue
+//                  └─> Router (consistent hash of (corpus fingerprint,
+//                      arch); hot keys split across rendezvous sub-keys)
+//                      ─> per-shard bounded BatchQueue
 //                      ─> shard worker (core::ThreadPool lane) drains
 //                         coalesced batches ─> serve::answer_request
-//                         against the shard's replicated registry ─> slot
-//                         (+ cache insert)
+//                         against the shard's fingerprint-selected replica
+//                         bundle ─> slot (+ cache insert)
 //
 // Determinism contract (the cluster's load-bearing promise, enforced by
-// test_cluster and bench_cluster_throughput): a response vector — and its
-// serve::to_jsonl bytes — is identical for any shard count, any thread
-// count, and any cache state, because every response is a pure function of
-// (request, fitted models) and all replicas adopt bundles from one fit.
+// test_cluster, bench_cluster_throughput, and bench_multicorpus_throughput):
+// a response vector — and its serve::to_jsonl bytes — is identical for any
+// shard count, any thread count, any cache state, any resident-corpus
+// count, and with rebalancing on or off, because every response is a pure
+// function of (request, fitted models) and all replicas adopt bundles from
+// one fit per fingerprint.
 //
-// Replication: the cluster fits the calibration corpus exactly once per
-// distinct fingerprint (on the primary registry, which callers may share
-// across clusters) and copies the fitted bundle into each shard's replica;
-// registry_fits() exposes the invariant.
+// Replication: the cluster fits each resident calibration corpus exactly
+// once per distinct fingerprint (on the primary registry, which callers
+// may share across clusters) and copies every fitted bundle into each
+// shard's replica; registry_fits() == distinct resident fingerprints at
+// any shard count.
 //
 // Deadlock-free by construction at any pool width: the producer lane never
 // blocks — when a shard's bounded queue is full it drains a batch itself
@@ -33,8 +43,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "cluster/cache.hpp"
@@ -47,11 +59,29 @@
 
 namespace isr::cluster {
 
-struct ClusterConfig {
-  // Calibration corpus + mapping constants, exactly as a single
-  // AdvisorService takes them (the `threads` field is ignored — the
-  // cluster's own `threads` below governs the pool).
+// One additional resident calibration corpus: the selector requests name
+// in their `corpus` field, plus the corpus's own calibration + constants.
+struct CorpusConfig {
+  // Non-empty and not "default": "" always selects the default corpus, and
+  // "default" is how the metrics report it (a named corpus reusing it
+  // would emit colliding JSON keys). Violating entries are dropped.
+  std::string name;
   serve::ServiceConfig service;
+};
+
+struct ClusterConfig {
+  // The DEFAULT calibration corpus + mapping constants, exactly as a
+  // single AdvisorService takes them (the `threads` field is ignored — the
+  // cluster's own `threads` below governs the pool). Requests with an
+  // empty `corpus` selector resolve here.
+  serve::ServiceConfig service;
+
+  // Additional named corpora resident alongside the default. Entries with
+  // an empty, "default", or duplicate name are ignored (first writer
+  // wins); corpora may share a calibration fingerprint (they then share
+  // the one fit, and may still differ in mapping constants — replicas are
+  // keyed by calibration AND constants).
+  std::vector<CorpusConfig> corpora;
 
   int shards = 1;                    // serving shards (>= 1)
   std::size_t cache_entries = 1024;  // total ResponseCache entries; 0 = off
@@ -60,6 +90,15 @@ struct ClusterConfig {
   std::size_t queue_capacity = 1024;  // per-shard admission queue bound
   std::size_t batch_size = 64;        // coalescing flush threshold
   double batch_deadline_ms = 0.5;     // coalescing deadline
+
+  // Hot-key rebalancing (see cluster/router.hpp): when one (corpus, arch)
+  // key's decaying load exceeds imbalance_ratio times a shard's fair
+  // share, it is split across the shards in the key's rendezvous order.
+  // imbalance_ratio <= 0 (or rebalance = false) pins every key to its home
+  // shard, the pre-rebalancing behavior.
+  bool rebalance = true;
+  double imbalance_ratio = 1.25;
+  std::size_t rebalance_window = 4096;  // decaying-counter halving period
 
   // Pool lanes for the fan-out (producer + shard workers): 0 = ISR_THREADS
   // env / hardware, 1 = fully serial (inline lanes, still correct).
@@ -88,19 +127,44 @@ class ServingCluster {
   ClusterMetrics metrics() const;
 
   // Calibration fits performed across the primary and every shard replica.
-  // Must equal the number of distinct corpus fingerprints served — shards
-  // adopt, they never refit.
+  // Must equal the number of distinct resident corpus fingerprints —
+  // shards adopt, they never refit, and corpora sharing a fingerprint
+  // share one fit.
   int registry_fits() const;
 
   int shards() const { return static_cast<int>(shards_.size()); }
+  // Resident corpora (the default plus every accepted named corpus).
+  int corpora() const { return static_cast<int>(corpora_.size()); }
   const ClusterConfig& config() const { return config_; }
 
+  // Fingerprint of the resident corpus `name` selects ("" = default), or 0
+  // when the name is unknown. Fingerprints are never 0 in practice
+  // (hash_seed output), so 0 doubles as "not resident" in tests.
+  std::uint64_t corpus_fingerprint(const std::string& name) const;
+
  private:
-  // Fit-once-replicate-everywhere: runs the calibration on the primary (or
-  // takes its cached bundle) and adopts it into every shard replica.
+  // One resident corpus, resolved at construction: its selector, its
+  // config (spr_base derived), its calibration fingerprint (what the
+  // registry fits once), and its corpus key (calibration + constants —
+  // what routing and the shard replica maps select by, so corpora sharing
+  // a calibration but not constants never conflate).
+  struct CorpusState {
+    std::string name;
+    serve::ServiceConfig service;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t corpus_key = 0;
+  };
+
+  // Fit-once-replicate-everywhere: runs each distinct fingerprint's
+  // calibration on the primary (or takes its cached bundle) and adopts
+  // every bundle into every shard replica.
   void ensure_replicated();
 
+  // Index into corpora_ for a request's selector, or -1 when unknown.
+  int resolve_corpus(const std::string& name) const;
+
   ClusterConfig config_;
+  std::vector<CorpusState> corpora_;  // [0] is the default corpus
   std::shared_ptr<serve::ModelRegistry> primary_;
   Router router_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -112,6 +176,9 @@ class ServingCluster {
 
   mutable std::mutex metrics_mutex_;
   long queries_ = 0;
+  std::vector<long> corpus_queries_;  // aligned with corpora_
+  long unknown_corpus_queries_ = 0;
+  int hot_keys_ = 0;  // router snapshot at the last batch end
   // Most recent per-request latencies, bounded so a long-lived service
   // cannot grow without limit; percentiles describe this sliding window.
   std::vector<double> latencies_ms_;

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace isr::cluster {
@@ -20,6 +21,18 @@ struct ClusterMetrics {
   int shards = 0;
   long queries = 0;                 // total requests answered (hits included)
   std::vector<long> shard_queries;  // evaluated per shard (cache misses)
+
+  // Per-resident-corpus request counts (hits and error slots included), in
+  // cluster-config order; the default corpus reports as "default". Requests
+  // naming a corpus that is not resident are counted separately — they get
+  // in-slot error responses and never reach a shard.
+  std::vector<std::pair<std::string, long>> corpus_queries;
+  long unknown_corpus_queries = 0;
+
+  // Hot-key rebalancing: requests routed off their home shard through
+  // rendezvous sub-keys, and keys currently above the imbalance threshold.
+  long rebalanced_queries = 0;
+  int hot_keys = 0;
 
   long cache_lookups = 0;
   long cache_hits = 0;

@@ -4,17 +4,24 @@
 
 namespace isr::cluster {
 
-Shard::Shard(int index, model::MappingConstants constants, std::size_t queue_capacity,
-             std::size_t batch_size, std::chrono::nanoseconds batch_deadline)
+Shard::Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
+             std::chrono::nanoseconds batch_deadline)
     : index_(index),
-      constants_(constants),
       batch_size_(batch_size > 0 ? batch_size : 1),
       batch_deadline_(batch_deadline),
       registry_(std::make_unique<serve::ModelRegistry>()),
       queue_(queue_capacity) {}
 
-void Shard::adopt(const serve::FittedModels& bundle) {
-  fitted_ = &registry_->adopt(bundle);
+void Shard::adopt(const serve::FittedModels& bundle,
+                  const model::MappingConstants& constants, std::uint64_t corpus_key) {
+  const auto it = replicas_.find(corpus_key);
+  if (it != replicas_.end()) return;  // already resident (entries identical)
+  Replica replica;
+  // The registry dedups by bundle fingerprint, so two corpus keys sharing
+  // a calibration share one adopted bundle under distinct replica entries.
+  replica.fitted = &registry_->adopt(bundle);
+  replica.constants = constants;
+  replicas_.emplace(corpus_key, replica);
 }
 
 bool Shard::drain_one_batch(std::vector<serve::AdvisorResponse>& responses,
@@ -28,9 +35,19 @@ bool Shard::drain_one_batch(std::vector<serve::AdvisorResponse>& responses,
   if (batch.empty()) return true;
 
   // Evaluate outside any lock: responses are pure functions of
-  // (request, fitted models), and slots are disjoint across items.
+  // (request, fitted models), and slots are disjoint across items. The
+  // cluster only routes requests for resolved resident corpora, so the
+  // replica lookup cannot miss — the branch is a defensive invariant, not
+  // a code path.
   for (const RoutedRequest& item : batch) {
-    responses[item.slot] = serve::answer_request(*fitted_, constants_, item.request);
+    const auto replica = replicas_.find(item.corpus_key);
+    if (replica == replicas_.end()) {
+      responses[item.slot].ok = false;
+      responses[item.slot].error = "corpus bundle not resident on shard";
+    } else {
+      responses[item.slot] = serve::answer_request(*replica->second.fitted,
+                                                   replica->second.constants, item.request);
+    }
     if (cache) cache->insert(item.cache_key, responses[item.slot]);
   }
 

@@ -1,17 +1,21 @@
-// One serving shard: a replicated serve::ModelRegistry (the primary fits
-// the calibration corpus once; every shard adopts a copy of the fitted
-// bundle, so a cluster performs exactly one fit per distinct corpus
-// fingerprint no matter how many shards it runs), fed by a bounded
-// core::BatchQueue the cluster's producer lane pushes routed requests into.
-// The shard's worker drains coalesced batches — flushed on batch size, on
-// the coalescing deadline, or on queue close — and evaluates each request
-// through serve::answer_request against the replica's models, writing the
-// response into its pre-assigned slot and (on a miss path) into the shared
-// response cache.
+// One serving shard: a replicated serve::ModelRegistry holding EVERY
+// resident calibration corpus (the primary fits each distinct fingerprint
+// once; every shard adopts a copy of each fitted bundle, so a cluster
+// performs exactly one fit per distinct corpus fingerprint no matter how
+// many shards it runs), fed by a bounded core::BatchQueue the cluster's
+// producer lane pushes routed requests into. The shard's worker drains
+// coalesced batches — flushed on batch size, on the coalescing deadline,
+// or on queue close — and evaluates each request through
+// serve::answer_request against the fingerprint-selected replica bundle,
+// writing the response into its pre-assigned slot and (on a miss path)
+// into the shared response cache. Full replication is what makes hot-key
+// rebalancing free: any shard can evaluate any (corpus, arch) request.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,10 +29,12 @@ namespace isr::cluster {
 
 class ResponseCache;
 
-// One routed request in flight: where its response goes, its cache key, and
-// when it entered the queue (the latency measurement's start point).
+// One routed request in flight: which corpus replica evaluates it, where
+// its response goes, its cache key, and when it entered the queue (the
+// latency measurement's start point).
 struct RoutedRequest {
   serve::AdvisorRequest request;
+  std::uint64_t corpus_key = 0;  // resident replica the request resolved to
   std::size_t slot = 0;
   std::string cache_key;
   std::chrono::steady_clock::time_point enqueued;
@@ -45,14 +51,23 @@ struct ShardStats {
 
 class Shard {
  public:
-  Shard(int index, model::MappingConstants constants, std::size_t queue_capacity,
-        std::size_t batch_size, std::chrono::nanoseconds batch_deadline);
+  Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
+        std::chrono::nanoseconds batch_deadline);
 
   int index() const { return index_; }
 
-  // Replication: installs the primary's fitted bundle into this shard's
-  // replica registry (no refit) and binds evaluation to it.
-  void adopt(const serve::FittedModels& bundle);
+  // Replication: installs one resident corpus — the primary's fitted
+  // bundle plus that corpus's mapping constants — into this shard's
+  // replica registry (no refit), keyed by the cluster's corpus key (a hash
+  // of the calibration fingerprint AND the constants, so two corpora
+  // sharing a calibration but differing in constants get separate replica
+  // entries over the one adopted bundle). Re-adopting a resident key is a
+  // no-op (entries for one key are identical).
+  void adopt(const serve::FittedModels& bundle, const model::MappingConstants& constants,
+             std::uint64_t corpus_key);
+
+  // Resident replica count (distinct corpus keys adopted so far).
+  std::size_t resident_corpora() const { return replicas_.size(); }
 
   // Admission. try_enqueue returns false when the queue is full, leaving
   // `item` intact so the producer can drain a batch itself and retry;
@@ -81,12 +96,18 @@ class Shard {
   const serve::ModelRegistry& registry() const { return *registry_; }
 
  private:
+  // One resident corpus on this shard: the adopted bundle (owned by
+  // registry_) and the mapping constants its requests evaluate under.
+  struct Replica {
+    const serve::FittedModels* fitted = nullptr;
+    model::MappingConstants constants;
+  };
+
   int index_;
-  model::MappingConstants constants_;
   std::size_t batch_size_;
   std::chrono::nanoseconds batch_deadline_;
   std::unique_ptr<serve::ModelRegistry> registry_;
-  const serve::FittedModels* fitted_ = nullptr;  // owned by registry_
+  std::map<std::uint64_t, Replica> replicas_;  // corpus key -> replica
   core::BatchQueue<RoutedRequest> queue_;
 
   mutable std::mutex stats_mutex_;

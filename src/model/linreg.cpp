@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/parallel_for.hpp"
 #include "math/rng.hpp"
 
 namespace isr::model {
@@ -109,18 +110,26 @@ double CrossValidation::fraction_within(double tol) const {
 
 CrossValidation k_fold_cv(const std::vector<std::vector<double>>& X,
                           const std::vector<double>& y, int k, std::uint64_t seed,
-                          bool intercept) {
+                          bool intercept, core::ThreadPool* pool) {
   CrossValidation cv;
   const std::size_t n = X.size();
   if (n == 0 || k < 2) return cv;
 
+  // The shuffle runs once, serially, before any fan-out: every fold reads
+  // the same permutation regardless of thread count.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   Rng rng(seed);
   for (std::size_t i = n - 1; i > 0; --i)
     std::swap(order[i], order[rng.next_u64() % (i + 1)]);
 
-  for (int fold = 0; fold < k; ++fold) {
+  // Folds are independent fit+predict jobs; each writes its own slot and
+  // the slots are concatenated in fold order afterwards, so the parallel
+  // result is bit-identical to the serial one.
+  std::vector<std::vector<double>> fold_predicted(static_cast<std::size_t>(k));
+  std::vector<std::vector<double>> fold_actual(static_cast<std::size_t>(k));
+  core::maybe_parallel_for(pool, static_cast<std::size_t>(k), [&](std::size_t f) {
+    const int fold = static_cast<int>(f);
     std::vector<std::vector<double>> train_x, test_x;
     std::vector<double> train_y, test_y;
     for (std::size_t i = 0; i < n; ++i) {
@@ -134,11 +143,19 @@ CrossValidation k_fold_cv(const std::vector<std::vector<double>>& X,
       }
     }
     const FitResult fit = fit_linear(train_x, train_y, intercept);
-    if (!fit.ok) continue;
+    if (!fit.ok) return;  // this fold contributes nothing (singular split)
+    fold_predicted[f].reserve(test_x.size());
+    fold_actual[f].reserve(test_x.size());
     for (std::size_t i = 0; i < test_x.size(); ++i) {
-      cv.predicted.push_back(fit.predict(test_x[i]));
-      cv.actual.push_back(test_y[i]);
+      fold_predicted[f].push_back(fit.predict(test_x[i]));
+      fold_actual[f].push_back(test_y[i]);
     }
+  });
+  for (int fold = 0; fold < k; ++fold) {
+    const std::size_t f = static_cast<std::size_t>(fold);
+    cv.predicted.insert(cv.predicted.end(), fold_predicted[f].begin(),
+                        fold_predicted[f].end());
+    cv.actual.insert(cv.actual.end(), fold_actual[f].begin(), fold_actual[f].end());
   }
   return cv;
 }

@@ -7,6 +7,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace isr::core {
+class ThreadPool;
+}  // namespace isr::core
+
 namespace isr::model {
 
 struct FitResult {
@@ -37,10 +41,14 @@ struct CrossValidation {
 };
 
 // Shuffles rows deterministically (seed), splits into k folds, fits on k-1
-// and predicts the held-out fold.
+// and predicts the held-out fold. Folds are independent, so a non-null
+// `pool` fans them out over core::ThreadPool; per-fold results are
+// concatenated in fold order, making the output bit-identical at any
+// thread count (the shuffle runs once, serially, before the fan-out).
 CrossValidation k_fold_cv(const std::vector<std::vector<double>>& X,
                           const std::vector<double>& y, int k,
-                          std::uint64_t seed = 0xCF01Du, bool intercept = true);
+                          std::uint64_t seed = 0xCF01Du, bool intercept = true,
+                          core::ThreadPool* pool = nullptr);
 
 // Pearson correlation between two series (used for the paper's screening
 // "correlation analysis").

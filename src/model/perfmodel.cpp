@@ -105,14 +105,14 @@ std::vector<double> PerfModel::paper_coefficients() const {
 }
 
 CrossValidation PerfModel::cross_validate(const std::vector<RenderSample>& samples, int k,
-                                          std::uint64_t seed) const {
+                                          std::uint64_t seed, core::ThreadPool* pool) const {
   std::vector<std::vector<double>> X;
   std::vector<double> y;
   for (const RenderSample& s : samples) {
     X.push_back(features_for(s.inputs));
     y.push_back(s.render_seconds);
   }
-  return k_fold_cv(X, y, k, seed);
+  return k_fold_cv(X, y, k, seed, /*intercept=*/true, pool);
 }
 
 CompositeModel CompositeModel::fit(const std::vector<CompositeSample>& samples) {
@@ -132,14 +132,15 @@ double CompositeModel::predict(double avg_active_pixels, double pixels) const {
 }
 
 CrossValidation CompositeModel::cross_validate(const std::vector<CompositeSample>& samples,
-                                               int k, std::uint64_t seed) const {
+                                               int k, std::uint64_t seed,
+                                               core::ThreadPool* pool) const {
   std::vector<std::vector<double>> X;
   std::vector<double> y;
   for (const CompositeSample& s : samples) {
     X.push_back({s.avg_active_pixels, s.pixels});
     y.push_back(s.seconds);
   }
-  return k_fold_cv(X, y, k, seed);
+  return k_fold_cv(X, y, k, seed, /*intercept=*/true, pool);
 }
 
 }  // namespace isr::model

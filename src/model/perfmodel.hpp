@@ -88,9 +88,12 @@ class PerfModel {
   // intercept}; others {c0, c1, c2}.
   std::vector<double> paper_coefficients() const;
 
-  // 3-fold cross validation of total render time on the same samples.
+  // 3-fold cross validation of total render time on the same samples. A
+  // non-null pool fans the folds out over core::ThreadPool; results are
+  // bit-identical at any thread count (see k_fold_cv).
   CrossValidation cross_validate(const std::vector<RenderSample>& samples, int k = 3,
-                                 std::uint64_t seed = 0xCF01Du) const;
+                                 std::uint64_t seed = 0xCF01Du,
+                                 core::ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<double> features_for(const ModelInputs& in) const;
@@ -124,7 +127,8 @@ class CompositeModel {
   double r_squared() const { return fit_.r_squared; }
   std::vector<double> coefficients() const { return fit_.coefficients; }
   CrossValidation cross_validate(const std::vector<CompositeSample>& samples, int k = 3,
-                                 std::uint64_t seed = 0xC0111Du) const;
+                                 std::uint64_t seed = 0xC0111Du,
+                                 core::ThreadPool* pool = nullptr) const;
 
  private:
   FitResult fit_;

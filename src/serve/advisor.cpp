@@ -16,8 +16,8 @@ AdvisorResponse error_response(std::string message) {
   return r;
 }
 
-// JSON string escaping for error messages: quote, backslash, and control
-// characters (everything else in our messages is ASCII).
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -35,8 +35,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 AdvisorResponse answer_request(const FittedModels& fitted,
                                const model::MappingConstants& constants,

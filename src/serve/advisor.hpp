@@ -27,6 +27,12 @@ namespace isr::serve {
 // of §5.8 — per-task data size, rank count, image resolution) plus the
 // question parameters (time budget, amortization horizon).
 struct AdvisorRequest {
+  // Which resident calibration corpus answers this request. Empty selects
+  // the server's default corpus; a multi-corpus cluster (src/cluster/)
+  // resolves names to fitted bundles, and an unknown name yields an
+  // in-slot error response. A single AdvisorService ignores the selector —
+  // it has exactly one corpus.
+  std::string corpus;
   std::string arch = "CPU1";
   model::RendererKind renderer = model::RendererKind::kRayTrace;
   int n_per_task = 200;        // N of the N^3 cells-per-task block
@@ -72,6 +78,11 @@ AdvisorResponse answer_request(const FittedModels& fitted,
 // printf-formatted numbers, so identical responses serialize to identical
 // bytes. Schema documented in docs/ARCHITECTURE.md.
 std::string to_jsonl(const AdvisorResponse& response);
+
+// The wire format's JSON string escaping (quote, backslash, \u00xx control
+// characters) — one definition for every line this repo emits, so error
+// messages and metrics can never diverge on escaping.
+std::string json_escape(const std::string& s);
 
 // Renderer tokens used by the wire format: "raytrace" / "rasterize" /
 // "volume". renderer_from_token returns false on anything else.

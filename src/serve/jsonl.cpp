@@ -14,7 +14,7 @@ namespace {
 // A minimal scanner for the wire format: one flat JSON object per line,
 // values restricted to strings and numbers. Hand-rolled because
 // the repo takes no external dependencies and the schema is fixed — this
-// is a parser for seven known keys, not a JSON library.
+// is a parser for eight known keys, not a JSON library.
 struct Scanner {
   const char* p;
   const char* end;
@@ -123,7 +123,12 @@ bool parse_request_line(const std::string& line, AdvisorRequest& request, std::s
         error = key + ": expected ':'";
         return false;
       }
-      if (key == "arch") {
+      if (key == "corpus") {
+        if (!sc.parse_string(req.corpus, error)) {
+          error = "corpus: " + error;
+          return false;
+        }
+      } else if (key == "arch") {
         if (!sc.parse_string(req.arch, error)) {
           error = "arch: " + error;
           return false;

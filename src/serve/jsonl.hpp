@@ -7,8 +7,10 @@
 // long-lived stdin/stdout service.
 //
 // Request schema (all keys optional; defaults are AdvisorRequest's):
-//   {"arch":"CPU1","renderer":"raytrace","n_per_task":200,"tasks":32,
-//    "image_edge":1024,"budget_seconds":60,"frames":100}
+//   {"corpus":"","arch":"CPU1","renderer":"raytrace","n_per_task":200,
+//    "tasks":32,"image_edge":1024,"budget_seconds":60,"frames":100}
+// `corpus` selects which resident calibration corpus answers (empty = the
+// server's default); see src/cluster/ for multi-corpus serving.
 // Unknown keys, type mismatches, and malformed JSON yield an
 // {"ok":false,"error":...} response in that request's slot — loud,
 // order-preserving, and non-fatal to the rest of the batch. The full

@@ -88,43 +88,110 @@ AdvisorResponse ok_response(double frame_seconds) {
 
 TEST(RouterTest, SameKeySameShardAcrossInstances) {
   const std::uint64_t fp = serve::ModelRegistry::fingerprint(tiny_calibration());
-  const Router a(4, fp), b(4, fp);
+  const Router a(4), b(4);
   for (int i = 0; i < 200; ++i) {
     const std::string arch = "arch" + std::to_string(i);
-    EXPECT_EQ(a.shard_for(arch), b.shard_for(arch)) << arch;
-    EXPECT_GE(a.shard_for(arch), 0);
-    EXPECT_LT(a.shard_for(arch), 4);
+    EXPECT_EQ(a.shard_for(fp, arch), b.shard_for(fp, arch)) << arch;
+    EXPECT_GE(a.shard_for(fp, arch), 0);
+    EXPECT_LT(a.shard_for(fp, arch), 4);
   }
 }
 
 TEST(RouterTest, SpreadsKeysAcrossShards) {
-  const Router router(4, 42);
+  const Router router(4);
   std::set<int> used;
-  for (int i = 0; i < 200; ++i) used.insert(router.shard_for("arch" + std::to_string(i)));
+  for (int i = 0; i < 200; ++i)
+    used.insert(router.shard_for(42, "arch" + std::to_string(i)));
   EXPECT_EQ(used.size(), 4u);  // 200 keys must reach every one of 4 shards
 }
 
 TEST(RouterTest, ConsistentHashMovesFewKeysOnResize) {
   // Adding a fifth shard should move roughly 1/5 of the key space; a
   // modulo router would move ~4/5. Assert we are on the consistent side.
-  const Router four(4, 42), five(5, 42);
+  const Router four(4), five(5);
   int moved = 0;
   const int keys = 500;
   for (int i = 0; i < keys; ++i) {
     const std::string arch = "arch" + std::to_string(i);
-    if (four.shard_for(arch) != five.shard_for(arch)) ++moved;
+    if (four.shard_for(42, arch) != five.shard_for(42, arch)) ++moved;
   }
   EXPECT_GT(moved, 0);                // resize must hand the new shard work
   EXPECT_LT(moved, keys / 2);         // ...but far less than a modulo remap
 }
 
 TEST(RouterTest, RoutingDependsOnCorpusFingerprint) {
-  const Router a(8, 1), b(8, 2);
+  // One ring serves every resident corpus: the fingerprint is part of the
+  // key, so the same arch under two corpora spreads across shards.
+  const Router router(8);
   int differ = 0;
-  for (int i = 0; i < 100; ++i)
-    if (a.shard_for("arch" + std::to_string(i)) != b.shard_for("arch" + std::to_string(i)))
-      ++differ;
+  for (int i = 0; i < 100; ++i) {
+    const std::string arch = "arch" + std::to_string(i);
+    if (router.shard_for(1, arch) != router.shard_for(2, arch)) ++differ;
+  }
   EXPECT_GT(differ, 0);
+}
+
+// --- Hot-key rebalancing ----------------------------------------------------
+
+TEST(RouterTest, ColdKeysRouteToTheirHomeShard) {
+  // Balanced traffic over many keys: nothing crosses the imbalance
+  // threshold, so route() is exactly the pure lookup.
+  Router router(4);
+  for (int pass = 0; pass < 5; ++pass)
+    for (int i = 0; i < 40; ++i) {
+      const std::string arch = "arch" + std::to_string(i);
+      EXPECT_EQ(router.route(7, arch), router.shard_for(7, arch)) << arch;
+    }
+  EXPECT_EQ(router.rebalanced(), 0);
+  EXPECT_EQ(router.hot_keys(), 0);
+}
+
+TEST(RouterTest, HotKeySpreadsAcrossAllShards) {
+  Router router(4);
+  std::set<int> used;
+  std::vector<int> per_shard(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    const int shard = router.route(7, "hot");
+    used.insert(shard);
+    per_shard[static_cast<std::size_t>(shard)] += 1;
+  }
+  // The key turns hot once its load clears the floor, then round-robins
+  // over the rendezvous order — every shard shares the load about equally.
+  // rebalanced() counts only the picks that moved OFF the home shard
+  // (~3/4 of the ~368 post-floor routes here).
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_GT(router.rebalanced(), 200);
+  EXPECT_LT(router.rebalanced(), 350);
+  EXPECT_EQ(router.hot_keys(), 1);
+  for (const int count : per_shard) EXPECT_GT(count, 50);
+  // The pure lookup is untouched by load: shard_for stays the home shard.
+  const Router fresh(4);
+  EXPECT_EQ(router.shard_for(7, "hot"), fresh.shard_for(7, "hot"));
+}
+
+TEST(RouterTest, RebalanceOffPinsEveryKey) {
+  RouterOptions options;
+  options.rebalance = false;
+  Router router(4, options);
+  for (int i = 0; i < 400; ++i)
+    EXPECT_EQ(router.route(7, "hot"), router.shard_for(7, "hot"));
+  EXPECT_EQ(router.rebalanced(), 0);
+}
+
+TEST(RouterTest, DecayReturnsACooledKeyHome) {
+  RouterOptions options;
+  options.decay_window = 64;
+  options.min_hot_load = 8.0;
+  Router router(4, options);
+  for (int i = 0; i < 64; ++i) router.route(7, "hot");  // hot by now
+  EXPECT_GT(router.rebalanced(), 0);
+  const long rebalanced_at_peak = router.rebalanced();
+  // A long stretch of balanced traffic decays the old hot key to noise...
+  for (int pass = 0; pass < 10; ++pass)
+    for (int i = 0; i < 64; ++i) router.route(7, "arch" + std::to_string(i));
+  // ...so its next request routes home again.
+  EXPECT_EQ(router.route(7, "hot"), router.shard_for(7, "hot"));
+  EXPECT_EQ(router.rebalanced(), rebalanced_at_peak);
 }
 
 // --- Canonical request key --------------------------------------------------
@@ -369,7 +436,9 @@ TEST_F(ClusterFixture, MetricsJsonLineHasTheDocumentedShape)  {
   cluster.serve_batch(mixed_requests());
   const std::string line = cluster.metrics().to_jsonl();
   for (const char* key :
-       {"\"shards\":", "\"queries\":", "\"shard_queries\":[", "\"cache_lookups\":",
+       {"\"shards\":", "\"queries\":", "\"shard_queries\":[",
+        "\"corpus_queries\":{\"default\":", "\"unknown_corpus_queries\":",
+        "\"rebalanced_queries\":", "\"hot_keys\":", "\"cache_lookups\":",
         "\"cache_hits\":", "\"cache_hit_rate\":", "\"batches\":", "\"size_flushes\":",
         "\"deadline_flushes\":", "\"close_flushes\":", "\"max_queue_depth\":",
         "\"p50_latency_ms\":", "\"p99_latency_ms\":"})
@@ -430,6 +499,173 @@ TEST(ClusterTest, EmptyBatchDoesNotTriggerCalibration) {
   ServingCluster cluster(tiny_cluster_config(4, 2, 64));
   EXPECT_TRUE(cluster.serve_batch({}).empty());
   EXPECT_EQ(cluster.registry_fits(), 0);
+}
+
+// --- Multi-corpus serving ---------------------------------------------------
+
+// A second tiny corpus: same shape, different seed — a distinct calibration
+// fingerprint, so the cluster must fit it separately.
+model::StudyConfig tiny_calibration_b() {
+  model::StudyConfig cfg = tiny_calibration();
+  cfg.seed = 124;
+  return cfg;
+}
+
+ClusterConfig two_corpus_config(int shards, int threads, std::size_t cache_entries) {
+  ClusterConfig cfg = tiny_cluster_config(shards, threads, cache_entries);
+  CorpusConfig alt;
+  alt.name = "alt";
+  alt.service.calibration = tiny_calibration_b();
+  cfg.corpora.push_back(std::move(alt));
+  return cfg;
+}
+
+// A batch split across both resident corpora: every request of the mixed
+// shape once under the default corpus, once under "alt".
+std::vector<AdvisorRequest> two_corpus_requests() {
+  std::vector<AdvisorRequest> requests = mixed_requests();
+  const std::size_t single = requests.size();
+  for (std::size_t i = 0; i < single; ++i) {
+    AdvisorRequest req = requests[i];
+    req.corpus = "alt";
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+TEST_F(ClusterFixture, UnknownCorpusSelectorGetsInSlotError) {
+  ServingCluster cluster(tiny_cluster_config(2, 2, 0), primary_);
+  std::vector<AdvisorRequest> requests(3);
+  requests[1].corpus = "nope";
+  const std::vector<AdvisorResponse> responses = cluster.serve_batch(requests);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_NE(responses[1].error.find("unknown corpus \"nope\""), std::string::npos)
+      << responses[1].error;
+  EXPECT_TRUE(responses[2].ok);
+
+  // The bad slot never reached the cache or a shard.
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.queries, 3);
+  EXPECT_EQ(m.unknown_corpus_queries, 1);
+  long evaluated = 0;
+  for (const long q : m.shard_queries) evaluated += q;
+  EXPECT_EQ(evaluated, 2);
+  EXPECT_EQ(cluster.corpus_fingerprint("nope"), 0u);
+}
+
+TEST(MultiCorpusTest, TwoFingerprintsFitExactlyTwiceAtAnyShardCount) {
+  // One local primary shared by every cluster in the loop: the two corpora
+  // are fitted once each, no matter how many shards (or clusters) serve
+  // them, and responses stay byte-identical to the 1-shard serial run.
+  const auto primary = std::make_shared<serve::ModelRegistry>();
+  const std::vector<AdvisorRequest> requests = two_corpus_requests();
+
+  ServingCluster reference(two_corpus_config(1, 1, 0), primary);
+  EXPECT_NE(reference.corpus_fingerprint(""), reference.corpus_fingerprint("alt"));
+  EXPECT_EQ(reference.corpora(), 2);
+  const std::vector<AdvisorResponse> expected = reference.serve_batch(requests);
+  EXPECT_EQ(reference.registry_fits(), 2);
+
+  for (const int shards : {2, 3, 4}) {
+    ServingCluster cluster(two_corpus_config(shards, 3, 0), primary);
+    const std::vector<AdvisorResponse> got = cluster.serve_batch(requests);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(serve::responses_identical(expected[i], got[i]))
+          << "shards " << shards << " slot " << i;
+      EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(got[i]))
+          << "shards " << shards << " slot " << i;
+    }
+    EXPECT_EQ(cluster.registry_fits(), 2);
+  }
+
+  // The two corpora really are different models: the same request answered
+  // under each gives different predictions (distinct calibration seeds).
+  const std::size_t single = requests.size() / 2;
+  int differing = 0;
+  for (std::size_t i = 0; i < single; ++i)
+    if (expected[i].ok && expected[i + single].ok &&
+        serve::to_jsonl(expected[i]) != serve::to_jsonl(expected[i + single]))
+      ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(MultiCorpusTest, CacheEntriesNeverCollideAcrossCorpora) {
+  // Key level: two requests differing only in corpus have distinct
+  // canonical keys.
+  AdvisorRequest base;
+  AdvisorRequest alt = base;
+  alt.corpus = "alt";
+  EXPECT_NE(canonical_request_key(base), canonical_request_key(alt));
+
+  // Cluster level: a warm multi-corpus pass answers every slot from the
+  // cache — and each corpus's slots come back as that corpus's responses,
+  // byte-identical to the cold pass.
+  const auto primary = std::make_shared<serve::ModelRegistry>();
+  const std::vector<AdvisorRequest> requests = two_corpus_requests();
+  ServingCluster cluster(two_corpus_config(3, 3, 512), primary);
+  const std::vector<AdvisorResponse> cold = cluster.serve_batch(requests);
+  const std::vector<AdvisorResponse> warm = cluster.serve_batch(requests);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(serve::to_jsonl(cold[i]), serve::to_jsonl(warm[i])) << "slot " << i;
+
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.cache_hits, static_cast<long>(requests.size()));  // the warm pass
+  ASSERT_EQ(m.corpus_queries.size(), 2u);
+  EXPECT_EQ(m.corpus_queries[0].first, "");
+  EXPECT_EQ(m.corpus_queries[1].first, "alt");
+  EXPECT_EQ(m.corpus_queries[0].second, static_cast<long>(requests.size()));
+  EXPECT_EQ(m.corpus_queries[1].second, static_cast<long>(requests.size()));
+  EXPECT_EQ(m.unknown_corpus_queries, 0);
+}
+
+TEST(MultiCorpusTest, ReservedDuplicateAndEmptyCorpusNamesAreIgnored) {
+  ClusterConfig cfg = two_corpus_config(2, 1, 0);
+  CorpusConfig dup;  // duplicate of "alt" with a different calibration
+  dup.name = "alt";
+  dup.service.calibration = tiny_calibration();
+  cfg.corpora.push_back(dup);
+  CorpusConfig anonymous;  // "" is reserved for the default corpus
+  anonymous.service.calibration = tiny_calibration_b();
+  cfg.corpora.push_back(anonymous);
+  CorpusConfig reserved;  // "default" is the metrics alias of the default
+  reserved.name = "default";
+  reserved.service.calibration = tiny_calibration_b();
+  cfg.corpora.push_back(reserved);
+  ServingCluster cluster(std::move(cfg));
+  EXPECT_EQ(cluster.corpora(), 2);  // default + the first "alt" only
+  EXPECT_EQ(cluster.corpus_fingerprint("alt"),
+            serve::ModelRegistry::fingerprint(tiny_calibration_b()));
+  EXPECT_EQ(cluster.corpus_fingerprint("default"), 0u);  // not resident
+}
+
+TEST(MultiCorpusTest, SharedCalibrationDistinctConstantsStaySeparate) {
+  // Two corpora over ONE calibration (one fit) that differ only in mapping
+  // constants: the replica key covers the constants, so each corpus's
+  // requests evaluate under its own constants — not the first adopter's.
+  ClusterConfig cfg = tiny_cluster_config(2, 2, 0);
+  CorpusConfig dense;
+  dense.name = "dense";
+  dense.service.calibration = tiny_calibration();  // same fingerprint
+  dense.service.constants.spr_base = 990.0;        // explicit, much denser
+  cfg.corpora.push_back(std::move(dense));
+  ServingCluster cluster(std::move(cfg));
+  EXPECT_EQ(cluster.corpus_fingerprint(""), cluster.corpus_fingerprint("dense"));
+
+  AdvisorRequest volume;  // spr_base feeds the volume model's SPR term
+  volume.renderer = model::RendererKind::kVolume;
+  AdvisorRequest dense_volume = volume;
+  dense_volume.corpus = "dense";
+  const std::vector<AdvisorResponse> responses =
+      cluster.serve_batch({volume, dense_volume});
+  ASSERT_EQ(responses.size(), 2u);
+  ASSERT_TRUE(responses[0].ok) << responses[0].error;
+  ASSERT_TRUE(responses[1].ok) << responses[1].error;
+  EXPECT_NE(responses[0].frame_seconds, responses[1].frame_seconds);
+  EXPECT_EQ(cluster.registry_fits(), 1);  // one calibration, one fit
 }
 
 // --- Percentiles ------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/thread_pool.hpp"
 #include "math/rng.hpp"
 #include "model/feasibility.hpp"
 #include "model/linreg.hpp"
@@ -105,6 +106,32 @@ TEST(CrossValidation, AccuracyBucketsAreMonotonic) {
   EXPECT_GE(cv.fraction_within(0.25), cv.fraction_within(0.10));
   EXPECT_GE(cv.fraction_within(0.10), cv.fraction_within(0.05));
   EXPECT_GT(cv.fraction_within(0.50), 0.8);
+}
+
+TEST(CrossValidation, ParallelFoldsBitIdenticalToSerial) {
+  // The folds fan out over the pool; the shuffle is serial and per-fold
+  // results concatenate in fold order, so every prediction must match the
+  // serial run bit for bit at any thread count.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(6);
+  for (int i = 0; i < 120; ++i) {
+    const double x0 = rng.uniform(1, 50), x1 = rng.uniform(-10, 10);
+    X.push_back({x0, x1});
+    y.push_back(3 * x0 - 0.5 * x1 + 4 + rng.uniform(-1, 1));
+  }
+  const CrossValidation serial = k_fold_cv(X, y, 5);
+  ASSERT_EQ(serial.actual.size(), 120u);
+  for (const int threads : {1, 3, 4}) {
+    core::ThreadPool pool(threads);
+    const CrossValidation parallel = k_fold_cv(X, y, 5, 0xCF01Du, true, &pool);
+    ASSERT_EQ(parallel.predicted.size(), serial.predicted.size()) << threads;
+    ASSERT_EQ(parallel.actual.size(), serial.actual.size()) << threads;
+    for (std::size_t i = 0; i < serial.predicted.size(); ++i) {
+      EXPECT_EQ(parallel.predicted[i], serial.predicted[i]) << threads << " @ " << i;
+      EXPECT_EQ(parallel.actual[i], serial.actual[i]) << threads << " @ " << i;
+    }
+  }
 }
 
 TEST(Correlation, DetectsSignAndStrength) {

@@ -251,10 +251,11 @@ TEST(JsonlParse, AcceptsFullPartialAndEmptyObjects) {
   AdvisorRequest req;
   std::string error;
   ASSERT_TRUE(parse_request_line(
-      R"({"arch":"GPU1","renderer":"volume","n_per_task":80,"tasks":4,)"
+      R"({"corpus":"titan","arch":"GPU1","renderer":"volume","n_per_task":80,"tasks":4,)"
       R"("image_edge":256,"budget_seconds":12.5,"frames":7})",
       req, error))
       << error;
+  EXPECT_EQ(req.corpus, "titan");
   EXPECT_EQ(req.arch, "GPU1");
   EXPECT_EQ(req.renderer, model::RendererKind::kVolume);
   EXPECT_EQ(req.n_per_task, 80);
@@ -263,10 +264,12 @@ TEST(JsonlParse, AcceptsFullPartialAndEmptyObjects) {
   EXPECT_DOUBLE_EQ(req.budget_seconds, 12.5);
   EXPECT_EQ(req.frames, 7);
 
-  // Unset keys keep the schema defaults.
+  // Unset keys keep the schema defaults — an absent corpus selects the
+  // server's default corpus (empty string).
   req = AdvisorRequest{};
   ASSERT_TRUE(parse_request_line(R"({"renderer":"rasterize"})", req, error)) << error;
   EXPECT_EQ(req.renderer, model::RendererKind::kRasterize);
+  EXPECT_EQ(req.corpus, "");
   EXPECT_EQ(req.arch, "CPU1");
   EXPECT_EQ(req.tasks, 32);
 
