@@ -10,6 +10,8 @@
 //   Service:
 //     $ ./feasibility_advisor --serve [--shards N] [--cache ENTRIES]
 //                             [--corpus NAME=SEED]... [--imbalance-ratio R]
+//                             [--streams N] [--deadline-us D]
+//                             [--record FILE | --replay FILE]
 //   runs the long-lived JSON-lines service on stdin/stdout (one request
 //   object per line, blank line or EOF flushes a batch; schema in
 //   docs/ARCHITECTURE.md). Requests route through the sharded serving
@@ -21,16 +23,30 @@
 //   with {"corpus":"NAME"}. --imbalance-ratio tunes the hot-key
 //   rebalancer (a (corpus, arch) key hotter than R times a shard's fair
 //   share spreads across shards; 0 pins every key to its home shard).
+//   --streams N submits each batch through N concurrent StreamSessions
+//   (round-robin dealing; responses come back in input order, so output
+//   bytes match the serialized run). --deadline-us D stamps requests that
+//   carry no deadline of their own, exercising the cluster's deadline-
+//   aware shedding. --record FILE saves the admission schedule at EOF;
+//   --replay FILE pins admission to a prior recording, making even shed
+//   decisions reproducible (feed it the SAME input the recording saw — a
+//   diverging flow blocks forever by design, like any misused barrier).
 //   Flags override the ISR_SHARDS (default 1), ISR_CACHE_ENTRIES (default
-//   1024; 0 disables), and ISR_IMBALANCE_RATIO (default 1.25) environment
+//   1024; 0 disables), ISR_IMBALANCE_RATIO (default 1.25), ISR_STREAMS
+//   (default 1), and ISR_DEADLINE_US (default 0 = none) environment
 //   variables; a cluster-metrics JSON line (including per-corpus query
 //   counts) goes to stderr at EOF, keeping stdout pure responses.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "cluster/stream.hpp"
 
 #include "cluster/cluster.hpp"
 #include "core/env.hpp"
@@ -47,11 +63,18 @@ int usage(const char* argv0) {
                "usage: %s [N_per_task=200] [tasks=32] [image_edge=1024] [budget_seconds=60]\n"
                "       %s --serve [--shards N] [--cache ENTRIES]\n"
                "                      [--corpus NAME=SEED]... [--imbalance-ratio R]\n"
+               "                      [--streams N] [--deadline-us D]\n"
+               "                      [--record FILE | --replay FILE]\n"
                "                      (JSON-lines service on stdin/stdout; defaults come\n"
                "                       from ISR_SHARDS / ISR_CACHE_ENTRIES /\n"
-               "                       ISR_IMBALANCE_RATIO; 0 cache = off, 0 ratio = no\n"
-               "                       rebalancing; each --corpus adds a resident corpus\n"
-               "                       requests select with {\"corpus\":\"NAME\"})\n",
+               "                       ISR_IMBALANCE_RATIO / ISR_STREAMS / ISR_DEADLINE_US;\n"
+               "                       0 cache = off, 0 ratio = no rebalancing; each\n"
+               "                       --corpus adds a resident corpus requests select\n"
+               "                       with {\"corpus\":\"NAME\"}; --streams N submits each\n"
+               "                       batch over N concurrent stream sessions;\n"
+               "                       --deadline-us stamps undeadlined requests;\n"
+               "                       --record/--replay save or pin the admission\n"
+               "                       schedule — replay must see the recording's input)\n",
                argv0, argv0);
   return 2;
 }
@@ -136,6 +159,18 @@ int main(int argc, char** argv) {
     // <= 0 pins every key to its home shard (rebalancing off).
     double imbalance_ratio =
         core::env_double("ISR_IMBALANCE_RATIO", 1.25, /*require_positive=*/false);
+    // Concurrent stream sessions per batch (1 = the plain serve_batch
+    // path) and the default deadline stamped onto undeadlined requests
+    // (0 = none). Capped like shards: each stream is a submitting thread.
+    long streams = core::env_long("ISR_STREAMS", 1);
+    if (streams > 256) {
+      std::fprintf(stderr, "%s: ISR_STREAMS=%ld too large, clamping to 256\n", argv[0],
+                   streams);
+      streams = 256;
+    }
+    long deadline_us = core::env_long("ISR_DEADLINE_US", 0, /*require_positive=*/false);
+    if (deadline_us < 0) deadline_us = 0;
+    std::string record_file, replay_file;
     std::vector<cluster::CorpusConfig> corpora;
     for (int a = 2; a < argc; ++a) {
       if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
@@ -181,11 +216,36 @@ int main(int argc, char** argv) {
                        core::parse_status_message(status));
           return usage(argv[0]);
         }
+      } else if (std::strcmp(argv[a], "--streams") == 0 && a + 1 < argc) {
+        const core::ParseStatus status =
+            core::parse_long(argv[++a], streams, /*require_positive=*/true);
+        if (status != core::ParseStatus::kOk || streams > 256) {
+          std::fprintf(stderr, "%s: bad --streams \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk ? "too large (max 256)"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
+      } else if (std::strcmp(argv[a], "--deadline-us") == 0 && a + 1 < argc) {
+        const core::ParseStatus status = core::parse_long(argv[++a], deadline_us);
+        if (status != core::ParseStatus::kOk || deadline_us < 0) {
+          std::fprintf(stderr, "%s: bad --deadline-us \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk ? "must be >= 0"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
+      } else if (std::strcmp(argv[a], "--record") == 0 && a + 1 < argc) {
+        record_file = argv[++a];
+      } else if (std::strcmp(argv[a], "--replay") == 0 && a + 1 < argc) {
+        replay_file = argv[++a];
       } else {
         return usage(argv[0]);
       }
     }
     if (cache_entries < 0) cache_entries = 0;
+    if (!record_file.empty() && !replay_file.empty()) {
+      std::fprintf(stderr, "%s: --record and --replay are mutually exclusive\n", argv[0]);
+      return usage(argv[0]);
+    }
 
     cluster::ClusterConfig config;
     config.shards = static_cast<int>(shards);
@@ -194,10 +254,76 @@ int main(int argc, char** argv) {
     config.rebalance = imbalance_ratio > 0.0;
     config.imbalance_ratio = imbalance_ratio;
     cluster::ServingCluster serving(std::move(config));
-    serve::run_jsonl(std::cin, std::cout,
-                     [&serving](const std::vector<serve::AdvisorRequest>& requests) {
-                       return serving.serve_batch(requests);
-                     });
+
+    // Fail fast on schedule-file problems, before any request is served.
+    if (!replay_file.empty()) {
+      std::ifstream in(replay_file);
+      if (!in) {
+        std::fprintf(stderr, "%s: cannot open --replay file \"%s\"\n", argv[0],
+                     replay_file.c_str());
+        return 1;
+      }
+      cluster::AdmissionSchedule schedule;
+      std::string error;
+      if (!cluster::load_schedule(in, schedule, error)) {
+        std::fprintf(stderr, "%s: bad --replay file \"%s\": %s\n", argv[0],
+                     replay_file.c_str(), error.c_str());
+        return 1;
+      }
+      serving.begin_replay(std::move(schedule));
+    }
+    std::ofstream record_out;
+    if (!record_file.empty()) {
+      record_out.open(record_file);
+      if (!record_out) {
+        std::fprintf(stderr, "%s: cannot open --record file \"%s\"\n", argv[0],
+                     record_file.c_str());
+        return 1;
+      }
+      serving.enable_recording();
+    }
+
+    // The batch handler: stamp the default deadline, then submit either
+    // through the plain serve_batch path (streams = 1 — itself one stream
+    // session) or round-robin across N concurrent sessions. Dealing by
+    // i % n and reassembling by the same rule keeps responses in input
+    // order, so stdout is byte-comparable to the serialized run.
+    const std::size_t n_streams_flag = static_cast<std::size_t>(streams);
+    serve::run_jsonl(
+        std::cin, std::cout,
+        [&serving, n_streams_flag, deadline_us](
+            const std::vector<serve::AdvisorRequest>& requests) {
+          std::vector<serve::AdvisorRequest> reqs = requests;
+          if (deadline_us > 0)
+            for (serve::AdvisorRequest& r : reqs)
+              if (r.deadline_us == 0) r.deadline_us = deadline_us;
+          if (n_streams_flag <= 1) return serving.serve_batch(reqs);
+          if (reqs.empty()) return std::vector<serve::AdvisorResponse>();
+          const std::size_t n_streams = std::min(n_streams_flag, reqs.size());
+          std::vector<cluster::StreamSession> sessions;
+          sessions.reserve(n_streams);
+          for (std::size_t k = 0; k < n_streams; ++k)
+            sessions.push_back(serving.open_stream());
+          std::vector<std::thread> producers;
+          producers.reserve(n_streams);
+          for (std::size_t k = 0; k < n_streams; ++k)
+            producers.emplace_back([&reqs, &sessions, k, n_streams] {
+              for (std::size_t i = k; i < reqs.size(); i += n_streams)
+                sessions[k].submit(reqs[i]);
+            });
+          for (std::thread& producer : producers) producer.join();
+          std::vector<serve::AdvisorResponse> responses(reqs.size());
+          for (std::size_t k = 0; k < n_streams; ++k) {
+            std::vector<serve::AdvisorResponse> mine = sessions[k].close();
+            for (std::size_t j = 0; j < mine.size(); ++j)
+              responses[k + j * n_streams] = std::move(mine[j]);
+          }
+          return responses;
+        });
+    if (!record_file.empty()) {
+      cluster::save_schedule(serving.take_recording(), record_out);
+      record_out.close();
+    }
     // Operational snapshot on stderr so stdout stays pure response lines.
     std::fprintf(stderr, "%s\n", serving.metrics().to_jsonl().c_str());
     return 0;

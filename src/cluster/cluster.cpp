@@ -1,10 +1,11 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
-#include <exception>
 #include <set>
+#include <stdexcept>
 
-#include "core/parallel_for.hpp"
 #include "math/rng.hpp"
 
 namespace isr::cluster {
@@ -38,6 +39,21 @@ std::uint64_t corpus_key_for(const serve::ServiceConfig& service,
   return key;
 }
 
+// The shed refusal a client sees. Integer microseconds keep the message —
+// and therefore the wire bytes — independent of floating-point formatting
+// noise; the values themselves are deterministic in replay mode.
+serve::AdvisorResponse shed_response(long estimated_us, long deadline_us) {
+  serve::AdvisorResponse r;
+  r.ok = false;
+  r.shed = true;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "shed: estimated completion in %ld us exceeds deadline %ld us",
+                estimated_us, deadline_us);
+  r.error = buf;
+  return r;
+}
+
 }  // namespace
 
 ServingCluster::ServingCluster(ClusterConfig config,
@@ -49,7 +65,7 @@ ServingCluster::ServingCluster(ClusterConfig config,
                             config_.rebalance_window > 0 ? config_.rebalance_window : 1,
                             /*min_hot_load=*/32.0}),
       cache_(config_.cache_entries, config_.cache_ways),
-      pool_(config_.threads) {
+      epoch_(std::chrono::steady_clock::now()) {
   // Resolve the resident corpora up front: the default first (selector ""),
   // then each valid named corpus. Empty, "default", and duplicate names
   // are dropped — "" is reserved for the default corpus, "default" is its
@@ -75,24 +91,33 @@ ServingCluster::ServingCluster(ClusterConfig config,
     state.corpus_key = corpus_key_for(state.service, state.fingerprint);
     corpora_.push_back(std::move(state));
   }
-  corpus_queries_.assign(corpora_.size(), 0);
+  corpus_queries_ = std::make_unique<std::atomic<long>[]>(corpora_.size());
 
   const int n_shards = config_.shards > 0 ? config_.shards : 1;
   config_.shards = n_shards;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
-  // A batch can never outgrow the queue: a producer helping on a FULL
-  // queue must find an immediately poppable (kSize) batch, not wait out
-  // the coalescing deadline.
+  // A batch can never outgrow the queue: the worker popping a FULL queue
+  // must find an immediately poppable (kSize) batch, not wait out the
+  // coalescing deadline while admitters block on a queue it won't drain.
   if (config_.batch_size > config_.queue_capacity)
     config_.batch_size = config_.queue_capacity;
   if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.replay_service_us <= 0.0) config_.replay_service_us = 4.0;
   const auto deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double, std::milli>(
           config_.batch_deadline_ms > 0.0 ? config_.batch_deadline_ms : 0.0));
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s)
     shards_.push_back(std::make_unique<Shard>(s, config_.queue_capacity,
-                                              config_.batch_size, deadline));
+                                              config_.batch_size, deadline,
+                                              config_.replay_service_us));
+  backlog_end_us_.assign(static_cast<std::size_t>(n_shards), 0.0);
+}
+
+ServingCluster::~ServingCluster() {
+  for (const auto& shard : shards_) shard->shutdown();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
 }
 
 int ServingCluster::resolve_corpus(const std::string& name) const {
@@ -110,9 +135,9 @@ std::uint64_t ServingCluster::corpus_fingerprint(const std::string& name) const 
   return idx < 0 ? 0 : corpora_[static_cast<std::size_t>(idx)].fingerprint;
 }
 
-void ServingCluster::ensure_replicated() {
-  std::lock_guard<std::mutex> lock(replicate_mutex_);
-  if (replicated_) return;
+void ServingCluster::ensure_serving() {
+  std::lock_guard<std::mutex> lock(serving_mutex_);
+  if (serving_) return;
   // One fit per distinct calibration fingerprint, on the primary (its
   // cache dedups repeat calls); every shard adopts a replica entry per
   // distinct corpus key (adoption never counts as a fit), so any shard can
@@ -125,119 +150,263 @@ void ServingCluster::ensure_replicated() {
     for (const auto& shard : shards_)
       shard->adopt(bundle, corpus.service.constants, corpus.corpus_key);
   }
-  replicated_ = true;
+  // Workers start only after every replica is resident: a worker must
+  // never see an item whose corpus_key it cannot resolve.
+  ResponseCache* cache = cache_.enabled() ? &cache_ : nullptr;
+  workers_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    Shard* s = shard.get();
+    workers_.emplace_back([s, cache] {
+      while (s->drain_one_batch(cache)) {
+      }
+    });
+  }
+  serving_ = true;
+}
+
+StreamSession ServingCluster::open_stream() {
+  ensure_serving();
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  auto state = std::make_shared<SessionState>(next_stream_id_++);
+  ++streams_;
+  return StreamSession(this, std::move(state));
+}
+
+void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::size_t slot,
+                           const serve::AdvisorRequest& request) {
+  // Everything that is a pure function of the request is prepared BEFORE
+  // any lock: the queue item's request copy (string allocations) and the
+  // canonical cache key (formatting + hashing). Concurrent producers pay
+  // only the slim order-dependent section serially — that is what lets N
+  // streams outrun one. The error paths (unknown corpus, cache hit, shed)
+  // discard the prepared item; they are the rare paths, and pessimizing
+  // them keeps the admitted path minimal.
+  StreamItem item;
+  item.request = request;
+  item.session = session;
+  item.slot = slot;
+  item.priority = std::max(0, std::min(7, request.priority));
+  item.enqueued = std::chrono::steady_clock::now();
+  std::string cache_key;
+  if (cache_.enabled()) cache_key = canonical_request_key(request);
+
+  // Record/replay are correctness modes: the whole admission serializes
+  // under the lock so the schedule captures (or pins) every submission,
+  // cache hits included. Both flags are set before streams open, so a
+  // relaxed read is stable for the run.
+  if (replaying_.load(std::memory_order_relaxed) ||
+      recording_.load(std::memory_order_relaxed)) {
+    admit_serialized(session, slot, request, std::move(item), std::move(cache_key));
+    return;
+  }
+
+  const std::int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now() - epoch_)
+                                  .count();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  // corpora_ is immutable after construction; resolution needs no lock.
+  const int corpus_idx = resolve_corpus(request.corpus);
+  if (corpus_idx < 0) {
+    unknown_corpus_queries_.fetch_add(1, std::memory_order_relaxed);
+    serve::AdvisorResponse r;
+    r.ok = false;
+    r.error =
+        "unknown corpus \"" + request.corpus + "\" (not resident on this cluster)";
+    session->deliver(slot, std::move(r));
+    return;
+  }
+  corpus_queries_[static_cast<std::size_t>(corpus_idx)].fetch_add(
+      1, std::memory_order_relaxed);
+  const CorpusState& corpus = corpora_[static_cast<std::size_t>(corpus_idx)];
+
+  // Cache before routing and before the deadline check: a hit costs no
+  // queue time, so shedding it would refuse work the cluster can do for
+  // free — and the canonical key excludes deadline/priority, so a hurried
+  // request hits entries its relaxed twin populated. The cache is
+  // internally lock-sharded; probing it needs no admission lock.
+  if (cache_.enabled()) {
+    serve::AdvisorResponse hit;
+    if (cache_.lookup(cache_key, hit)) {
+      session->deliver(slot, std::move(hit));
+      return;
+    }
+  }
+
+  std::size_t shard_idx = 0;
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    shard_idx = static_cast<std::size_t>(router_.route(corpus.corpus_key, request.arch));
+
+    // Deadline-aware admission control, the Horvitz & Lengyel budget
+    // framing applied to queueing: each shard's backlog_end is the virtual
+    // time its queue drains at; if this request would complete past its
+    // deadline, refuse it NOW with an explicit shed response instead of
+    // letting it rot in the queue. Admitted work advances the backlog,
+    // charged at the shard's measured EWMA.
+    const double service_us = shards_[shard_idx]->service_estimate_us();
+    double& backlog = backlog_end_us_[shard_idx];
+    const double start_us = std::max(backlog, static_cast<double>(now_us));
+    const double done_us = start_us + service_us;
+    if (request.deadline_us > 0 &&
+        done_us - static_cast<double>(now_us) > static_cast<double>(request.deadline_us)) {
+      shed_queries_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      session->deliver(slot, shed_response(static_cast<long>(done_us) - now_us,
+                                           request.deadline_us));
+      return;
+    }
+    backlog = done_us;
+    item.admit_seq = admit_seq_++;
+  }
+
+  item.corpus_key = corpus.corpus_key;
+  if (request.deadline_us > 0) item.deadline_at_us = now_us + request.deadline_us;
+  item.cache_key = std::move(cache_key);
+  // Blocking bounded push OUTSIDE the admission lock: backpressure from a
+  // full queue stalls this admitter only. Everything order-dependent
+  // (shed accounting, admit_seq) is already fixed, and the ordered queue
+  // serves by key, so arrival order cannot change results.
+  shards_[shard_idx]->enqueue(std::move(item));
+}
+
+// The record/replay admission path: one lock over the whole decision so
+// the schedule is a faithful serialization of every submission. Replay
+// blocks each submission until the schedule reaches its (stream, seq) —
+// what pins the interleaving — and substitutes the recorded virtual
+// timestamp and the fixed replay service cost, making shed decisions a
+// pure function of (schedule, requests).
+void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& session,
+                                      std::size_t slot,
+                                      const serve::AdvisorRequest& request,
+                                      StreamItem&& item, std::string&& cache_key) {
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+
+  std::int64_t now_us = 0;
+  if (replaying_.load(std::memory_order_relaxed)) {
+    replay_cv_.wait(lock, [&] {
+      return replay_cursor_ >= replay_.size() ||
+             (replay_[replay_cursor_].stream == session->id() &&
+              replay_[replay_cursor_].seq == slot);
+    });
+    if (replay_cursor_ >= replay_.size())
+      throw std::runtime_error(
+          "replay: admission schedule exhausted (submission not in the recording)");
+    now_us = replay_[replay_cursor_].t_us;
+    ++replay_cursor_;
+    replay_cv_.notify_all();
+  } else {
+    now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count();
+  }
+  if (recording_.load(std::memory_order_relaxed))
+    recorded_.push_back({session->id(), slot, now_us});
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const int corpus_idx = resolve_corpus(request.corpus);
+  if (corpus_idx < 0) {
+    unknown_corpus_queries_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    serve::AdvisorResponse r;
+    r.ok = false;
+    r.error =
+        "unknown corpus \"" + request.corpus + "\" (not resident on this cluster)";
+    session->deliver(slot, std::move(r));
+    return;
+  }
+  corpus_queries_[static_cast<std::size_t>(corpus_idx)].fetch_add(
+      1, std::memory_order_relaxed);
+  const CorpusState& corpus = corpora_[static_cast<std::size_t>(corpus_idx)];
+
+  if (cache_.enabled()) {
+    serve::AdvisorResponse hit;
+    if (cache_.lookup(cache_key, hit)) {
+      lock.unlock();
+      session->deliver(slot, std::move(hit));
+      return;
+    }
+  }
+
+  const std::size_t shard_idx = static_cast<std::size_t>(
+      router_.route(corpus.corpus_key, request.arch));
+  const double service_us = replaying_.load(std::memory_order_relaxed)
+                                ? config_.replay_service_us
+                                : shards_[shard_idx]->service_estimate_us();
+  double& backlog = backlog_end_us_[shard_idx];
+  const double start_us = std::max(backlog, static_cast<double>(now_us));
+  const double done_us = start_us + service_us;
+  if (request.deadline_us > 0 &&
+      done_us - static_cast<double>(now_us) > static_cast<double>(request.deadline_us)) {
+    shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    session->deliver(slot, shed_response(static_cast<long>(done_us) - now_us,
+                                         request.deadline_us));
+    return;
+  }
+  backlog = done_us;
+
+  item.corpus_key = corpus.corpus_key;
+  if (request.deadline_us > 0) item.deadline_at_us = now_us + request.deadline_us;
+  item.admit_seq = admit_seq_++;
+  item.cache_key = std::move(cache_key);
+  Shard& shard = *shards_[shard_idx];
+  lock.unlock();
+  shard.enqueue(std::move(item));
+}
+
+void ServingCluster::kick_all() {
+  for (const auto& shard : shards_) shard->kick();
+}
+
+std::uint64_t StreamSession::submit(const serve::AdvisorRequest& request) {
+  if (!state_) throw std::logic_error("StreamSession: submit on a closed session");
+  const std::size_t slot = state_->allocate_slot();
+  cluster_->admit(state_, slot, request);
+  return slot;
+}
+
+std::vector<serve::AdvisorResponse> StreamSession::close() {
+  if (!state_) return {};
+  // Flush partial shard batches so the tail is answered promptly, then
+  // wait out every owed slot. The state_ reset is what marks the handle
+  // spent; in-flight items (there are none by now) share ownership.
+  cluster_->kick_all();
+  std::vector<serve::AdvisorResponse> responses = state_->wait_drained();
+  state_.reset();
+  cluster_ = nullptr;
+  return responses;
 }
 
 std::vector<serve::AdvisorResponse> ServingCluster::serve_batch(
     const std::vector<serve::AdvisorRequest>& requests) {
+  // A batch of zero answerable requests (e.g. every line of a JSONL batch
+  // failed to parse) must not pay for a calibration fit.
   if (requests.empty()) return {};
-  ensure_replicated();
-  // One batch in flight at a time: the shard queues' reopen/close lifecycle
-  // and the slot indices in flight belong to the current batch, so
-  // overlapping batches must serialize here (the fan-out below is where
-  // the parallelism lives).
-  std::lock_guard<std::mutex> serve_lock(serve_mutex_);
+  StreamSession session = open_stream();
+  for (const serve::AdvisorRequest& request : requests) session.submit(request);
+  return session.close();
+}
 
-  const std::size_t n = requests.size();
-  std::vector<serve::AdvisorResponse> responses(n);
+void ServingCluster::enable_recording() {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  recording_ = true;
+}
 
-  // Resolution pass (serial, cheap): map each request's corpus selector to
-  // a resident corpus. Unknown selectors fill their slots with error
-  // responses right here — they never touch the cache or a shard.
-  std::vector<int> corpus_of(n, -1);
-  std::vector<long> corpus_counts(corpora_.size(), 0);
-  long unknown = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const int idx = resolve_corpus(requests[i].corpus);
-    corpus_of[i] = idx;
-    if (idx < 0) {
-      ++unknown;
-      responses[i].ok = false;
-      responses[i].error =
-          "unknown corpus \"" + requests[i].corpus + "\" (not resident on this cluster)";
-    } else {
-      ++corpus_counts[static_cast<std::size_t>(idx)];
-    }
-  }
+AdmissionSchedule ServingCluster::take_recording() {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  AdmissionSchedule out = std::move(recorded_);
+  recorded_.clear();
+  return out;
+}
 
-  // Cache pass (serial, cheap): hits fill their slots and skip evaluation
-  // entirely; misses carry their canonical key to the shard for insertion.
-  // With the cache off, keys are never built — the uncached hot path pays
-  // nothing for the cache's existence. The canonical key includes the
-  // corpus selector, so entries can never collide across corpora.
-  const bool caching = cache_.enabled();
-  std::vector<std::size_t> miss;
-  std::vector<std::string> miss_key;
-  miss.reserve(n);
-  miss_key.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (corpus_of[i] < 0) continue;  // already an error slot
-    std::string key = caching ? canonical_request_key(requests[i]) : std::string();
-    if (!caching || !cache_.lookup(key, responses[i])) {
-      miss.push_back(i);
-      miss_key.push_back(std::move(key));
-    }
-  }
-
-  if (!miss.empty()) {
-    for (const auto& shard : shards_) shard->reopen();
-    ResponseCache* cache = cache_.enabled() ? &cache_ : nullptr;
-    const std::size_t lanes = shards_.size() + 1;
-
-    // Lane 0 produces: route each miss to its shard's bounded queue; when a
-    // queue is full, help by draining a batch (backpressure, and the reason
-    // a 1-thread pool cannot deadlock). Lanes 1..N are the shard workers.
-    core::parallel_for(pool_, lanes, [&](std::size_t lane) {
-      if (lane == 0) {
-        try {
-          for (std::size_t j = 0; j < miss.size(); ++j) {
-            const std::size_t i = miss[j];
-            const CorpusState& corpus =
-                corpora_[static_cast<std::size_t>(corpus_of[i])];
-            Shard& shard = *shards_[static_cast<std::size_t>(
-                router_.route(corpus.corpus_key, requests[i].arch))];
-            RoutedRequest item;
-            item.request = requests[i];
-            item.corpus_key = corpus.corpus_key;
-            item.slot = i;
-            item.cache_key = std::move(miss_key[j]);
-            item.enqueued = std::chrono::steady_clock::now();
-            // A full queue converts the producer into a worker: drain one
-            // batch, then retry the same (untouched-on-failure) item.
-            while (!shard.try_enqueue(std::move(item)))
-              shard.drain_one_batch(responses, cache);
-          }
-        } catch (...) {
-          // A wedged producer must still release the workers: close every
-          // queue so blocked pop_batch calls return, then rethrow through
-          // the pool (parallel_for surfaces the first exception).
-          for (const auto& shard : shards_) shard->close();
-          throw;
-        }
-        for (const auto& shard : shards_) shard->close();
-      } else {
-        Shard& shard = *shards_[lane - 1];
-        while (shard.drain_one_batch(responses, cache)) {
-        }
-      }
-    });
-  }
-
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  queries_ += static_cast<long>(n);
-  for (std::size_t c = 0; c < corpus_counts.size(); ++c)
-    corpus_queries_[c] += corpus_counts[c];
-  unknown_corpus_queries_ += unknown;
-  hot_keys_ = router_.hot_keys();  // still under serve_mutex_: no racing route()
-  for (const auto& shard : shards_) shard->drain_latencies(latencies_ms_);
-  // Bound the latency reservoir: a long-lived service must not grow a
-  // sample per request forever. Keep the most recent window; percentiles
-  // in metrics() describe it.
-  constexpr std::size_t kLatencyWindow = 65536;
-  if (latencies_ms_.size() > kLatencyWindow)
-    latencies_ms_.erase(latencies_ms_.begin(),
-                        latencies_ms_.end() - static_cast<std::ptrdiff_t>(kLatencyWindow));
-  return responses;
+void ServingCluster::begin_replay(AdmissionSchedule schedule) {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  replay_ = std::move(schedule);
+  replay_cursor_ = 0;
+  replaying_ = true;
+  // Replay's virtual clock restarts with the schedule; so must the shed
+  // accounting that consumes it.
+  std::fill(backlog_end_us_.begin(), backlog_end_us_.end(), 0.0);
 }
 
 ClusterMetrics ServingCluster::metrics() const {
@@ -250,6 +419,7 @@ ClusterMetrics ServingCluster::metrics() const {
     m.batches += s.batches;
     m.size_flushes += s.size_flushes;
     m.deadline_flushes += s.deadline_flushes;
+    m.kick_flushes += s.kick_flushes;
     m.close_flushes += s.close_flushes;
     if (shard->max_queue_depth() > m.max_queue_depth)
       m.max_queue_depth = shard->max_queue_depth();
@@ -261,15 +431,35 @@ ClusterMetrics ServingCluster::metrics() const {
       m.cache_lookups > 0
           ? static_cast<double>(m.cache_hits) / static_cast<double>(m.cache_lookups)
           : 0.0;
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  m.queries = queries_;
+  // The admission counters are atomics (the live fast path bumps them
+  // outside any lock); only the router's hot-key scan needs the admission
+  // lock, because route() mutates the load counters under it.
+  m.queries = queries_.load(std::memory_order_relaxed);
   m.corpus_queries.reserve(corpora_.size());
   for (std::size_t c = 0; c < corpora_.size(); ++c)
-    m.corpus_queries.emplace_back(corpora_[c].name, corpus_queries_[c]);
-  m.unknown_corpus_queries = unknown_corpus_queries_;
-  m.hot_keys = hot_keys_;
-  m.p50_latency_ms = percentile(latencies_ms_, 50.0);
-  m.p99_latency_ms = percentile(latencies_ms_, 99.0);
+    m.corpus_queries.emplace_back(corpora_[c].name,
+                                  corpus_queries_[c].load(std::memory_order_relaxed));
+  m.unknown_corpus_queries = unknown_corpus_queries_.load(std::memory_order_relaxed);
+  m.streams = streams_.load(std::memory_order_relaxed);
+  m.shed_queries = shed_queries_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    m.hot_keys = router_.hot_keys();
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const auto& shard : shards_) shard->drain_latencies(latencies_ms_);
+    // Bound the latency reservoir: a long-lived service must not grow a
+    // sample per request forever. Keep the most recent window; the
+    // percentiles describe it.
+    constexpr std::size_t kLatencyWindow = 65536;
+    if (latencies_ms_.size() > kLatencyWindow)
+      latencies_ms_.erase(latencies_ms_.begin(),
+                          latencies_ms_.end() -
+                              static_cast<std::ptrdiff_t>(kLatencyWindow));
+    m.p50_latency_ms = percentile(latencies_ms_, 50.0);
+    m.p99_latency_ms = percentile(latencies_ms_, 99.0);
+  }
   return m;
 }
 

@@ -1,33 +1,47 @@
 // The sharded serving cluster (layer 5): turns the single-registry advisor
 // of src/serve/ into a simulated multi-shard, multi-corpus cluster on one
 // machine — the ROADMAP's "sharding/replication ... on the road to
-// heavy-traffic serving" and "multi-corpus cluster" items made concrete.
-// The paper's feasibility model is only meaningful per calibration corpus
-// (one machine/configuration fit, Tables 12-17); a production advisor
-// serves many machines at once, so the cluster holds several corpora
-// resident and requests carry a `corpus` selector.
+// heavy-traffic serving" and "continuous async serving front-end" items
+// made concrete. The paper's feasibility model is only meaningful per
+// calibration corpus (one machine/configuration fit, Tables 12-17); a
+// production advisor serves many machines at once, so the cluster holds
+// several corpora resident and requests carry a `corpus` selector.
 //
-// A serve_batch call flows:
+// Serving is a continuous admission pipeline, not a one-shot batch call:
+// any number of clients hold StreamSession handles and submit concurrently,
+// each request flowing
 //
-//   requests ──corpus selector──> resident corpus (unknown name: in-slot
-//                  │               error response, no routing)
+//   submit ──corpus selector──> resident corpus (unknown name: in-slot
+//                  │             error response, no routing)
 //                  ├──canonical key──> ResponseCache ──hit──────────> slot
 //                  │ miss
-//                  └─> Router (consistent hash of (corpus fingerprint,
-//                      arch); hot keys split across rendezvous sub-keys)
-//                      ─> per-shard bounded BatchQueue
-//                      ─> shard worker (core::ThreadPool lane) drains
-//                         coalesced batches ─> serve::answer_request
-//                         against the shard's fingerprint-selected replica
-//                         bundle ─> slot (+ cache insert)
+//                  ├─> Router (consistent hash of (corpus fingerprint,
+//                  │   arch); hot keys split across rendezvous sub-keys)
+//                  ├─> deadline check against the shard's virtual backlog
+//                  │   ──would miss──> explicit shed response ──────> slot
+//                  └─> the shard's bounded ordered queue (strict priority,
+//                      EDF within a class) ─> the shard's dedicated worker
+//                      thread drains coalesced batches ─>
+//                      serve::answer_request against the fingerprint-
+//                      selected replica bundle ─> slot (+ cache insert)
+//
+// serve_batch still exists and is the compatibility surface: it opens a
+// session, submits the batch, and closes — so every batch-era caller rides
+// the streaming pipeline unchanged, and overlapping serve_batch calls now
+// genuinely overlap instead of serializing.
 //
 // Determinism contract (the cluster's load-bearing promise, enforced by
-// test_cluster, bench_cluster_throughput, and bench_multicorpus_throughput):
-// a response vector — and its serve::to_jsonl bytes — is identical for any
-// shard count, any thread count, any cache state, any resident-corpus
-// count, and with rebalancing on or off, because every response is a pure
-// function of (request, fitted models) and all replicas adopt bundles from
-// one fit per fingerprint.
+// test_cluster, test_stream, and the three cluster benches): a response
+// is a pure function of (request, fitted models, mapping constants), so
+// WHAT a request answers is identical — byte-identical through
+// serve::to_jsonl — for any shard count, thread count, stream count,
+// cache state, resident-corpus count, and rebalancing setting. Shed
+// decisions are the one interleaving-dependent output; they become
+// deterministic in REPLAY mode, where a recorded admission schedule
+// (stream id, seq, virtual timestamp) pins the interleaving and the
+// virtual clock, making shedding a pure function of (schedule, requests).
+// Live mode instead reads the wall clock and a measured service-time
+// EWMA — fast, but not replayable without a recording.
 //
 // Replication: the cluster fits each resident calibration corpus exactly
 // once per distinct fingerprint (on the primary registry, which callers
@@ -35,29 +49,47 @@
 // shard's replica; registry_fits() == distinct resident fingerprints at
 // any shard count.
 //
-// Deadlock-free by construction at any pool width: the producer lane never
-// blocks — when a shard's bounded queue is full it drains a batch itself
-// (backpressure turns the producer into a worker), so even a 1-thread pool
-// (every lane inline, in order) completes: the producer enqueues-or-drains
-// everything, closes the queues, and the worker lanes mop up.
+// Locking, in admission order (no path holds two of these at once except
+// admission -> a session's own mutex inside deliver):
+//   admission_mutex_ — the order-dependent heart: routing (the router's
+//     decaying load counters), shed accounting against the per-shard
+//     virtual backlog, and the admission sequence. The LIVE path holds it
+//     only for that slim section — request copies, the canonical cache
+//     key, corpus resolution (immutable after construction), the cache
+//     probe (internally lock-sharded), and the admission counters
+//     (atomics) all happen outside, which is what lets N concurrent
+//     producers outrun one. Record/replay mode instead serializes the
+//     WHOLE admission under this lock, so the schedule captures (or pins)
+//     every submission, cache hits included.
+//   per-shard queue + stats locks — bounded blocking enqueue happens
+//     OUTSIDE admission_mutex_ (a full queue must not stall other
+//     admitters or a replay waiter; the admission-order guarantees are
+//     already fixed by then).
+//   metrics_mutex_ — the latency reservoir metrics() drains into.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cache.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/router.hpp"
 #include "cluster/shard.hpp"
-#include "core/thread_pool.hpp"
+#include "cluster/stream.hpp"
 #include "serve/advisor.hpp"
 #include "serve/registry.hpp"
 
 namespace isr::cluster {
+
+class StreamSession;
 
 // One additional resident calibration corpus: the selector requests name
 // in their `corpus` field, plus the corpus's own calibration + constants.
@@ -72,8 +104,8 @@ struct CorpusConfig {
 struct ClusterConfig {
   // The DEFAULT calibration corpus + mapping constants, exactly as a
   // single AdvisorService takes them (the `threads` field is ignored — the
-  // cluster's own `threads` below governs the pool). Requests with an
-  // empty `corpus` selector resolve here.
+  // cluster's evaluation parallelism is its shard workers). Requests with
+  // an empty `corpus` selector resolve here.
   serve::ServiceConfig service;
 
   // Additional named corpora resident alongside the default. Entries with
@@ -83,7 +115,7 @@ struct ClusterConfig {
   // keyed by calibration AND constants).
   std::vector<CorpusConfig> corpora;
 
-  int shards = 1;                    // serving shards (>= 1)
+  int shards = 1;                    // serving shards (>= 1), one worker thread each
   std::size_t cache_entries = 1024;  // total ResponseCache entries; 0 = off
   int cache_ways = 8;                // cache lock-sharding factor
 
@@ -100,9 +132,15 @@ struct ClusterConfig {
   double imbalance_ratio = 1.25;
   std::size_t rebalance_window = 4096;  // decaying-counter halving period
 
-  // Pool lanes for the fan-out (producer + shard workers): 0 = ISR_THREADS
-  // env / hardware, 1 = fully serial (inline lanes, still correct).
+  // Retained for config compatibility with the batch era; the streaming
+  // pipeline's parallelism is one dedicated worker per shard, so this no
+  // longer allocates anything.
   int threads = 0;
+
+  // Shed accounting's per-request service cost in microseconds: the fixed
+  // cost replay mode charges (keeping shed decisions a pure function of
+  // the schedule), and the live EWMA estimator's starting value.
+  double replay_service_us = 4.0;
 };
 
 class ServingCluster {
@@ -113,17 +151,41 @@ class ServingCluster {
   explicit ServingCluster(ClusterConfig config = {},
                           std::shared_ptr<serve::ModelRegistry> primary = nullptr);
 
-  // Answers a batch: response[i] for request[i], byte-identical through
-  // serve::to_jsonl to a serial single-registry run of the same requests.
-  // Thread-safe by serialization: concurrent callers queue on an internal
-  // mutex, one batch in flight at a time — the shard queues and response
-  // slots belong to the current batch, and parallelism comes from the
-  // cluster's own fan-out, not from overlapping batches.
+  // Closes every shard queue and joins the workers. Every StreamSession
+  // must be closed (or destroyed) first — sessions hold no cluster
+  // ownership, and an in-flight request after destruction is a
+  // use-after-free by contract.
+  ~ServingCluster();
+
+  // Opens a long-lived submission handle. Stream ids are assigned in open
+  // order (the replay matching key), and the first open lazily fits /
+  // replicates the corpora and starts the shard workers. Thread-safe: any
+  // number of sessions may be open and submitting concurrently.
+  StreamSession open_stream();
+
+  // Compatibility surface: opens a session, submits every request in
+  // order, closes. Byte-identical through serve::to_jsonl to a serial
+  // single-registry run of the same requests; concurrent callers overlap
+  // freely (each is its own stream).
   std::vector<serve::AdvisorResponse> serve_batch(
       const std::vector<serve::AdvisorRequest>& requests);
 
-  // Cumulative metrics snapshot (percentiles computed over every latency
-  // recorded so far).
+  // Admission-schedule recording and replay (see stream.hpp). Recording
+  // captures (stream, seq, virtual timestamp) per admitted request;
+  // begin_replay pins the admission interleaving AND the virtual clock to
+  // a prior recording, so a replaying cluster — given the same sessions
+  // submitting the same requests — reproduces responses and shed decisions
+  // byte-identically. Replay submissions block until the schedule reaches
+  // them; a submission the schedule never names throws. Both are meant for
+  // a fresh cluster whose session-open order mirrors the recorded run.
+  void enable_recording();
+  AdmissionSchedule take_recording();  // moves out what was captured so far
+  void begin_replay(AdmissionSchedule schedule);
+
+  // Cumulative metrics snapshot. Safe to call while streams are live: the
+  // admission counters are read under the admission lock, shard stats
+  // under theirs, and the latency reservoir (drained here) under the
+  // metrics lock.
   ClusterMetrics metrics() const;
 
   // Calibration fits performed across the primary and every shard replica.
@@ -143,6 +205,8 @@ class ServingCluster {
   std::uint64_t corpus_fingerprint(const std::string& name) const;
 
  private:
+  friend class StreamSession;
+
   // One resident corpus, resolved at construction: its selector, its
   // config (spr_base derived), its calibration fingerprint (what the
   // registry fits once), and its corpus key (calibration + constants —
@@ -155,10 +219,24 @@ class ServingCluster {
     std::uint64_t corpus_key = 0;
   };
 
-  // Fit-once-replicate-everywhere: runs each distinct fingerprint's
-  // calibration on the primary (or takes its cached bundle) and adopts
-  // every bundle into every shard replica.
-  void ensure_replicated();
+  // Fit-once-replicate-everywhere, then start one worker thread per shard.
+  // Lazy (first open_stream) so constructing a cluster stays cheap.
+  void ensure_serving();
+
+  // The admission path (StreamSession::submit lands here): resolve, cache,
+  // route, shed-or-enqueue. `session` rides into the StreamItem so the
+  // shard can deliver. Live serving holds admission_mutex_ only for the
+  // route/shed/sequence section; record and replay divert to the fully
+  // serialized variant below.
+  void admit(const std::shared_ptr<SessionState>& session, std::size_t slot,
+             const serve::AdvisorRequest& request);
+  void admit_serialized(const std::shared_ptr<SessionState>& session, std::size_t slot,
+                        const serve::AdvisorRequest& request, StreamItem&& item,
+                        std::string&& cache_key);
+
+  // StreamSession::close support: flush every shard's partial batch so the
+  // session's in-flight tail is answered promptly.
+  void kick_all();
 
   // Index into corpora_ for a request's selector, or -1 when unknown.
   int resolve_corpus(const std::string& name) const;
@@ -169,19 +247,94 @@ class ServingCluster {
   Router router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ResponseCache cache_;
-  core::ThreadPool pool_;
-  bool replicated_ = false;
-  std::mutex replicate_mutex_;
-  std::mutex serve_mutex_;  // one batch in flight at a time (see serve_batch)
+  std::vector<std::thread> workers_;  // one per shard, started lazily
+  bool serving_ = false;
+  std::mutex serving_mutex_;
 
+  // Admission state (all under admission_mutex_). backlog_end_us_ is the
+  // virtual time each shard's queue drains at: admission advances it by
+  // the service estimate, shedding compares a request's deadline against
+  // it. Virtual timestamps are microseconds since epoch_ (live) or the
+  // recorded t_us (replay).
+  mutable std::mutex admission_mutex_;
+  std::condition_variable replay_cv_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t next_stream_id_ = 0;
+  std::uint64_t admit_seq_ = 0;
+  std::vector<double> backlog_end_us_;  // per shard
+  // Mode flags are atomic because the live fast path reads them without
+  // the lock; both are fixed before streams open (enable_recording /
+  // begin_replay precede serving by contract).
+  std::atomic<bool> recording_{false};
+  AdmissionSchedule recorded_;
+  std::atomic<bool> replaying_{false};
+  AdmissionSchedule replay_;
+  std::size_t replay_cursor_ = 0;
+  // Admission counters: atomics so the live fast path updates them outside
+  // the admission lock (metrics() reads are monotone either way).
+  std::atomic<long> queries_{0};
+  std::unique_ptr<std::atomic<long>[]> corpus_queries_;  // aligned with corpora_
+  std::atomic<long> unknown_corpus_queries_{0};
+  std::atomic<long> shed_queries_{0};
+  std::atomic<long> streams_{0};
+
+  // Most recent per-request latencies, drained from the shards by
+  // metrics() and bounded so a long-lived service cannot grow without
+  // limit; percentiles describe this sliding window.
   mutable std::mutex metrics_mutex_;
-  long queries_ = 0;
-  std::vector<long> corpus_queries_;  // aligned with corpora_
-  long unknown_corpus_queries_ = 0;
-  int hot_keys_ = 0;  // router snapshot at the last batch end
-  // Most recent per-request latencies, bounded so a long-lived service
-  // cannot grow without limit; percentiles describe this sliding window.
-  std::vector<double> latencies_ms_;
+  mutable std::vector<double> latencies_ms_;
+};
+
+// A client's submission handle: submit() enqueues one request (returning
+// its per-stream sequence number), close() flushes and blocks until every
+// submitted request has its response, returning them in submission order.
+// One session belongs to one client thread (the handle itself is not
+// thread-safe; the cluster is, across sessions). Sessions are movable,
+// not copyable; destroying an open session closes it and discards the
+// responses. A session must not outlive its cluster.
+class StreamSession {
+ public:
+  StreamSession() = default;
+  StreamSession(StreamSession&& other) noexcept
+      : cluster_(other.cluster_), state_(std::move(other.state_)) {
+    other.cluster_ = nullptr;
+  }
+  StreamSession& operator=(StreamSession&& other) noexcept {
+    if (this != &other) {
+      if (state_) close();
+      cluster_ = other.cluster_;
+      state_ = std::move(other.state_);
+      other.cluster_ = nullptr;
+    }
+    return *this;
+  }
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+  ~StreamSession() {
+    if (state_) close();
+  }
+
+  bool open() const { return state_ != nullptr; }
+  std::uint64_t id() const { return state_ ? state_->id() : 0; }
+
+  // Submits one request; its response will occupy slot `seq` (the return
+  // value) of close()'s vector. Blocks only for queue backpressure — or,
+  // in replay mode, until the schedule reaches this (stream, seq). Throws
+  // std::logic_error on a closed session.
+  std::uint64_t submit(const serve::AdvisorRequest& request);
+
+  // Flushes in-flight requests (partial shard batches are kicked), waits
+  // for every response, and returns them in submission order. The session
+  // is spent afterwards (open() == false).
+  std::vector<serve::AdvisorResponse> close();
+
+ private:
+  friend class ServingCluster;
+  StreamSession(ServingCluster* cluster, std::shared_ptr<SessionState> state)
+      : cluster_(cluster), state_(std::move(state)) {}
+
+  ServingCluster* cluster_ = nullptr;
+  std::shared_ptr<SessionState> state_;
 };
 
 }  // namespace isr::cluster

@@ -46,24 +46,25 @@ std::string ClusterMetrics::to_jsonl() const {
   const char* fmt =
       "{\"shards\":%d,\"queries\":%ld,\"shard_queries\":%s,"
       "\"corpus_queries\":%s,\"unknown_corpus_queries\":%ld,"
+      "\"streams\":%ld,\"shed_queries\":%ld,"
       "\"rebalanced_queries\":%ld,\"hot_keys\":%d,"
       "\"cache_lookups\":%ld,\"cache_hits\":%ld,\"cache_hit_rate\":%.6f,"
       "\"batches\":%ld,\"size_flushes\":%ld,\"deadline_flushes\":%ld,"
-      "\"close_flushes\":%ld,\"max_queue_depth\":%zu,"
+      "\"kick_flushes\":%ld,\"close_flushes\":%ld,\"max_queue_depth\":%zu,"
       "\"p50_latency_ms\":%.6f,\"p99_latency_ms\":%.6f}";
   // Two-pass snprintf into an exactly-sized string, as in study.cpp.
   const int len = std::snprintf(nullptr, 0, fmt, shards, queries, shard_list.c_str(),
-                                corpus_map.c_str(), unknown_corpus_queries,
-                                rebalanced_queries, hot_keys, cache_lookups, cache_hits,
-                                cache_hit_rate, batches, size_flushes, deadline_flushes,
-                                close_flushes, max_queue_depth, p50_latency_ms,
-                                p99_latency_ms);
+                                corpus_map.c_str(), unknown_corpus_queries, streams,
+                                shed_queries, rebalanced_queries, hot_keys, cache_lookups,
+                                cache_hits, cache_hit_rate, batches, size_flushes,
+                                deadline_flushes, kick_flushes, close_flushes,
+                                max_queue_depth, p50_latency_ms, p99_latency_ms);
   std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
   std::snprintf(&line[0], line.size() + 1, fmt, shards, queries, shard_list.c_str(),
-                corpus_map.c_str(), unknown_corpus_queries, rebalanced_queries, hot_keys,
-                cache_lookups, cache_hits, cache_hit_rate, batches, size_flushes,
-                deadline_flushes, close_flushes, max_queue_depth, p50_latency_ms,
-                p99_latency_ms);
+                corpus_map.c_str(), unknown_corpus_queries, streams, shed_queries,
+                rebalanced_queries, hot_keys, cache_lookups, cache_hits, cache_hit_rate,
+                batches, size_flushes, deadline_flushes, kick_flushes, close_flushes,
+                max_queue_depth, p50_latency_ms, p99_latency_ms);
   return line;
 }
 

@@ -29,6 +29,12 @@ struct ClusterMetrics {
   std::vector<std::pair<std::string, long>> corpus_queries;
   long unknown_corpus_queries = 0;
 
+  // Streaming admission: sessions ever opened (serve_batch counts one per
+  // call — it is a session under the hood), and requests refused at
+  // admission because their estimated completion would miss the deadline.
+  long streams = 0;
+  long shed_queries = 0;
+
   // Hot-key rebalancing: requests routed off their home shard through
   // rendezvous sub-keys, and keys currently above the imbalance threshold.
   long rebalanced_queries = 0;
@@ -41,7 +47,8 @@ struct ClusterMetrics {
   long batches = 0;  // coalesced batches drained across all shards
   long size_flushes = 0;      // batch reached the configured batch size
   long deadline_flushes = 0;  // coalescing deadline fired first
-  long close_flushes = 0;     // queue close drained a partial batch
+  long kick_flushes = 0;      // a closing stream flushed a partial batch
+  long close_flushes = 0;     // queue shutdown drained a partial batch
   std::size_t max_queue_depth = 0;  // deepest any shard queue ever was
 
   // Enqueue -> response written, per request, over the most recent sample

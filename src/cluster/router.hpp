@@ -64,8 +64,8 @@ class Router {
   // Stateful routing of the next request for the key: records its load in
   // the decaying counter and, when the key is hot, spreads it round-robin
   // across the key's rendezvous shard order. NOT thread-safe — the cluster
-  // calls it from the single producer lane (under its batch lock);
-  // rebalanced() alone may be read concurrently.
+  // calls it from its serialized admission path (under the admission
+  // lock); rebalanced() alone may be read concurrently.
   int route(std::uint64_t corpus_fingerprint, const std::string& arch);
 
   int shards() const { return shards_; }
@@ -76,7 +76,7 @@ class Router {
   long rebalanced() const { return rebalanced_.load(std::memory_order_relaxed); }
 
   // Keys currently above the imbalance threshold. Same thread-safety
-  // caveat as route(): call between batches, not during one.
+  // caveat as route(): the cluster snapshots it under the admission lock.
   int hot_keys() const;
 
  private:

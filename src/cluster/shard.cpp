@@ -4,13 +4,20 @@
 
 namespace isr::cluster {
 
+namespace {
+// Latency reservoir bound per shard (the cluster keeps its own window on
+// top). Dropping the oldest half amortizes the erase to O(1) per sample.
+constexpr std::size_t kShardLatencyWindow = 65536;
+}  // namespace
+
 Shard::Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
-             std::chrono::nanoseconds batch_deadline)
+             std::chrono::nanoseconds batch_deadline, double initial_service_us)
     : index_(index),
       batch_size_(batch_size > 0 ? batch_size : 1),
       batch_deadline_(batch_deadline),
       registry_(std::make_unique<serve::ModelRegistry>()),
-      queue_(queue_capacity) {}
+      queue_(queue_capacity),
+      service_estimate_us_(initial_service_us > 0.0 ? initial_service_us : 1.0) {}
 
 void Shard::adopt(const serve::FittedModels& bundle,
                   const model::MappingConstants& constants, std::uint64_t corpus_key) {
@@ -24,43 +31,68 @@ void Shard::adopt(const serve::FittedModels& bundle,
   replicas_.emplace(corpus_key, replica);
 }
 
-bool Shard::drain_one_batch(std::vector<serve::AdvisorResponse>& responses,
-                            ResponseCache* cache) {
-  std::vector<RoutedRequest> batch;
+bool Shard::drain_one_batch(ResponseCache* cache) {
+  std::vector<StreamItem> batch;
   const core::BatchFlush flush = queue_.pop_batch(batch_size_, batch_deadline_, batch);
   if (flush == core::BatchFlush::kEmpty) return false;
-  // A racing drain (the producer helping under backpressure) can empty the
-  // queue while this caller waits out the coalescing deadline; that is not
-  // a batch — record nothing and keep watching the queue.
+  // A kick can race the worker draining the queue empty; that is not a
+  // batch — record nothing and keep watching the queue.
   if (batch.empty()) return true;
 
   // Evaluate outside any lock: responses are pure functions of
-  // (request, fitted models), and slots are disjoint across items. The
-  // cluster only routes requests for resolved resident corpora, so the
+  // (request, fitted models), and each item owns its session slot. The
+  // cluster only admits requests for resolved resident corpora, so the
   // replica lookup cannot miss — the branch is a defensive invariant, not
   // a code path.
-  for (const RoutedRequest& item : batch) {
+  const auto eval_start = std::chrono::steady_clock::now();
+  std::vector<serve::AdvisorResponse> responses;
+  responses.reserve(batch.size());
+  for (const StreamItem& item : batch) {
+    serve::AdvisorResponse response;
     const auto replica = replicas_.find(item.corpus_key);
     if (replica == replicas_.end()) {
-      responses[item.slot].ok = false;
-      responses[item.slot].error = "corpus bundle not resident on shard";
+      response.ok = false;
+      response.error = "corpus bundle not resident on shard";
     } else {
-      responses[item.slot] = serve::answer_request(*replica->second.fitted,
-                                                   replica->second.constants, item.request);
+      response = serve::answer_request(*replica->second.fitted,
+                                       replica->second.constants, item.request);
     }
-    if (cache) cache->insert(item.cache_key, responses[item.slot]);
+    if (cache) cache->insert(item.cache_key, response);
+    responses.push_back(std::move(response));
+  }
+  const auto now = std::chrono::steady_clock::now();
+
+  // Feed the live shed estimator: EWMA of measured microseconds per
+  // request. Relaxed read-modify-write — concurrent metrics readers see a
+  // slightly stale estimate at worst.
+  const double measured_us =
+      std::chrono::duration<double, std::micro>(now - eval_start).count() /
+      static_cast<double>(batch.size());
+  const double old = service_estimate_us_.load(std::memory_order_relaxed);
+  service_estimate_us_.store(0.8 * old + 0.2 * measured_us, std::memory_order_relaxed);
+
+  // Account the batch BEFORE delivering: the final delivery may wake a
+  // close()d session whose client immediately reads metrics(), and the
+  // flush that carried its responses must already be counted.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.queries += static_cast<long>(batch.size());
+    stats_.batches += 1;
+    if (flush == core::BatchFlush::kSize) stats_.size_flushes += 1;
+    else if (flush == core::BatchFlush::kDeadline) stats_.deadline_flushes += 1;
+    else if (flush == core::BatchFlush::kKicked) stats_.kick_flushes += 1;
+    else stats_.close_flushes += 1;
+    for (const StreamItem& item : batch)
+      latencies_ms_.push_back(
+          std::chrono::duration<double, std::milli>(now - item.enqueued).count());
+    if (latencies_ms_.size() > kShardLatencyWindow)
+      latencies_ms_.erase(latencies_ms_.begin(),
+                          latencies_ms_.begin() +
+                              static_cast<std::ptrdiff_t>(latencies_ms_.size() / 2));
   }
 
-  const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.queries += static_cast<long>(batch.size());
-  stats_.batches += 1;
-  if (flush == core::BatchFlush::kSize) stats_.size_flushes += 1;
-  else if (flush == core::BatchFlush::kDeadline) stats_.deadline_flushes += 1;
-  else stats_.close_flushes += 1;
-  for (const RoutedRequest& item : batch)
-    latencies_ms_.push_back(
-        std::chrono::duration<double, std::milli>(now - item.enqueued).count());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch[i].session->deliver(batch[i].slot, std::move(responses[i]));
   return true;
 }
 

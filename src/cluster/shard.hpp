@@ -2,43 +2,34 @@
 // resident calibration corpus (the primary fits each distinct fingerprint
 // once; every shard adopts a copy of each fitted bundle, so a cluster
 // performs exactly one fit per distinct corpus fingerprint no matter how
-// many shards it runs), fed by a bounded core::BatchQueue the cluster's
-// producer lane pushes routed requests into. The shard's worker drains
-// coalesced batches — flushed on batch size, on the coalescing deadline,
-// or on queue close — and evaluates each request through
-// serve::answer_request against the fingerprint-selected replica bundle,
-// writing the response into its pre-assigned slot and (on a miss path)
-// into the shared response cache. Full replication is what makes hot-key
-// rebalancing free: any shard can evaluate any (corpus, arch) request.
+// many shards it runs), fed by a bounded core::OrderedBatchQueue the
+// cluster's admission path pushes StreamItems into. The shard's dedicated
+// worker thread drains coalesced batches — flushed on batch size, on the
+// coalescing deadline, on a kick (a closing stream flushing its in-flight
+// tail), or on shutdown — in strict-priority/EDF order, evaluates each
+// item through serve::answer_request against the fingerprint-selected
+// replica bundle, and delivers the response into the item's session slot
+// (and, on a miss path, into the shared response cache). Full replication
+// is what makes hot-key rebalancing free: any shard can evaluate any
+// (corpus, arch) request.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <vector>
 
 #include "core/batch_queue.hpp"
-#include "serve/advisor.hpp"
+#include "cluster/stream.hpp"
 #include "serve/registry.hpp"
 
 namespace isr::cluster {
 
 class ResponseCache;
-
-// One routed request in flight: which corpus replica evaluates it, where
-// its response goes, its cache key, and when it entered the queue (the
-// latency measurement's start point).
-struct RoutedRequest {
-  serve::AdvisorRequest request;
-  std::uint64_t corpus_key = 0;  // resident replica the request resolved to
-  std::size_t slot = 0;
-  std::string cache_key;
-  std::chrono::steady_clock::time_point enqueued;
-};
 
 // Per-shard counters, merged into ClusterMetrics by the cluster.
 struct ShardStats {
@@ -46,13 +37,14 @@ struct ShardStats {
   long batches = 0;
   long size_flushes = 0;
   long deadline_flushes = 0;
+  long kick_flushes = 0;  // partial batches flushed by a closing stream
   long close_flushes = 0;
 };
 
 class Shard {
  public:
   Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
-        std::chrono::nanoseconds batch_deadline);
+        std::chrono::nanoseconds batch_deadline, double initial_service_us);
 
   int index() const { return index_; }
 
@@ -69,23 +61,34 @@ class Shard {
   // Resident replica count (distinct corpus keys adopted so far).
   std::size_t resident_corpora() const { return replicas_.size(); }
 
-  // Admission. try_enqueue returns false when the queue is full, leaving
-  // `item` intact so the producer can drain a batch itself and retry;
-  // close() marks the end of the current batch's pushes; reopen() re-arms
-  // for the next call.
-  bool try_enqueue(RoutedRequest&& item) { return queue_.try_push(std::move(item)); }
-  void close() { queue_.close(); }
-  void reopen() { queue_.reopen(); }
+  // Admission: blocking bounded push (admitters are client threads; the
+  // cluster sheds at admission time, so a full queue means "wait", never
+  // "help drain"). Returns false only after shutdown. kick() flushes the
+  // current partial batch to the worker — a closing stream's in-flight
+  // tail must not wait out the coalescing deadline.
+  bool enqueue(StreamItem&& item) { return queue_.push(std::move(item)); }
+  void kick() { queue_.kick(); }
+  // No more admissions, ever: the worker drains what remains and stops.
+  void shutdown() { queue_.close(); }
 
-  // Drains and evaluates ONE coalesced batch: responses land in
-  // `responses[item.slot]`, evaluated responses are inserted into `cache`
-  // (when non-null and enabled), per-request latencies are recorded.
-  // Returns false when the queue is closed and empty — the worker's stop
-  // signal. Safe to call concurrently (the producer lane helps under
-  // backpressure while the worker lane drains).
-  bool drain_one_batch(std::vector<serve::AdvisorResponse>& responses, ResponseCache* cache);
+  // Drains and evaluates ONE coalesced batch in scheduling order:
+  // responses are delivered into each item's session slot, evaluated
+  // responses are inserted into `cache` (when non-null and enabled),
+  // per-request latencies and the service-time estimate are recorded.
+  // Returns false when the queue is shut down and empty — the worker's
+  // stop signal. Single-consumer by convention (one worker thread per
+  // shard), though nothing here would break under a second drainer.
+  bool drain_one_batch(ResponseCache* cache);
 
-  // Metrics accessors (post-drain; the cluster snapshots between batches).
+  // Live shed accounting reads this: an EWMA of measured per-request
+  // evaluation cost in microseconds. Relaxed atomics — a lost update skews
+  // an estimate, never a response.
+  double service_estimate_us() const {
+    return service_estimate_us_.load(std::memory_order_relaxed);
+  }
+
+  // Metrics accessors (safe during live streams: stats under a mutex, the
+  // queue under its own lock).
   ShardStats stats() const;
   std::size_t max_queue_depth() const { return queue_.max_depth(); }
   std::size_t queue_depth() const { return queue_.depth(); }
@@ -108,10 +111,14 @@ class Shard {
   std::chrono::nanoseconds batch_deadline_;
   std::unique_ptr<serve::ModelRegistry> registry_;
   std::map<std::uint64_t, Replica> replicas_;  // corpus key -> replica
-  core::BatchQueue<RoutedRequest> queue_;
+  core::OrderedBatchQueue<StreamItem, StreamBefore> queue_;
+  std::atomic<double> service_estimate_us_;
 
   mutable std::mutex stats_mutex_;
   ShardStats stats_;
+  // Latency samples accumulate here between metrics() snapshots; bounded
+  // (oldest half dropped past the window) so a stream that never asks for
+  // metrics cannot grow a sample per request forever.
   std::vector<double> latencies_ms_;
 };
 

@@ -1,0 +1,70 @@
+#include "cluster/stream.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace isr::cluster {
+
+std::size_t SessionState::allocate_slot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) throw std::logic_error("StreamSession: submit after close");
+  responses_.emplace_back();
+  return responses_.size() - 1;
+}
+
+void SessionState::deliver(std::size_t slot, serve::AdvisorResponse&& response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  responses_[slot] = std::move(response);
+  ++completed_;
+  // Only a closing drain ever waits, and only the final delivery can
+  // satisfy it — skip the notify on every earlier response.
+  if (closed_ && completed_ == responses_.size()) cv_.notify_all();
+}
+
+std::vector<serve::AdvisorResponse> SessionState::wait_drained() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.wait(lock, [&] { return completed_ == responses_.size(); });
+  return std::move(responses_);
+}
+
+void save_schedule(const AdmissionSchedule& schedule, std::ostream& out) {
+  out << "# insitu-perf admission schedule: STREAM SEQ T_US per line\n";
+  for (const AdmissionRecord& r : schedule)
+    out << r.stream << ' ' << r.seq << ' ' << r.t_us << '\n';
+}
+
+bool load_schedule(std::istream& in, AdmissionSchedule& schedule, std::string& error) {
+  AdmissionSchedule loaded;
+  std::string line;
+  long line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    AdmissionRecord rec;
+    long long stream = -1, seq = -1, t_us = 0;
+    if (!(fields >> stream >> seq >> t_us) || stream < 0 || seq < 0) {
+      error = "schedule line " + std::to_string(line_no) +
+              ": expected \"STREAM SEQ T_US\" (got \"" + line + "\")";
+      return false;
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      error = "schedule line " + std::to_string(line_no) + ": trailing fields";
+      return false;
+    }
+    rec.stream = static_cast<std::uint64_t>(stream);
+    rec.seq = static_cast<std::uint64_t>(seq);
+    rec.t_us = static_cast<std::int64_t>(t_us);
+    loaded.push_back(rec);
+  }
+  schedule = std::move(loaded);
+  error.clear();
+  return true;
+}
+
+}  // namespace isr::cluster

@@ -1,0 +1,119 @@
+// Streaming-admission building blocks for the serving cluster: the
+// per-session completion state a StreamSession handle wraps, the unit of
+// work shard queues carry, the total order those queues serve in, and the
+// recorded admission schedule that makes a concurrent run replayable.
+//
+// Determinism under concurrency, in two halves:
+//   1. Every response is a pure function of (request, fitted models,
+//      mapping constants) — interleaving can never change WHAT a request
+//      answers, only when, and session slots keep responses in per-stream
+//      submission order regardless of service order.
+//   2. Shed decisions DO depend on interleaving (they read the admission
+//      clock and the virtual backlog), so the cluster can record the
+//      admission schedule — (stream id, seq, virtual timestamp) per
+//      admitted request — and later replay it, forcing the exact
+//      interleaving and timestamps. Replay turns the one nondeterministic
+//      input into data, which is how the byte-identity contract of the
+//      batch era survives as a test configuration (see test_stream.cpp and
+//      bench_stream_throughput).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/advisor.hpp"
+
+namespace isr::cluster {
+
+// One admitted request in a recorded schedule: which stream, its per-stream
+// submission sequence number, and the virtual admission timestamp
+// (microseconds since the cluster's epoch) the shed accounting saw.
+struct AdmissionRecord {
+  std::uint64_t stream = 0;
+  std::uint64_t seq = 0;
+  std::int64_t t_us = 0;
+};
+
+using AdmissionSchedule = std::vector<AdmissionRecord>;
+
+// Schedule file IO for the --record/--replay CLI flags: a comment-friendly
+// text format, one "STREAM SEQ T_US" triple per line. load returns false
+// (with a one-line reason) on any malformed line — the same loud-over-
+// silent stance as the wire-format parser.
+void save_schedule(const AdmissionSchedule& schedule, std::ostream& out);
+bool load_schedule(std::istream& in, AdmissionSchedule& schedule, std::string& error);
+
+// Completion state shared between a StreamSession handle, the cluster's
+// admission path, and the shard workers. Responses land in per-stream
+// submission order (slot = seq), no matter which shard answered or when.
+// Lifetime: in-flight StreamItems hold a shared_ptr, so a session's state
+// outlives early handle destruction — but never the cluster itself (close
+// every session before destroying the cluster).
+class SessionState {
+ public:
+  explicit SessionState(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id() const { return id_; }
+
+  // Reserves the next response slot (== the request's per-stream seq).
+  // Throws std::logic_error after close(): submit-after-close is a client
+  // bug, not a race to tolerate.
+  std::size_t allocate_slot();
+
+  // Writes one response into its slot and wakes a drain waiter when it was
+  // the last one owed. Called by admission (cache hits, unknown-corpus
+  // errors, shed refusals) and by shard workers (evaluated responses).
+  void deliver(std::size_t slot, serve::AdvisorResponse&& response);
+
+  // Marks the session closed and blocks until every allocated slot has its
+  // response, then moves the responses out (per-stream submission order).
+  std::vector<serve::AdvisorResponse> wait_drained();
+
+ private:
+  const std::uint64_t id_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<serve::AdvisorResponse> responses_;
+  std::size_t completed_ = 0;
+  bool closed_ = false;
+};
+
+// The unit of work a shard queue carries: the request, its resolved
+// replica, where its response goes, and the scheduling key (priority,
+// absolute virtual deadline, global admission sequence).
+struct StreamItem {
+  serve::AdvisorRequest request;
+  std::uint64_t corpus_key = 0;  // resident replica the request resolved to
+  std::shared_ptr<SessionState> session;
+  std::size_t slot = 0;
+  // Scheduling key. deadline_at_us is the absolute virtual deadline
+  // (admission timestamp + deadline_us); no deadline sorts last within its
+  // priority class. admit_seq is assigned under the admission lock, so the
+  // key is a total order and heap insertion order cannot matter.
+  int priority = 1;
+  std::int64_t deadline_at_us = std::numeric_limits<std::int64_t>::max();
+  std::uint64_t admit_seq = 0;
+  std::string cache_key;
+  std::chrono::steady_clock::time_point enqueued;  // latency clock start
+};
+
+// The serving order: strict across priority classes (0 preempts 7 even
+// when 7's deadline is nearer), earliest deadline first within a class,
+// admission order as the deterministic tiebreak.
+struct StreamBefore {
+  bool operator()(const StreamItem& a, const StreamItem& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.deadline_at_us != b.deadline_at_us) return a.deadline_at_us < b.deadline_at_us;
+    return a.admit_seq < b.admit_seq;
+  }
+};
+
+}  // namespace isr::cluster

@@ -11,20 +11,31 @@
 // *producer* decides what to do (the cluster's producer lane drains a batch
 // itself, so a full queue converts the producer into a worker instead of
 // deadlocking a serial pool).
+//
+// OrderedBatchQueue below is the streaming-admission sibling: still bounded
+// and batch-popping, but items pop in a caller-supplied priority order
+// instead of FIFO, push *blocks* for room (admitters are client threads with
+// nothing better to do, and shedding — not helping — is the overload policy),
+// and kick() flushes a partial batch immediately (how a closing stream gets
+// its in-flight requests answered without waiting out the coalescing
+// deadline).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace isr::core {
 
-// Why pop_batch returned: a full batch, the coalescing deadline, the close
-// drain, or nothing left (closed and empty — the consumer's stop signal).
-enum class BatchFlush { kSize, kDeadline, kClosed, kEmpty };
+// Why pop_batch returned: a full batch, the coalescing deadline, a kick
+// (explicit partial-batch flush), the close drain, or nothing left (closed
+// and empty — the consumer's stop signal).
+enum class BatchFlush { kSize, kDeadline, kKicked, kClosed, kEmpty };
 
 template <class T>
 class BatchQueue {
@@ -121,6 +132,151 @@ class BatchQueue {
   std::deque<T> items_;
   std::size_t max_depth_ = 0;
   bool closed_ = false;
+};
+
+// A bounded MPMC batch queue that pops in a caller-supplied order rather
+// than FIFO: `Before(a, b)` returns true when `a` must be served before
+// `b` (the cluster uses strict priority class, then earliest deadline,
+// then admission sequence). Internally a binary heap, so push and pop are
+// O(log n) and a batch pop is O(k log n) — insertion order never matters,
+// which is what makes concurrent admitters deterministic once each item
+// carries a total-order key.
+//
+// Contracts that differ from BatchQueue above:
+//   - push() BLOCKS until the queue has room (or returns false once
+//     closed). Admitters are client threads; the overload policy is the
+//     cluster's admission-time shedding, not producer help-draining.
+//   - kick() flushes whatever is queued to the next pop_batch as a partial
+//     batch (kKicked) without waiting out the coalescing deadline — how a
+//     closing stream's in-flight tail gets answered promptly. A kick on an
+//     empty queue is remembered until items arrive or the queue drains.
+//   - No reopen(): the streaming queue lives as long as its shard worker.
+template <class T, class Before>
+class OrderedBatchQueue {
+ public:
+  explicit OrderedBatchQueue(std::size_t capacity, Before before = Before{})
+      : capacity_(capacity > 0 ? capacity : 1), before_(before) {}
+
+  // Blocking bounded push: waits for room, returns false only when the
+  // queue is (or becomes) closed — the item is untouched in that case.
+  bool push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      push_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      heap_push(std::move(item));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  // Non-blocking variant, same failure semantics as BatchQueue::try_push.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      heap_push(std::move(item));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  // Flush whatever is queued as a partial batch now (kKicked). Sticky: a
+  // kick with nothing queued arms the next pop instead of vanishing, so a
+  // close() racing ahead of the last push cannot strand an item.
+  void kick() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      kicked_ = true;
+    }
+    pop_cv_.notify_all();
+  }
+
+  // No more pushes; consumers drain what remains and then see kEmpty.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    pop_cv_.notify_all();
+    push_cv_.notify_all();
+  }
+
+  // Pops up to `max_items` into `out` (cleared first), best-first per
+  // `Before`. Blocks until a full batch, the coalescing deadline (clock
+  // starts at first availability), a kick, or close — same shape as
+  // BatchQueue::pop_batch with kKicked added.
+  BatchFlush pop_batch(std::size_t max_items, std::chrono::nanoseconds deadline,
+                       std::vector<T>& out) {
+    out.clear();
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mutex_);
+    pop_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    BatchFlush reason;
+    if (items_.size() >= max_items) {
+      reason = BatchFlush::kSize;
+    } else if (closed_) {
+      reason = items_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
+    } else if (kicked_) {
+      reason = BatchFlush::kKicked;
+    } else {
+      const auto flush_at = std::chrono::steady_clock::now() + deadline;
+      pop_cv_.wait_until(lock, flush_at,
+                         [&] { return closed_ || kicked_ || items_.size() >= max_items; });
+      if (items_.size() >= max_items) reason = BatchFlush::kSize;
+      else if (closed_) reason = items_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
+      else if (kicked_) reason = BatchFlush::kKicked;
+      else reason = BatchFlush::kDeadline;
+    }
+    const std::size_t take = items_.size() < max_items ? items_.size() : max_items;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) out.push_back(heap_pop());
+    // A kick's obligation is met once the queue is drained; a fresh kick
+    // after new pushes re-arms it.
+    if (items_.empty()) kicked_ = false;
+    if (take > 0) push_cv_.notify_all();
+    return reason;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+  }
+
+ private:
+  // std::push_heap keeps the *greatest* element (per the comparator) at the
+  // front; serving best-first therefore heapifies on the inverted order.
+  bool heap_less(const T& a, const T& b) const { return before_(b, a); }
+
+  void heap_push(T&& item) {
+    items_.push_back(std::move(item));
+    std::push_heap(items_.begin(), items_.end(),
+                   [this](const T& a, const T& b) { return heap_less(a, b); });
+    if (items_.size() > max_depth_) max_depth_ = items_.size();
+  }
+
+  T heap_pop() {
+    std::pop_heap(items_.begin(), items_.end(),
+                  [this](const T& a, const T& b) { return heap_less(a, b); });
+    T item = std::move(items_.back());
+    items_.pop_back();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  Before before_;
+  mutable std::mutex mutex_;
+  std::condition_variable pop_cv_;
+  std::condition_variable push_cv_;
+  std::vector<T> items_;  // binary heap ordered by heap_less
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+  bool kicked_ = false;
 };
 
 }  // namespace isr::core

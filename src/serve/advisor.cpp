@@ -80,7 +80,8 @@ AdvisorResponse answer_request(const FittedModels& fitted,
 }
 
 bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b) {
-  return a.ok == b.ok && a.error == b.error && a.frame_seconds == b.frame_seconds &&
+  return a.ok == b.ok && a.shed == b.shed && a.error == b.error &&
+         a.frame_seconds == b.frame_seconds &&
          a.build_seconds == b.build_seconds && a.images_in_budget == b.images_in_budget &&
          a.has_verdict == b.has_verdict && a.rt_seconds == b.rt_seconds &&
          a.rast_seconds == b.rast_seconds && a.ratio == b.ratio &&
@@ -88,7 +89,11 @@ bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b) {
 }
 
 std::string to_jsonl(const AdvisorResponse& r) {
-  if (!r.ok) return "{\"ok\":false,\"error\":\"" + json_escape(r.error) + "\"}";
+  // Shed responses carry an explicit marker clients can branch on without
+  // parsing the error text; ordinary errors keep their historical bytes.
+  if (!r.ok)
+    return std::string("{\"ok\":false,") + (r.shed ? "\"shed\":true," : "") +
+           "\"error\":\"" + json_escape(r.error) + "\"}";
   const char* recommendation =
       r.has_verdict ? (r.prefer_ray_tracing ? "raytrace" : "rasterize") : "";
   // Two-pass snprintf into an exactly-sized string, as in study.cpp.

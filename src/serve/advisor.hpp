@@ -40,11 +40,27 @@ struct AdvisorRequest {
   int image_edge = 1024;       // square image edge in pixels
   double budget_seconds = 60;  // Fig 14's budget question
   int frames = 100;            // Fig 15's BVH-amortization horizon
+
+  // Streaming-admission QoS (src/cluster/ honors these; the batch paths
+  // ignore them, and the canonical cache key deliberately excludes them —
+  // the *answer* is the same whether the client was in a hurry).
+  // deadline_us: answer-by budget in microseconds from admission; 0 (the
+  // default) means no deadline, and a request whose estimated completion
+  // exceeds its deadline at admission is shed (an explicit response, never
+  // a silent stall). priority: class 0 (most urgent) .. 7; strict across
+  // classes, earliest-deadline-first within one.
+  long deadline_us = 0;
+  int priority = 1;
 };
 
 struct AdvisorResponse {
   bool ok = false;
   std::string error;  // set when !ok; every other field is then zero
+  // Load shedding (streaming admission only): true when the cluster
+  // refused the request because its estimated completion would miss the
+  // deadline. Always an error response (!ok), so the ok-path wire bytes
+  // are untouched by the flag's existence.
+  bool shed = false;
 
   // Fig 14: predicted cost of the requested (arch, renderer) configuration.
   double frame_seconds = 0.0;  // per frame, build amortized away

@@ -14,7 +14,7 @@ namespace {
 // A minimal scanner for the wire format: one flat JSON object per line,
 // values restricted to strings and numbers. Hand-rolled because
 // the repo takes no external dependencies and the schema is fixed — this
-// is a parser for eight known keys, not a JSON library.
+// is a parser for ten known keys, not a JSON library.
 struct Scanner {
   const char* p;
   const char* end;
@@ -157,6 +157,24 @@ bool parse_request_line(const std::string& line, AdvisorRequest& request, std::s
           error = "budget_seconds: " + error;
           return false;
         }
+      } else if (key == "deadline_us") {
+        // Streaming QoS (src/cluster/): 0 = no deadline. Negative budgets
+        // are a client bug, not "very urgent" — reject loudly.
+        int v = 0;
+        if (!parse_int_value(sc, "deadline_us", v, error)) return false;
+        if (v < 0) {
+          error = "deadline_us: must be >= 0";
+          return false;
+        }
+        req.deadline_us = v;
+      } else if (key == "priority") {
+        int v = 0;
+        if (!parse_int_value(sc, "priority", v, error)) return false;
+        if (v < 0 || v > 7) {
+          error = "priority: must be in 0..7 (0 most urgent)";
+          return false;
+        }
+        req.priority = v;
       } else {
         // Strict schema: a typo'd key must not silently fall back to a
         // default (the same loud-over-silent stance core/env takes).

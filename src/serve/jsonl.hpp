@@ -8,9 +8,14 @@
 //
 // Request schema (all keys optional; defaults are AdvisorRequest's):
 //   {"corpus":"","arch":"CPU1","renderer":"raytrace","n_per_task":200,
-//    "tasks":32,"image_edge":1024,"budget_seconds":60,"frames":100}
+//    "tasks":32,"image_edge":1024,"budget_seconds":60,"frames":100,
+//    "deadline_us":0,"priority":1}
 // `corpus` selects which resident calibration corpus answers (empty = the
 // server's default); see src/cluster/ for multi-corpus serving.
+// `deadline_us` (0 = none) and `priority` (0 most urgent .. 7) are the
+// streaming-admission QoS knobs: a cluster serving over stream sessions
+// may answer {"ok":false,"shed":true,...} when the deadline cannot be met;
+// the plain batch path ignores both.
 // Unknown keys, type mismatches, and malformed JSON yield an
 // {"ok":false,"error":...} response in that request's slot — loud,
 // order-preserving, and non-fatal to the rest of the batch. The full

@@ -224,6 +224,23 @@ TEST(CanonicalKeyTest, DistinguishesEveryField) {
   EXPECT_EQ(canonical_request_key(base), canonical_request_key(AdvisorRequest{}));
 }
 
+TEST(CanonicalKeyTest, IgnoresDeadlineAndPriority) {
+  // The QoS fields change WHEN a request is served, never WHAT it answers:
+  // a hurried request must hit the cache entry its relaxed twin populated.
+  const AdvisorRequest base;
+  const std::string key = canonical_request_key(base);
+  AdvisorRequest r = base;
+  r.deadline_us = 12345;
+  EXPECT_EQ(canonical_request_key(r), key);
+  r = base;
+  r.priority = 0;
+  EXPECT_EQ(canonical_request_key(r), key);
+  r = base;
+  r.deadline_us = 999999;
+  r.priority = 7;
+  EXPECT_EQ(canonical_request_key(r), key);
+}
+
 // --- Response cache ---------------------------------------------------------
 
 TEST(ResponseCacheTest, EvictsLeastRecentlyUsedInOrder) {
@@ -413,9 +430,33 @@ TEST_F(ClusterFixture, CacheHitsAreByteIdenticalToMisses) {
   EXPECT_EQ(evaluated, static_cast<long>(requests.size()));
 }
 
+TEST_F(ClusterFixture, CacheHitsAcrossDeadlinesAndPriorities) {
+  // The canonical key excludes the QoS fields, and admission checks the
+  // cache BEFORE the deadline: a hurried twin of a cached request gets the
+  // cached answer (byte-identical) instead of an evaluation — or a shed.
+  ServingCluster cluster(tiny_cluster_config(2, 2, 64), primary_);
+  AdvisorRequest relaxed;
+  relaxed.arch = "CPU1";
+  relaxed.image_edge = 256;
+  const std::vector<AdvisorResponse> cold = cluster.serve_batch({relaxed});
+  ASSERT_TRUE(cold[0].ok);
+
+  AdvisorRequest hurried = relaxed;
+  hurried.deadline_us = 1;  // live admission would shed this on any backlog
+  hurried.priority = 0;
+  const std::vector<AdvisorResponse> warm = cluster.serve_batch({hurried});
+  EXPECT_TRUE(warm[0].ok);
+  EXPECT_FALSE(warm[0].shed);
+  EXPECT_EQ(serve::to_jsonl(cold[0]), serve::to_jsonl(warm[0]));
+
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.cache_hits, 1);
+  EXPECT_EQ(m.shed_queries, 0);
+}
+
 TEST_F(ClusterFixture, BackpressureTinyQueueStillCorrect) {
-  // A 2-deep queue against a 25-request batch forces the producer into
-  // help-drain mode constantly — responses must still be identical.
+  // A 2-deep queue against a 25-request batch keeps admission blocked on
+  // backpressure constantly — responses must still be identical.
   const std::vector<AdvisorRequest> requests = mixed_requests();
   ClusterConfig config = tiny_cluster_config(2, 1, 0);  // serial pool: worst case
   config.queue_capacity = 2;
@@ -438,10 +479,11 @@ TEST_F(ClusterFixture, MetricsJsonLineHasTheDocumentedShape)  {
   for (const char* key :
        {"\"shards\":", "\"queries\":", "\"shard_queries\":[",
         "\"corpus_queries\":{\"default\":", "\"unknown_corpus_queries\":",
+        "\"streams\":", "\"shed_queries\":",
         "\"rebalanced_queries\":", "\"hot_keys\":", "\"cache_lookups\":",
         "\"cache_hits\":", "\"cache_hit_rate\":", "\"batches\":", "\"size_flushes\":",
-        "\"deadline_flushes\":", "\"close_flushes\":", "\"max_queue_depth\":",
-        "\"p50_latency_ms\":", "\"p99_latency_ms\":"})
+        "\"deadline_flushes\":", "\"kick_flushes\":", "\"close_flushes\":",
+        "\"max_queue_depth\":", "\"p50_latency_ms\":", "\"p99_latency_ms\":"})
     EXPECT_NE(line.find(key), std::string::npos) << key << " missing from " << line;
   EXPECT_EQ(line.front(), '{');
   EXPECT_EQ(line.back(), '}');

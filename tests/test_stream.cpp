@@ -1,0 +1,482 @@
+// Tests for the streaming admission pipeline: the ordered shard queue's
+// scheduling order (strict priority, EDF within a class, admission-order
+// tiebreak), blocking bounded admission, kick flushes, session lifecycle
+// (close flushes in-flight requests; submit-after-close throws), replay-
+// mode byte-identity under concurrent producers, deterministic shedding
+// under a replayed 2x overload, metrics readability during live streams,
+// and a seeded randomized-interleaving fuzz loop (the TSan CI job's
+// stress surface — every failure prints its seed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/stream.hpp"
+#include "core/batch_queue.hpp"
+#include "core/env.hpp"
+#include "math/rng.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::cluster {
+namespace {
+
+using serve::AdvisorRequest;
+using serve::AdvisorResponse;
+
+// The same fast calibration corpus test_cluster uses.
+model::StudyConfig tiny_calibration() {
+  model::StudyConfig cfg;
+  cfg.archs = {"CPU1", "GPU1"};
+  cfg.sims = {"cloverleaf"};
+  cfg.tasks = {1, 2};
+  cfg.samples_per_config = 3;
+  cfg.min_image = 96;
+  cfg.max_image = 192;
+  cfg.min_n = 16;
+  cfg.max_n = 28;
+  cfg.vr_samples = 120;
+  cfg.sim_steps = 1;
+  cfg.seed = 123;
+  return cfg;
+}
+
+ClusterConfig stream_config(int shards, std::size_t cache_entries) {
+  ClusterConfig cfg;
+  cfg.service.calibration = tiny_calibration();
+  cfg.shards = shards;
+  cfg.cache_entries = cache_entries;
+  cfg.batch_size = 4;
+  return cfg;
+}
+
+// A StreamItem with only the scheduling key filled in — enough for the
+// queue-order tests, which never evaluate anything.
+StreamItem keyed_item(int priority, std::int64_t deadline_at_us, std::uint64_t admit_seq) {
+  StreamItem item;
+  item.priority = priority;
+  item.deadline_at_us = deadline_at_us;
+  item.admit_seq = admit_seq;
+  return item;
+}
+
+// --- Ordered batch queue ----------------------------------------------------
+
+TEST(OrderedQueueTest, PopsStrictPriorityThenEdfThenAdmissionOrder) {
+  core::OrderedBatchQueue<StreamItem, StreamBefore> queue(32);
+  const std::int64_t none = std::numeric_limits<std::int64_t>::max();
+  // Scrambled push order; the pop order must be the scheduling order:
+  // priority class first, earliest deadline within it, admit_seq last.
+  ASSERT_TRUE(queue.try_push(keyed_item(3, none, 0)));
+  ASSERT_TRUE(queue.try_push(keyed_item(0, 900, 1)));
+  ASSERT_TRUE(queue.try_push(keyed_item(1, 50, 2)));
+  ASSERT_TRUE(queue.try_push(keyed_item(0, 100, 3)));
+  ASSERT_TRUE(queue.try_push(keyed_item(3, none, 4)));
+  ASSERT_TRUE(queue.try_push(keyed_item(1, 200, 5)));
+  ASSERT_TRUE(queue.try_push(keyed_item(0, none, 6)));
+
+  std::vector<StreamItem> batch;
+  const core::BatchFlush flush =
+      queue.pop_batch(7, std::chrono::nanoseconds(0), batch);
+  EXPECT_EQ(flush, core::BatchFlush::kSize);
+  ASSERT_EQ(batch.size(), 7u);
+  const std::uint64_t expected_seq[] = {3, 1, 6, 2, 5, 0, 4};
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(batch[i].admit_seq, expected_seq[i]) << "position " << i;
+}
+
+TEST(OrderedQueueTest, KickFlushesPartialBatchWithoutDeadlineWait) {
+  core::OrderedBatchQueue<StreamItem, StreamBefore> queue(32);
+  ASSERT_TRUE(queue.try_push(keyed_item(1, 10, 0)));
+  ASSERT_TRUE(queue.try_push(keyed_item(1, 5, 1)));
+  queue.kick();
+  std::vector<StreamItem> batch;
+  const auto start = std::chrono::steady_clock::now();
+  // A 10-second coalescing deadline that the kick must preempt.
+  const core::BatchFlush flush =
+      queue.pop_batch(8, std::chrono::seconds(10), batch);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(flush, core::BatchFlush::kKicked);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].admit_seq, 1u);  // EDF within the partial batch
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+TEST(OrderedQueueTest, BlockingPushWaitsForRoomAndFailsOnClose) {
+  core::OrderedBatchQueue<StreamItem, StreamBefore> queue(2);
+  ASSERT_TRUE(queue.try_push(keyed_item(1, 10, 0)));
+  ASSERT_TRUE(queue.try_push(keyed_item(1, 20, 1)));
+  EXPECT_FALSE(queue.try_push(keyed_item(1, 30, 2)));  // full
+
+  std::thread drainer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<StreamItem> batch;
+    queue.pop_batch(2, std::chrono::nanoseconds(0), batch);
+  });
+  // Blocks until the drainer makes room, then succeeds.
+  EXPECT_TRUE(queue.push(keyed_item(1, 30, 2)));
+  drainer.join();
+
+  queue.close();
+  EXPECT_FALSE(queue.push(keyed_item(1, 40, 3)));  // closed: refused, loudly
+}
+
+// --- Admission schedules ----------------------------------------------------
+
+TEST(ScheduleIoTest, SaveLoadRoundTripsAndRejectsGarbage) {
+  AdmissionSchedule schedule = {{0, 0, 10}, {1, 0, 12}, {0, 1, 15}};
+  std::ostringstream out;
+  save_schedule(schedule, out);
+
+  AdmissionSchedule loaded;
+  std::string error;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(load_schedule(in, loaded, error)) << error;
+  ASSERT_EQ(loaded.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(loaded[i].stream, schedule[i].stream);
+    EXPECT_EQ(loaded[i].seq, schedule[i].seq);
+    EXPECT_EQ(loaded[i].t_us, schedule[i].t_us);
+  }
+
+  std::istringstream bad("0 0 10\nnot a record\n");
+  EXPECT_FALSE(load_schedule(bad, loaded, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+// --- Stream sessions over a live cluster ------------------------------------
+
+// Clusters share one primary registry so the whole suite pays for a single
+// calibration fit (replicas adopt, never refit) — same as test_cluster.
+class StreamFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    primary_ = std::make_shared<serve::ModelRegistry>();
+  }
+  static void TearDownTestSuite() { primary_.reset(); }
+  static std::shared_ptr<serve::ModelRegistry> primary_;
+
+  // Stream k's workload: distinct shapes per stream AND per index, so a
+  // cross-stream response mixup can never pass the byte compare.
+  static std::vector<AdvisorRequest> stream_requests(int k, int count) {
+    std::vector<AdvisorRequest> requests;
+    requests.reserve(static_cast<std::size_t>(count));
+    for (int j = 0; j < count; ++j) {
+      AdvisorRequest req;
+      req.arch = (j % 2 == 0) ? "CPU1" : "GPU1";
+      req.renderer = (j % 3 == 0) ? model::RendererKind::kRayTrace
+                                  : (j % 3 == 1) ? model::RendererKind::kRasterize
+                                                 : model::RendererKind::kVolume;
+      req.n_per_task = 16 + 2 * k + (j % 4);
+      req.image_edge = 96 + 16 * k + 8 * j;
+      req.tasks = 1 + (j % 2);
+      requests.push_back(req);
+    }
+    return requests;
+  }
+};
+
+std::shared_ptr<serve::ModelRegistry> StreamFixture::primary_;
+
+TEST_F(StreamFixture, ReplayReproducesConcurrentProducersByteIdentically) {
+  // Four concurrent producer threads against a recording cluster, then the
+  // SAME flow against a replaying cluster, and a 1-shard serial reference
+  // for each stream's slice: all three must agree byte-for-byte. Cache off
+  // so the only interleaving-sensitive machinery is admission itself.
+  constexpr int kStreams = 4;
+  constexpr int kPerStream = 12;
+  std::vector<std::vector<AdvisorRequest>> workload;
+  workload.reserve(kStreams);
+  for (int k = 0; k < kStreams; ++k) workload.push_back(stream_requests(k, kPerStream));
+
+  // Serial reference, one stream slice at a time.
+  std::vector<std::vector<AdvisorResponse>> expected;
+  {
+    ServingCluster reference(stream_config(1, 0), primary_);
+    for (int k = 0; k < kStreams; ++k) expected.push_back(reference.serve_batch(workload[static_cast<std::size_t>(k)]));
+  }
+
+  const auto run_concurrent = [&workload](ServingCluster& cluster) {
+    // Sessions open in deterministic order (ids 0..N-1) on the test
+    // thread; only the submissions race.
+    std::vector<StreamSession> sessions;
+    sessions.reserve(kStreams);
+    for (int k = 0; k < kStreams; ++k) sessions.push_back(cluster.open_stream());
+    std::vector<std::thread> producers;
+    producers.reserve(kStreams);
+    for (int k = 0; k < kStreams; ++k)
+      producers.emplace_back([&workload, &sessions, k] {
+        for (const AdvisorRequest& req : workload[static_cast<std::size_t>(k)])
+          sessions[static_cast<std::size_t>(k)].submit(req);
+      });
+    for (std::thread& producer : producers) producer.join();
+    std::vector<std::vector<AdvisorResponse>> responses;
+    responses.reserve(kStreams);
+    for (int k = 0; k < kStreams; ++k)
+      responses.push_back(sessions[static_cast<std::size_t>(k)].close());
+    return responses;
+  };
+
+  ServingCluster recorder(stream_config(3, 0), primary_);
+  recorder.enable_recording();
+  const auto live = run_concurrent(recorder);
+  const AdmissionSchedule schedule = recorder.take_recording();
+  EXPECT_EQ(schedule.size(), static_cast<std::size_t>(kStreams * kPerStream));
+
+  ServingCluster replayer(stream_config(3, 0), primary_);
+  replayer.begin_replay(schedule);
+  const auto replayed = run_concurrent(replayer);
+
+  for (int k = 0; k < kStreams; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    ASSERT_EQ(live[ks].size(), static_cast<std::size_t>(kPerStream));
+    ASSERT_EQ(replayed[ks].size(), static_cast<std::size_t>(kPerStream));
+    for (int j = 0; j < kPerStream; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      EXPECT_EQ(serve::to_jsonl(expected[ks][js]), serve::to_jsonl(live[ks][js]))
+          << "stream " << k << " slot " << j << " (live vs serial)";
+      EXPECT_EQ(serve::to_jsonl(expected[ks][js]), serve::to_jsonl(replayed[ks][js]))
+          << "stream " << k << " slot " << j << " (replay vs serial)";
+    }
+  }
+  EXPECT_EQ(recorder.registry_fits(), 1);  // replicas adopted, never refitted
+}
+
+TEST_F(StreamFixture, PriorityFloodDoesNotStarveOrDropUrgentWork) {
+  // A background flood at the weakest priority and a trickle of urgent
+  // requests: everyone's close() must return every response. (The ordered
+  // queue serves urgent first; starvation-freedom for the flood comes from
+  // close()'s flush-and-drain, which this asserts end to end.)
+  ClusterConfig config = stream_config(1, 0);
+  config.queue_capacity = 16;  // small: the flood keeps the queue saturated
+  ServingCluster cluster(std::move(config), primary_);
+
+  StreamSession flood = cluster.open_stream();
+  StreamSession urgent = cluster.open_stream();
+  const std::vector<AdvisorRequest> flood_reqs = stream_requests(0, 48);
+  const std::vector<AdvisorRequest> urgent_reqs = stream_requests(1, 8);
+
+  std::thread flooder([&flood, &flood_reqs] {
+    for (AdvisorRequest req : flood_reqs) {
+      req.priority = 7;
+      flood.submit(req);
+    }
+  });
+  std::thread sender([&urgent, &urgent_reqs] {
+    for (AdvisorRequest req : urgent_reqs) {
+      req.priority = 0;
+      urgent.submit(req);
+    }
+  });
+  flooder.join();
+  sender.join();
+  const std::vector<AdvisorResponse> urgent_got = urgent.close();
+  const std::vector<AdvisorResponse> flood_got = flood.close();
+
+  ASSERT_EQ(urgent_got.size(), urgent_reqs.size());
+  ASSERT_EQ(flood_got.size(), flood_reqs.size());
+  for (const AdvisorResponse& r : urgent_got) EXPECT_TRUE(r.ok) << r.error;
+  for (const AdvisorResponse& r : flood_got) EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(cluster.metrics().queries,
+            static_cast<long>(flood_reqs.size() + urgent_reqs.size()));
+}
+
+TEST_F(StreamFixture, ShedUnderReplayedOverloadIsDeterministicAndBounded) {
+  // A synthetic 2x-overload schedule: arrivals every service/2 virtual
+  // microseconds, each with a deadline of 6x service. Shedding is a pure
+  // function of (schedule, requests) in replay mode, so two clusters given
+  // the same schedule must shed the same requests — and the shed fraction
+  // must hover near the overload's steady state (half), never 0, never 1.
+  constexpr int kRequests = 160;
+  constexpr long kDeadlineUs = 24;  // 6x the 4us replay service cost
+  AdmissionSchedule schedule;
+  schedule.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i)
+    schedule.push_back({0, static_cast<std::uint64_t>(i),
+                        static_cast<std::int64_t>(2 * i)});
+
+  const std::vector<AdvisorRequest> base = stream_requests(2, kRequests);
+  const auto run_replay = [&schedule, &base]() {
+    ServingCluster cluster(stream_config(1, 0), primary_);
+    cluster.begin_replay(schedule);
+    StreamSession session = cluster.open_stream();
+    for (AdvisorRequest req : base) {
+      req.deadline_us = kDeadlineUs;
+      session.submit(req);
+    }
+    std::vector<AdvisorResponse> responses = session.close();
+    EXPECT_EQ(cluster.metrics().shed_queries,
+              static_cast<long>(std::count_if(
+                  responses.begin(), responses.end(),
+                  [](const AdvisorResponse& r) { return r.shed; })));
+    return responses;
+  };
+
+  const std::vector<AdvisorResponse> first = run_replay();
+  const std::vector<AdvisorResponse> second = run_replay();
+  ASSERT_EQ(first.size(), static_cast<std::size_t>(kRequests));
+  ASSERT_EQ(second.size(), first.size());
+
+  int shed = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(serve::to_jsonl(first[i]), serve::to_jsonl(second[i])) << "slot " << i;
+    if (first[i].shed) {
+      ++shed;
+      EXPECT_FALSE(first[i].ok);
+      EXPECT_NE(first[i].error.find("shed:"), std::string::npos);
+    }
+  }
+  EXPECT_FALSE(first[0].shed);  // an empty backlog always admits
+  EXPECT_GT(shed, kRequests / 4);      // a real 2x overload must shed...
+  EXPECT_LT(shed, 3 * kRequests / 4);  // ...but admit its sustainable half
+}
+
+TEST_F(StreamFixture, CloseFlushesInFlightTailPromptly) {
+  // A long coalescing deadline and a batch size the tail never reaches:
+  // only close()'s kick can flush these five requests promptly.
+  ClusterConfig config = stream_config(1, 0);
+  config.batch_size = 64;
+  config.batch_deadline_ms = 2000.0;
+  ServingCluster cluster(std::move(config), primary_);
+
+  StreamSession session = cluster.open_stream();
+  const std::vector<AdvisorRequest> requests = stream_requests(1, 5);
+  for (const AdvisorRequest& req : requests) session.submit(req);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<AdvisorResponse> responses = session.close();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const AdvisorResponse& r : responses) EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_LT(elapsed, 1.0);  // the 2s coalescing deadline never fired
+  EXPECT_GE(cluster.metrics().kick_flushes, 1);
+}
+
+TEST_F(StreamFixture, SessionLifecycleEdges) {
+  ServingCluster cluster(stream_config(1, 0), primary_);
+  // Closing an empty session returns an empty vector, promptly.
+  StreamSession empty = cluster.open_stream();
+  EXPECT_TRUE(empty.close().empty());
+  EXPECT_FALSE(empty.open());
+
+  // Submit-after-close is a client bug and throws.
+  StreamSession session = cluster.open_stream();
+  session.submit(stream_requests(0, 1)[0]);
+  EXPECT_EQ(session.close().size(), 1u);
+  EXPECT_THROW(session.submit(stream_requests(0, 1)[0]), std::logic_error);
+
+  // serve_batch rides the same pipeline: stream ids keep advancing.
+  cluster.serve_batch(stream_requests(0, 2));
+  EXPECT_EQ(cluster.metrics().streams, 3);
+}
+
+TEST_F(StreamFixture, MetricsStaySaneDuringALiveStream) {
+  // The satellite race fix: metrics() must be callable — and consistent —
+  // while a producer is mid-stream. TSan (the CI matrix) watches the
+  // synchronization; this test watches the values.
+  ServingCluster cluster(stream_config(2, 64), primary_);
+  constexpr int kRequests = 600;
+  std::atomic<bool> done{false};
+
+  std::thread producer([&cluster, &done] {
+    StreamSession session = cluster.open_stream();
+    const std::vector<AdvisorRequest> requests = stream_requests(3, kRequests);
+    for (const AdvisorRequest& req : requests) session.submit(req);
+    session.close();
+    done.store(true);
+  });
+
+  long last_queries = 0;
+  while (!done.load()) {
+    const ClusterMetrics m = cluster.metrics();
+    EXPECT_GE(m.queries, last_queries);  // monotone under one lock
+    EXPECT_LE(m.queries, kRequests);
+    EXPECT_FALSE(m.to_jsonl().empty());
+    last_queries = m.queries;
+  }
+  producer.join();
+  EXPECT_EQ(cluster.metrics().queries, kRequests);
+}
+
+// --- Randomized interleaving fuzz (the TSan job's stress surface) -----------
+
+TEST_F(StreamFixture, FuzzedInterleavingsDeliverEveryResponse) {
+  // Seeded random schedules over concurrent open/submit/close/metrics.
+  // Every submitted request must come back exactly once, whatever the
+  // interleaving; ISR_STRESS_ITERS (default 3) scales the rounds, and a
+  // failure prints its seed for replay.
+  const long rounds = core::env_long("ISR_STRESS_ITERS", 3);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 80;
+
+  for (long seed = 0; seed < rounds; ++seed) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+    ClusterConfig config = stream_config(2, 32);
+    config.queue_capacity = 16;
+    config.batch_deadline_ms = 0.1;
+    ServingCluster cluster(std::move(config), primary_);
+
+    std::atomic<long> submitted{0};
+    std::atomic<long> answered{0};
+    std::atomic<long> shed{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      clients.emplace_back([&, t] {
+        Rng rng(hash_seed(static_cast<std::uint64_t>(seed), t, 0xF022ull));
+        std::vector<StreamSession> open;
+        long mine = 0;
+        const auto close_one = [&](std::size_t idx) {
+          const std::vector<AdvisorResponse> responses = open[idx].close();
+          answered.fetch_add(static_cast<long>(responses.size()));
+          for (const AdvisorResponse& r : responses)
+            if (r.shed) shed.fetch_add(1);
+          open.erase(open.begin() + static_cast<std::ptrdiff_t>(idx));
+        };
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          const int roll = rng.uniform_int(0, 99);
+          if (open.empty() || (roll < 15 && open.size() < 2)) {
+            open.push_back(cluster.open_stream());
+          } else if (roll < 25 && !open.empty()) {
+            close_one(static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(open.size()) - 1)));
+          } else if (roll < 30) {
+            cluster.metrics();
+          } else {
+            AdvisorRequest req;
+            req.arch = rng.uniform_int(0, 1) == 0 ? "CPU1" : "GPU1";
+            if (rng.uniform_int(0, 9) == 0) req.corpus = "ghost";  // unknown
+            req.image_edge = 96 + 8 * rng.uniform_int(0, 11);
+            req.n_per_task = 16 + rng.uniform_int(0, 7);
+            req.priority = rng.uniform_int(0, 7);
+            const int dice = rng.uniform_int(0, 9);
+            if (dice == 0) req.deadline_us = 1;  // likely shed under load
+            else if (dice < 4) req.deadline_us = 100000;
+            open[static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<int>(open.size()) - 1))]
+                .submit(req);
+            ++mine;
+          }
+        }
+        while (!open.empty()) close_one(open.size() - 1);
+        submitted.fetch_add(mine);
+      });
+    for (std::thread& client : clients) client.join();
+
+    EXPECT_EQ(answered.load(), submitted.load());
+    const ClusterMetrics m = cluster.metrics();
+    EXPECT_EQ(m.queries, submitted.load());
+    EXPECT_EQ(m.shed_queries, shed.load());
+  }
+}
+
+}  // namespace
+}  // namespace isr::cluster
