@@ -50,6 +50,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/env.hpp"
+#include "core/fault.hpp"
 #include "serve/advisor.hpp"
 #include "serve/jsonl.hpp"
 
@@ -65,6 +66,7 @@ int usage(const char* argv0) {
                "                      [--corpus NAME=SEED]... [--imbalance-ratio R]\n"
                "                      [--streams N] [--deadline-us D]\n"
                "                      [--record FILE | --replay FILE]\n"
+               "                      [--fault-seed S] [--fault-rate R] [--fault-sites CSV]\n"
                "                      (JSON-lines service on stdin/stdout; defaults come\n"
                "                       from ISR_SHARDS / ISR_CACHE_ENTRIES /\n"
                "                       ISR_IMBALANCE_RATIO / ISR_STREAMS / ISR_DEADLINE_US;\n"
@@ -74,7 +76,13 @@ int usage(const char* argv0) {
                "                       batch over N concurrent stream sessions;\n"
                "                       --deadline-us stamps undeadlined requests;\n"
                "                       --record/--replay save or pin the admission\n"
-               "                       schedule — replay must see the recording's input)\n",
+               "                       schedule — replay must see the recording's input;\n"
+               "                       --fault-seed arms deterministic fault injection\n"
+               "                       (0 = off; default sites: all) at --fault-rate\n"
+               "                       probability per opportunity, --fault-sites a CSV of\n"
+               "                       eval-throw, queue-stall, fit-fail, worker-crash, or\n"
+               "                       all; env: ISR_FAULT_SEED / ISR_FAULT_RATE /\n"
+               "                       ISR_FAULT_SITES / ISR_FAULT_STALL_MS)\n",
                argv0, argv0);
   return 2;
 }
@@ -170,6 +178,10 @@ int main(int argc, char** argv) {
     }
     long deadline_us = core::env_long("ISR_DEADLINE_US", 0, /*require_positive=*/false);
     if (deadline_us < 0) deadline_us = 0;
+    // Deterministic fault injection: env first (ISR_FAULT_*), flags
+    // override. A flag-set seed without explicit sites arms every site,
+    // mirroring FaultConfig::from_env's seed-only behavior.
+    core::FaultConfig fault = core::FaultConfig::from_env();
     std::string record_file, replay_file;
     std::vector<cluster::CorpusConfig> corpora;
     for (int a = 2; a < argc; ++a) {
@@ -237,6 +249,34 @@ int main(int argc, char** argv) {
         record_file = argv[++a];
       } else if (std::strcmp(argv[a], "--replay") == 0 && a + 1 < argc) {
         replay_file = argv[++a];
+      } else if (std::strcmp(argv[a], "--fault-seed") == 0 && a + 1 < argc) {
+        long seed = 0;
+        const core::ParseStatus status = core::parse_long(argv[++a], seed);
+        if (status != core::ParseStatus::kOk || seed < 0) {
+          std::fprintf(stderr, "%s: bad --fault-seed \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk ? "must be >= 0"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
+        fault.seed = static_cast<std::uint64_t>(seed);
+        if (fault.seed != 0 && fault.sites == 0)
+          fault.sites = (1u << core::kFaultSiteCount) - 1u;
+      } else if (std::strcmp(argv[a], "--fault-rate") == 0 && a + 1 < argc) {
+        const core::ParseStatus status =
+            core::parse_double(argv[++a], fault.rate, /*require_positive=*/false);
+        if (status != core::ParseStatus::kOk || fault.rate < 0.0 || fault.rate > 1.0) {
+          std::fprintf(stderr, "%s: bad --fault-rate \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk ? "must be in [0, 1]"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
+      } else if (std::strcmp(argv[a], "--fault-sites") == 0 && a + 1 < argc) {
+        std::string error;
+        if (!core::FaultConfig::parse_sites(argv[++a], fault.sites, error)) {
+          std::fprintf(stderr, "%s: bad --fault-sites \"%s\" (%s)\n", argv[0], argv[a],
+                       error.c_str());
+          return usage(argv[0]);
+        }
       } else {
         return usage(argv[0]);
       }
@@ -253,6 +293,7 @@ int main(int argc, char** argv) {
     config.corpora = std::move(corpora);
     config.rebalance = imbalance_ratio > 0.0;
     config.imbalance_ratio = imbalance_ratio;
+    config.fault = fault;
     cluster::ServingCluster serving(std::move(config));
 
     // Fail fast on schedule-file problems, before any request is served.

@@ -36,6 +36,27 @@ def throughput_fields(record):
     }
 
 
+def load_record(path):
+    """Parse one bench JSON file into a dict, or return (None, reason).
+
+    Every failure mode an interrupted bench or a truncated artifact can
+    produce — unreadable file, invalid JSON, or a JSON value that is not an
+    object — comes back as a one-line reason for a clean FAIL, never a
+    traceback.
+    """
+    try:
+        text = path.read_text()
+    except OSError as err:
+        return None, f"unreadable ({err.strerror or err})"
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as err:
+        return None, f"malformed JSON ({err})"
+    if not isinstance(record, dict):
+        return None, f"expected a JSON object, got {type(record).__name__}"
+    return record, None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", required=True, type=pathlib.Path)
@@ -60,11 +81,14 @@ def main():
             print(f"FAIL {baseline_path.name}: no current result at {current_path}")
             failures += 1
             continue
-        try:
-            baseline = json.loads(baseline_path.read_text())
-            current = json.loads(current_path.read_text())
-        except json.JSONDecodeError as err:
-            print(f"FAIL {baseline_path.name}: malformed JSON ({err})")
+        baseline, reason = load_record(baseline_path)
+        if baseline is None:
+            print(f"FAIL {baseline_path.name}: baseline {reason}")
+            failures += 1
+            continue
+        current, reason = load_record(current_path)
+        if current is None:
+            print(f"FAIL {baseline_path.name}: current result {reason}")
             failures += 1
             continue
 

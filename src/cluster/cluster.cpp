@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "math/rng.hpp"
 
@@ -54,6 +56,19 @@ serve::AdvisorResponse shed_response(long estimated_us, long deadline_us) {
   return r;
 }
 
+// An availability failure's explicit wire answer: not shed (the request
+// was admitted), not a validation error — the cluster could not evaluate
+// it within its fault-tolerance budget. Clients see "degraded":true and a
+// "degraded: ..." reason; these responses are never cached (a cache hit
+// must stay a pure function of the request, and availability is not).
+serve::AdvisorResponse degraded_response(const std::string& why) {
+  serve::AdvisorResponse r;
+  r.ok = false;
+  r.degraded = true;
+  r.error = "degraded: " + why;
+  return r;
+}
+
 }  // namespace
 
 ServingCluster::ServingCluster(ClusterConfig config,
@@ -65,6 +80,7 @@ ServingCluster::ServingCluster(ClusterConfig config,
                             config_.rebalance_window > 0 ? config_.rebalance_window : 1,
                             /*min_hot_load=*/32.0}),
       cache_(config_.cache_entries, config_.cache_ways),
+      faults_(config_.fault),
       epoch_(std::chrono::steady_clock::now()) {
   // Resolve the resident corpora up front: the default first (selector ""),
   // then each valid named corpus. Empty, "default", and duplicate names
@@ -112,12 +128,28 @@ ServingCluster::ServingCluster(ClusterConfig config,
                                               config_.batch_size, deadline,
                                               config_.replay_service_us));
   backlog_end_us_.assign(static_cast<std::size_t>(n_shards), 0.0);
+
+  // Fault-tolerance knobs, sanitized to their invariants.
+  if (config_.retry_limit < 0) config_.retry_limit = 0;
+  if (config_.retry_backoff_us < 0) config_.retry_backoff_us = 0;
+  if (config_.retry_backoff_max_us < config_.retry_backoff_us)
+    config_.retry_backoff_max_us = config_.retry_backoff_us;
+  if (config_.watchdog_poll_us <= 0) config_.watchdog_poll_us = 1000;
+  if (config_.health_recovery_polls < 1) config_.health_recovery_polls = 1;
+  // make_unique value-initializes: every shard starts kHealthy (0), with a
+  // zero suspect counter.
+  health_ = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(n_shards));
+  suspect_ = std::make_unique<std::atomic<long>[]>(static_cast<std::size_t>(n_shards));
 }
 
 ServingCluster::~ServingCluster() {
-  for (const auto& shard : shards_) shard->shutdown();
-  for (std::thread& worker : workers_)
-    if (worker.joinable()) worker.join();
+  // Watchdog first: a restart racing shard teardown must not happen. By
+  // contract every session is closed before destruction, so no in-flight
+  // work depends on the watchdog anymore.
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+  // stop() closes each queue and joins its worker — a crashed one included.
+  for (const auto& shard : shards_) shard->stop();
 }
 
 int ServingCluster::resolve_corpus(const std::string& name) const {
@@ -142,25 +174,52 @@ void ServingCluster::ensure_serving() {
   // cache dedups repeat calls); every shard adopts a replica entry per
   // distinct corpus key (adoption never counts as a fit), so any shard can
   // evaluate any resident corpus — which is what lets the rebalancer place
-  // hot keys anywhere.
+  // hot keys anywhere. A fit that fails — the injected fit-fail site or a
+  // real exception — retries up to the shared retry budget; a corpus whose
+  // fit never lands is marked fit_failed and served explicit degraded
+  // responses instead of crashing boot (corpora sharing its key fail with
+  // it: they would have shared the fit).
   std::set<std::uint64_t> adopted;
-  for (const CorpusState& corpus : corpora_) {
+  std::set<std::uint64_t> failed_keys;
+  for (CorpusState& corpus : corpora_) {
+    if (failed_keys.count(corpus.corpus_key) > 0) {
+      corpus.fit_failed = true;
+      continue;
+    }
     if (!adopted.insert(corpus.corpus_key).second) continue;
-    const serve::FittedModels& bundle = primary_->models_for(corpus.service.calibration);
-    for (const auto& shard : shards_)
-      shard->adopt(bundle, corpus.service.constants, corpus.corpus_key);
+    bool fitted = false;
+    for (int attempt = 0; attempt <= config_.retry_limit && !fitted; ++attempt) {
+      if (faults_.should_fire(core::FaultSite::kCorpusFitFail, corpus.fingerprint,
+                              static_cast<std::uint64_t>(attempt)))
+        continue;
+      try {
+        const serve::FittedModels& bundle =
+            primary_->models_for(corpus.service.calibration);
+        for (const auto& shard : shards_)
+          shard->adopt(bundle, corpus.service.constants, corpus.corpus_key);
+        fitted = true;
+      } catch (const std::exception&) {
+        // Real fit failure: retry — transient by assumption until the
+        // budget says otherwise.
+      }
+    }
+    if (!fitted) {
+      corpus.fit_failed = true;
+      failed_keys.insert(corpus.corpus_key);
+    }
   }
   // Workers start only after every replica is resident: a worker must
-  // never see an item whose corpus_key it cannot resolve.
+  // never see an item whose corpus_key it cannot resolve. Each shard owns
+  // its supervised worker; transient failures flow back through
+  // redeliver(), and the watchdog handles crashes and stalls.
   ResponseCache* cache = cache_.enabled() ? &cache_ : nullptr;
-  workers_.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    Shard* s = shard.get();
-    workers_.emplace_back([s, cache] {
-      while (s->drain_one_batch(cache)) {
-      }
+  core::FaultInjector* faults = faults_.armed() ? &faults_ : nullptr;
+  for (const auto& shard : shards_)
+    shard->start(cache, faults, [this](std::vector<StreamItem>&& items, int from) {
+      redeliver(std::move(items), from);
     });
-  }
+  watchdog_stop_.store(false, std::memory_order_release);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
   serving_ = true;
 }
 
@@ -218,6 +277,15 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   corpus_queries_[static_cast<std::size_t>(corpus_idx)].fetch_add(
       1, std::memory_order_relaxed);
   const CorpusState& corpus = corpora_[static_cast<std::size_t>(corpus_idx)];
+  if (corpus.fit_failed) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    session->deliver(slot, degraded_response(
+                               "corpus \"" +
+                               (corpus.name.empty() ? std::string("default")
+                                                    : corpus.name) +
+                               "\" unavailable: calibration fit failed"));
+    return;
+  }
 
   // Cache before routing and before the deadline check: a hit costs no
   // queue time, so shedding it would refuse work the cluster can do for
@@ -236,6 +304,19 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
     shard_idx = static_cast<std::size_t>(router_.route(corpus.corpus_key, request.arch));
+    // Failover routing: a shard whose worker is down (crash detected, not
+    // yet restarted) is skipped in favor of the first live shard in the
+    // key's deterministic rendezvous order. Placement never changes bytes;
+    // this only keeps fresh admissions off a queue nobody is draining.
+    if (health(shard_idx) == ShardHealth::kDown) {
+      for (const int s : router_.rendezvous_order(corpus.corpus_key, request.arch)) {
+        if (health(static_cast<std::size_t>(s)) != ShardHealth::kDown) {
+          shard_idx = static_cast<std::size_t>(s);
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
 
     // Deadline-aware admission control, the Horvitz & Lengyel budget
     // framing applied to queueing: each shard's backlog_end is the virtual
@@ -265,8 +346,13 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   // Blocking bounded push OUTSIDE the admission lock: backpressure from a
   // full queue stalls this admitter only. Everything order-dependent
   // (shed accounting, admit_seq) is already fixed, and the ordered queue
-  // serves by key, so arrival order cannot change results.
-  shards_[shard_idx]->enqueue(std::move(item));
+  // serves by key, so arrival order cannot change results. A false return
+  // means shutdown raced this admission — the queue will never drain the
+  // item, so answer it here or close() would hang on the owed slot.
+  if (!shards_[shard_idx]->enqueue(std::move(item))) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    session->deliver(slot, degraded_response("cluster shut down before evaluation"));
+  }
 }
 
 // The record/replay admission path: one lock over the whole decision so
@@ -317,6 +403,16 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   corpus_queries_[static_cast<std::size_t>(corpus_idx)].fetch_add(
       1, std::memory_order_relaxed);
   const CorpusState& corpus = corpora_[static_cast<std::size_t>(corpus_idx)];
+  if (corpus.fit_failed) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    session->deliver(slot, degraded_response(
+                               "corpus \"" +
+                               (corpus.name.empty() ? std::string("default")
+                                                    : corpus.name) +
+                               "\" unavailable: calibration fit failed"));
+    return;
+  }
 
   if (cache_.enabled()) {
     serve::AdvisorResponse hit;
@@ -327,8 +423,17 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
     }
   }
 
-  const std::size_t shard_idx = static_cast<std::size_t>(
+  std::size_t shard_idx = static_cast<std::size_t>(
       router_.route(corpus.corpus_key, request.arch));
+  if (health(shard_idx) == ShardHealth::kDown) {
+    for (const int s : router_.rendezvous_order(corpus.corpus_key, request.arch)) {
+      if (health(static_cast<std::size_t>(s)) != ShardHealth::kDown) {
+        shard_idx = static_cast<std::size_t>(s);
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
   const double service_us = replaying_.load(std::memory_order_relaxed)
                                 ? config_.replay_service_us
                                 : shards_[shard_idx]->service_estimate_us();
@@ -351,11 +456,174 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   item.cache_key = std::move(cache_key);
   Shard& shard = *shards_[shard_idx];
   lock.unlock();
-  shard.enqueue(std::move(item));
+  if (!shard.enqueue(std::move(item))) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    session->deliver(slot, degraded_response("cluster shut down before evaluation"));
+  }
 }
 
 void ServingCluster::kick_all() {
   for (const auto& shard : shards_) shard->kick();
+}
+
+void ServingCluster::redeliver(std::vector<StreamItem>&& items, int from_shard) {
+  if (items.empty()) return;
+  // Note the failure burst against the source shard; the watchdog turns it
+  // into a degraded health mark on its next poll.
+  suspect_[static_cast<std::size_t>(from_shard)].fetch_add(1, std::memory_order_relaxed);
+  const bool replaying = replaying_.load(std::memory_order_relaxed);
+  const auto degrade_exhausted = [this](StreamItem& item) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "retry budget exhausted after %d attempts",
+                  config_.retry_limit + 1);
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    item.session->deliver(item.slot, degraded_response(buf));
+  };
+  for (StreamItem& item : items) {
+    // Retry budget first: an item that already triggered retry_limit + 1
+    // faults degrades with a deterministic message (a pure function of the
+    // config, so fixed-seed runs reproduce it byte for byte).
+    if (item.attempt > config_.retry_limit) {
+      degrade_exhausted(item);
+      continue;
+    }
+    // Per-request timeout: a re-driven item whose absolute deadline already
+    // passed degrades now rather than queueing again. Live mode only — the
+    // wall clock is not part of a replayed schedule, and replay's
+    // byte-identity contract outranks timeliness.
+    if (!replaying &&
+        item.deadline_at_us != std::numeric_limits<std::int64_t>::max()) {
+      const std::int64_t now_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - epoch_)
+              .count();
+      if (now_us > item.deadline_at_us) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+        item.session->deliver(item.slot,
+                              degraded_response("deadline exceeded during retry"));
+        continue;
+      }
+    }
+    // Bounded exponential backoff before the re-drive: attempt k waits
+    // min(base << (k-1), max). The shift is clamped so a pathological
+    // retry_limit cannot overflow.
+    if (item.attempt > 0 && config_.retry_backoff_us > 0) {
+      const int shift = item.attempt - 1 < 16 ? item.attempt - 1 : 16;
+      long backoff_us = config_.retry_backoff_us << shift;
+      if (backoff_us > config_.retry_backoff_max_us)
+        backoff_us = config_.retry_backoff_max_us;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    // Failover target: the first live shard other than the one that failed
+    // the item, walking the key's deterministic rendezvous order — the
+    // same permutation hot-key splitting uses, so a key's retry placement
+    // is as stable as its routing.
+    int target = -1;
+    for (const int s : router_.rendezvous_order(item.corpus_key, item.request.arch)) {
+      if (s == from_shard) continue;
+      if (health(static_cast<std::size_t>(s)) == ShardHealth::kDown) continue;
+      target = s;
+      break;
+    }
+    if (target >= 0 &&
+        shards_[static_cast<std::size_t>(target)]->try_enqueue(std::move(item))) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      // Flush promptly: the re-driven item may be a closing stream's last
+      // owed slot, past its kick.
+      shards_[static_cast<std::size_t>(target)]->kick();
+      continue;
+    }
+    // No live alternative (single shard, every sibling down) or the target
+    // queue is full/closed — try_enqueue left the item untouched. Evaluate
+    // inline on the failing shard's replica set: never blocks (a blocking
+    // push from worker/watchdog context could deadlock shards against each
+    // other), and the response is the normal pure bytes, because WHO
+    // evaluates never matters. WHETHER it fails still must: the inline
+    // path walks the same deterministic fault ladder the supervised worker
+    // would have — crash site first, then eval-throw, each consuming the
+    // attempt — or a transiently unreachable sibling would let a request
+    // dodge its scheduled failures and break same-seed byte identity. A
+    // crash firing here cannot kill a worker (this is watchdog or sibling-
+    // worker context); both sites are just transient failures.
+    for (;;) {
+      if (item.attempt > config_.retry_limit) {
+        degrade_exhausted(item);
+        break;
+      }
+      const std::uint64_t stream = item.session->id();
+      const auto attempt = static_cast<std::uint64_t>(item.attempt);
+      if (faults_.armed() &&
+          (faults_.should_fire(core::FaultSite::kWorkerCrash, stream, item.slot,
+                               attempt) ||
+           faults_.should_fire(core::FaultSite::kShardEvalThrow, stream, item.slot,
+                               attempt))) {
+        item.attempt += 1;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      item.session->deliver(
+          item.slot, shards_[static_cast<std::size_t>(from_shard)]->evaluate(item));
+      break;
+    }
+  }
+}
+
+void ServingCluster::watchdog_loop() {
+  const std::size_t n = shards_.size();
+  // Watchdog-local history: last observed heartbeat/suspect count and the
+  // consecutive-clean-poll streak per shard. No other thread needs them.
+  std::vector<std::uint64_t> last_beat(n, 0);
+  std::vector<long> last_suspect(n, 0);
+  std::vector<int> clean(n, 0);
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.watchdog_poll_us));
+    for (std::size_t s = 0; s < n; ++s) {
+      Shard& shard = *shards_[s];
+      if (shard.worker_down()) {
+        // Crash: down while nobody drains the queue (admission routes
+        // around), reclaim the corpse, restart, re-drive the batch it
+        // held. The shard resumes degraded and earns healthy back through
+        // clean polls.
+        health_[s].store(static_cast<int>(ShardHealth::kDown),
+                         std::memory_order_relaxed);
+        worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<StreamItem> held = shard.take_inflight();
+        shard.restart();
+        health_[s].store(static_cast<int>(ShardHealth::kDegraded),
+                         std::memory_order_relaxed);
+        clean[s] = 0;
+        last_beat[s] = shard.heartbeat();
+        last_suspect[s] = suspect_[s].load(std::memory_order_relaxed);
+        if (!held.empty()) redeliver(std::move(held), static_cast<int>(s));
+        continue;
+      }
+      const std::uint64_t beat = shard.heartbeat();
+      const bool advanced = beat != last_beat[s];
+      last_beat[s] = beat;
+      const long suspect = suspect_[s].load(std::memory_order_relaxed);
+      const bool newly_suspect = suspect != last_suspect[s];
+      last_suspect[s] = suspect;
+      // Stalled = heartbeat frozen WITH work pending; an idle worker parked
+      // on an empty queue legitimately stops beating.
+      const bool stalled =
+          !advanced && (shard.queue_depth() > 0 || shard.has_inflight());
+      const int current = health_[s].load(std::memory_order_relaxed);
+      if (stalled || newly_suspect) {
+        if (current == static_cast<int>(ShardHealth::kHealthy))
+          health_[s].store(static_cast<int>(ShardHealth::kDegraded),
+                           std::memory_order_relaxed);
+        clean[s] = 0;
+      } else if (current == static_cast<int>(ShardHealth::kDegraded)) {
+        if (++clean[s] >= config_.health_recovery_polls) {
+          health_[s].store(static_cast<int>(ShardHealth::kHealthy),
+                           std::memory_order_relaxed);
+          clean[s] = 0;
+        }
+      }
+    }
+  }
 }
 
 std::uint64_t StreamSession::submit(const serve::AdvisorRequest& request) {
@@ -421,9 +689,19 @@ ClusterMetrics ServingCluster::metrics() const {
     m.deadline_flushes += s.deadline_flushes;
     m.kick_flushes += s.kick_flushes;
     m.close_flushes += s.close_flushes;
+    m.eval_exceptions += s.eval_exceptions;
     if (shard->max_queue_depth() > m.max_queue_depth)
       m.max_queue_depth = shard->max_queue_depth();
   }
+  m.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
+  m.failovers = failovers_.load(std::memory_order_relaxed);
+  m.retries = retries_.load(std::memory_order_relaxed);
+  m.timeouts = timeouts_.load(std::memory_order_relaxed);
+  m.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  m.faults_injected = faults_.total_fired();
+  m.shard_health.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    m.shard_health.emplace_back(shard_health_name(health(s)));
   m.rebalanced_queries = router_.rebalanced();
   m.cache_lookups = cache_.lookups();
   m.cache_hits = cache_.hits();

@@ -49,6 +49,19 @@
 // shard's replica; registry_fits() == distinct resident fingerprints at
 // any shard count.
 //
+// Fault tolerance (PR 7): shard workers are supervised — evaluation
+// exceptions become in-slot error responses, a heartbeat watchdog restarts
+// crashed workers and re-drives the batch they held, and transient
+// failures retry with bounded exponential backoff against the next shard
+// in the key's rendezvous order (routing around shards marked down),
+// degrading explicitly ("degraded":true on the wire) once the retry budget
+// or the request deadline is spent. Every fault is deterministic: the
+// core::FaultInjector keys each decision on (stream id, per-stream seq,
+// attempt), so a fixed ISR_FAULT_SEED reproduces the same failures — and
+// the same degraded bytes under --replay — at any thread count, while a
+// disarmed injector (the default) leaves every fault branch dead and the
+// byte-identity contract above untouched.
+//
 // Locking, in admission order (no path holds two of these at once except
 // admission -> a session's own mutex inside deliver):
 //   admission_mutex_ — the order-dependent heart: routing (the router's
@@ -78,6 +91,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/fault.hpp"
 
 #include "cluster/cache.hpp"
 #include "cluster/metrics.hpp"
@@ -141,6 +156,29 @@ struct ClusterConfig {
   // cost replay mode charges (keeping shed decisions a pure function of
   // the schedule), and the live EWMA estimator's starting value.
   double replay_service_us = 4.0;
+
+  // --- Fault tolerance ---------------------------------------------------
+  // Deterministic fault injection (core/fault.hpp): disarmed by default
+  // (seed 0), in which case every fault branch below is dead and responses
+  // are byte-identical to a cluster without the subsystem. Populate from
+  // the ISR_FAULT_* environment via core::FaultConfig::from_env().
+  core::FaultConfig fault;
+  // How many times one request may be re-driven after transient failures
+  // (injected eval throws, worker crashes) before the cluster answers an
+  // explicit degraded response instead. The first attempt is not a retry:
+  // a request is tried at most retry_limit + 1 times.
+  int retry_limit = 2;
+  // Exponential backoff before each re-drive: attempt k sleeps
+  // min(retry_backoff_us << (k-1), retry_backoff_max_us) microseconds.
+  long retry_backoff_us = 50;
+  long retry_backoff_max_us = 2000;
+  // Heartbeat watchdog poll period. Each poll checks every shard for a
+  // crashed worker (restart + re-drive) or a stalled one (stale heartbeat
+  // with work pending -> degraded).
+  long watchdog_poll_us = 1000;
+  // Consecutive clean polls before a degraded shard is promoted back to
+  // healthy.
+  int health_recovery_polls = 4;
 };
 
 class ServingCluster {
@@ -217,6 +255,11 @@ class ServingCluster {
     serve::ServiceConfig service;
     std::uint64_t fingerprint = 0;
     std::uint64_t corpus_key = 0;
+    // Calibration fit failed (injected or real) even after retry_limit + 1
+    // attempts at replication time: the corpus stays resident but every
+    // request for it is answered with an explicit degraded response —
+    // a broken corpus must not crash boot or hang its clients.
+    bool fit_failed = false;
   };
 
   // Fit-once-replicate-everywhere, then start one worker thread per shard.
@@ -241,15 +284,51 @@ class ServingCluster {
   // Index into corpora_ for a request's selector, or -1 when unknown.
   int resolve_corpus(const std::string& name) const;
 
+  // The failover/retry path (shard FailureHandler + watchdog re-drive):
+  // each item either re-enqueues on the next live shard in its key's
+  // rendezvous order (bounded exponential backoff, retries_/failovers_
+  // accounting), is evaluated inline when every queue route is saturated
+  // (pure bytes — WHO evaluates never matters), or — once its retry budget
+  // is spent or its deadline passed — receives an explicit degraded
+  // response. Never blocks on a queue, so it is deadlock-free from worker
+  // and watchdog context alike.
+  void redeliver(std::vector<StreamItem>&& items, int from_shard);
+
+  // The heartbeat watchdog: polls every shard each watchdog_poll_us,
+  // restarts crashed workers (re-driving the batch they held), marks
+  // stalled or failing shards degraded, and promotes them back to healthy
+  // after health_recovery_polls clean polls. The only writer of health_.
+  void watchdog_loop();
+
+  ShardHealth health(std::size_t shard) const {
+    return static_cast<ShardHealth>(health_[shard].load(std::memory_order_relaxed));
+  }
+
   ClusterConfig config_;
   std::vector<CorpusState> corpora_;  // [0] is the default corpus
   std::shared_ptr<serve::ModelRegistry> primary_;
   Router router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ResponseCache cache_;
-  std::vector<std::thread> workers_;  // one per shard, started lazily
   bool serving_ = false;
   std::mutex serving_mutex_;
+
+  // Fault-tolerance state. health_ is written by the watchdog only and
+  // read (relaxed) by admission/failover — a stale read routes to a shard
+  // about to be marked down, which the retry path then absorbs; bytes are
+  // placement-independent either way. suspect_ counts transient failures
+  // per shard (bumped by redeliver) so the watchdog notices failure bursts
+  // between polls.
+  core::FaultInjector faults_;
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::unique_ptr<std::atomic<int>[]> health_;   // ShardHealth per shard
+  std::unique_ptr<std::atomic<long>[]> suspect_; // transient failures per shard
+  std::atomic<long> worker_restarts_{0};
+  std::atomic<long> failovers_{0};
+  std::atomic<long> retries_{0};
+  std::atomic<long> timeouts_{0};
+  std::atomic<long> degraded_queries_{0};
 
   // Admission state (all under admission_mutex_). backlog_end_us_ is the
   // virtual time each shard's queue drains at: admission advances it by

@@ -43,27 +43,42 @@ std::string ClusterMetrics::to_jsonl() const {
   }
   corpus_map += "}";
 
+  // Per-shard health as a JSON string array, shard order.
+  std::string health_list = "[";
+  for (std::size_t s = 0; s < shard_health.size(); ++s) {
+    health_list += s == 0 ? "\"" : ",\"";
+    health_list += serve::json_escape(shard_health[s]);
+    health_list += "\"";
+  }
+  health_list += "]";
+
   const char* fmt =
       "{\"shards\":%d,\"queries\":%ld,\"shard_queries\":%s,"
       "\"corpus_queries\":%s,\"unknown_corpus_queries\":%ld,"
       "\"streams\":%ld,\"shed_queries\":%ld,"
       "\"rebalanced_queries\":%ld,\"hot_keys\":%d,"
       "\"cache_lookups\":%ld,\"cache_hits\":%ld,\"cache_hit_rate\":%.6f,"
+      "\"worker_restarts\":%ld,\"failovers\":%ld,\"retries\":%ld,"
+      "\"timeouts\":%ld,\"degraded_queries\":%ld,\"eval_exceptions\":%ld,"
+      "\"faults_injected\":%ld,\"shard_health\":%s,"
       "\"batches\":%ld,\"size_flushes\":%ld,\"deadline_flushes\":%ld,"
       "\"kick_flushes\":%ld,\"close_flushes\":%ld,\"max_queue_depth\":%zu,"
       "\"p50_latency_ms\":%.6f,\"p99_latency_ms\":%.6f}";
   // Two-pass snprintf into an exactly-sized string, as in study.cpp.
-  const int len = std::snprintf(nullptr, 0, fmt, shards, queries, shard_list.c_str(),
-                                corpus_map.c_str(), unknown_corpus_queries, streams,
-                                shed_queries, rebalanced_queries, hot_keys, cache_lookups,
-                                cache_hits, cache_hit_rate, batches, size_flushes,
-                                deadline_flushes, kick_flushes, close_flushes,
-                                max_queue_depth, p50_latency_ms, p99_latency_ms);
+  const int len = std::snprintf(
+      nullptr, 0, fmt, shards, queries, shard_list.c_str(), corpus_map.c_str(),
+      unknown_corpus_queries, streams, shed_queries, rebalanced_queries, hot_keys,
+      cache_lookups, cache_hits, cache_hit_rate, worker_restarts, failovers, retries,
+      timeouts, degraded_queries, eval_exceptions, faults_injected,
+      health_list.c_str(), batches, size_flushes, deadline_flushes, kick_flushes,
+      close_flushes, max_queue_depth, p50_latency_ms, p99_latency_ms);
   std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
   std::snprintf(&line[0], line.size() + 1, fmt, shards, queries, shard_list.c_str(),
                 corpus_map.c_str(), unknown_corpus_queries, streams, shed_queries,
                 rebalanced_queries, hot_keys, cache_lookups, cache_hits, cache_hit_rate,
-                batches, size_flushes, deadline_flushes, kick_flushes, close_flushes,
+                worker_restarts, failovers, retries, timeouts, degraded_queries,
+                eval_exceptions, faults_injected, health_list.c_str(), batches,
+                size_flushes, deadline_flushes, kick_flushes, close_flushes,
                 max_queue_depth, p50_latency_ms, p99_latency_ms);
   return line;
 }

@@ -40,6 +40,30 @@ int Router::shard_for(std::uint64_t corpus_fingerprint, const std::string& arch)
   return ring_successor(hash_seed(corpus_fingerprint, arch));
 }
 
+namespace {
+
+// The shared rendezvous computation: shards sorted by their per-key hash
+// score, a deterministic per-key permutation of [0, shards).
+std::vector<int> rendezvous_for(std::uint64_t key, int shards) {
+  std::vector<int> order(static_cast<std::size_t>(shards));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::uint64_t> score(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s)
+    score[static_cast<std::size_t>(s)] =
+        hash_seed(kRendezvousSalt, key, static_cast<std::uint64_t>(s));
+  std::sort(order.begin(), order.end(), [&score](int a, int b) {
+    return score[static_cast<std::size_t>(a)] > score[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> Router::rendezvous_order(std::uint64_t corpus_fingerprint,
+                                          const std::string& arch) const {
+  return rendezvous_for(hash_seed(corpus_fingerprint, arch), shards_);
+}
+
 bool Router::is_hot(double load) const {
   return load >= options_.min_hot_load &&
          load > options_.imbalance_ratio * (total_load_ / static_cast<double>(shards_));
@@ -80,19 +104,7 @@ int Router::route(std::uint64_t corpus_fingerprint, const std::string& arch) {
   // per-key permutation of all shards), round-robin per request. The
   // cursor — not a random draw — keeps a fixed request sequence's shard
   // loads reproducible, which bench_multicorpus_throughput measures.
-  if (entry.rendezvous.empty()) {
-    entry.rendezvous.resize(static_cast<std::size_t>(shards_));
-    std::iota(entry.rendezvous.begin(), entry.rendezvous.end(), 0);
-    std::vector<std::uint64_t> score(static_cast<std::size_t>(shards_));
-    for (int s = 0; s < shards_; ++s)
-      score[static_cast<std::size_t>(s)] =
-          hash_seed(kRendezvousSalt, key, static_cast<std::uint64_t>(s));
-    std::sort(entry.rendezvous.begin(), entry.rendezvous.end(),
-              [&score](int a, int b) {
-                return score[static_cast<std::size_t>(a)] >
-                       score[static_cast<std::size_t>(b)];
-              });
-  }
+  if (entry.rendezvous.empty()) entry.rendezvous = rendezvous_for(key, shards_);
   const std::size_t pick = entry.rr++ % static_cast<std::size_t>(shards_);
   const int shard = entry.rendezvous[pick];
   // ~1/shards of the round-robin picks are the home shard itself; only the

@@ -1,5 +1,7 @@
 #include "cluster/shard.hpp"
 
+#include <utility>
+
 #include "cluster/cache.hpp"
 
 namespace isr::cluster {
@@ -10,6 +12,15 @@ namespace {
 constexpr std::size_t kShardLatencyWindow = 65536;
 }  // namespace
 
+const char* shard_health_name(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kDegraded: return "degraded";
+    case ShardHealth::kDown: return "down";
+  }
+  return "?";
+}
+
 Shard::Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
              std::chrono::nanoseconds batch_deadline, double initial_service_us)
     : index_(index),
@@ -18,6 +29,8 @@ Shard::Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
       registry_(std::make_unique<serve::ModelRegistry>()),
       queue_(queue_capacity),
       service_estimate_us_(initial_service_us > 0.0 ? initial_service_us : 1.0) {}
+
+Shard::~Shard() { stop(); }
 
 void Shard::adopt(const serve::FittedModels& bundle,
                   const model::MappingConstants& constants, std::uint64_t corpus_key) {
@@ -31,69 +44,221 @@ void Shard::adopt(const serve::FittedModels& bundle,
   replicas_.emplace(corpus_key, replica);
 }
 
-bool Shard::drain_one_batch(ResponseCache* cache) {
+void Shard::start(ResponseCache* cache, core::FaultInjector* faults,
+                  FailureHandler on_failed) {
+  cache_ = cache;
+  faults_ = faults && faults->armed() ? faults : nullptr;
+  on_failed_ = std::move(on_failed);
+  crashed_.store(false, std::memory_order_release);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void Shard::stop() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Shard::worker_loop() {
+  std::vector<StreamItem> failed;
+  for (;;) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    failed.clear();
+    const DrainStatus status = drain_one_batch(failed);
+    if (status == DrainStatus::kCrashed) {
+      // The batch (failed items included) is parked in the in-flight
+      // ledger; the watchdog re-drives ALL of it, so dispatching `failed`
+      // here would double-deliver. The release store publishes the bumped
+      // attempt the watchdog's take_inflight() must see.
+      crashed_.store(true, std::memory_order_release);
+      return;
+    }
+    if (!failed.empty()) {
+      if (on_failed_) {
+        on_failed_(std::move(failed), index_);
+        failed.clear();  // restore a known state after the move
+      } else {
+        // No failover wiring (a bare shard in tests): answer in place so
+        // the delivery guarantee holds regardless.
+        for (StreamItem& item : failed) item.session->deliver(item.slot, evaluate(item));
+        failed.clear();
+      }
+    }
+    if (status == DrainStatus::kStop) return;
+  }
+}
+
+serve::AdvisorResponse Shard::evaluate(const StreamItem& item) {
+  serve::AdvisorResponse response;
+  const auto replica = replicas_.find(item.corpus_key);
+  // The cluster only admits requests for resolved resident corpora, so the
+  // miss branch is a defensive invariant, not a code path.
+  if (replica == replicas_.end()) {
+    response.ok = false;
+    response.error = "corpus bundle not resident on shard";
+    return response;
+  }
+  // An evaluation that throws becomes an in-slot error response — never a
+  // dead worker. The message is a pure function of the exception, which is
+  // itself a pure function of (request, models), so the bytes stay
+  // deterministic.
+  try {
+    response = serve::answer_request(*replica->second.fitted,
+                                     replica->second.constants, item.request);
+  } catch (const std::exception& e) {
+    response = serve::AdvisorResponse{};
+    response.ok = false;
+    response.error = std::string("evaluation failed: ") + e.what();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.eval_exceptions += 1;
+  } catch (...) {
+    response = serve::AdvisorResponse{};
+    response.ok = false;
+    response.error = "evaluation failed: unknown exception";
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.eval_exceptions += 1;
+  }
+  return response;
+}
+
+Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
   std::vector<StreamItem> batch;
   const core::BatchFlush flush = queue_.pop_batch(batch_size_, batch_deadline_, batch);
-  if (flush == core::BatchFlush::kEmpty) return false;
+  if (flush == core::BatchFlush::kEmpty) return DrainStatus::kStop;
   // A kick can race the worker draining the queue empty; that is not a
   // batch — record nothing and keep watching the queue.
-  if (batch.empty()) return true;
+  if (batch.empty()) return DrainStatus::kContinue;
+
+  // Park the whole batch in the in-flight ledger BEFORE evaluating any of
+  // it: from here until the ledger is cleared after delivery, a crash can
+  // lose nothing — the watchdog re-drives exactly what was held.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_ = batch;
+  }
+
+  // Injected stall, keyed on the batch head's identity: the worker sleeps
+  // mid-drain with work parked, the heartbeat goes stale, and the watchdog
+  // marks the shard degraded. Purely a liveness disturbance — every item
+  // still evaluates to its normal bytes afterwards.
+  if (faults_ &&
+      faults_->should_fire(core::FaultSite::kQueueStall, batch.front().session->id(),
+                           batch.front().slot,
+                           static_cast<std::uint64_t>(batch.front().attempt)))
+    std::this_thread::sleep_for(std::chrono::milliseconds(faults_->config().stall_ms));
 
   // Evaluate outside any lock: responses are pure functions of
-  // (request, fitted models), and each item owns its session slot. The
-  // cluster only admits requests for resolved resident corpora, so the
-  // replica lookup cannot miss — the branch is a defensive invariant, not
-  // a code path.
+  // (request, fitted models), and each item owns its session slot.
   const auto eval_start = std::chrono::steady_clock::now();
-  std::vector<serve::AdvisorResponse> responses;
-  responses.reserve(batch.size());
-  for (const StreamItem& item : batch) {
-    serve::AdvisorResponse response;
-    const auto replica = replicas_.find(item.corpus_key);
-    if (replica == replicas_.end()) {
-      response.ok = false;
-      response.error = "corpus bundle not resident on shard";
-    } else {
-      response = serve::answer_request(*replica->second.fitted,
-                                       replica->second.constants, item.request);
+  std::vector<serve::AdvisorResponse> responses(batch.size());
+  std::vector<char> transient(batch.size(), 0);
+  std::size_t evaluated = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const StreamItem& item = batch[i];
+    const std::uint64_t stream = item.session->id();
+    const std::uint64_t seq = item.slot;
+    const auto attempt = static_cast<std::uint64_t>(item.attempt);
+    if (faults_ &&
+        faults_->should_fire(core::FaultSite::kWorkerCrash, stream, seq, attempt)) {
+      // Simulated crash: the thread dies mid-batch, delivering and counting
+      // NOTHING — earlier evaluations of this batch are discarded and
+      // redone on re-drive (same bytes; they are pure). Only the item that
+      // personally triggered the crash advances its attempt, so co-batched
+      // items re-run under their unchanged fault schedule — batch
+      // composition is interleaving-dependent, their decisions must not be.
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_[i].attempt += 1;
+      return DrainStatus::kCrashed;
     }
-    if (cache) cache->insert(item.cache_key, response);
-    responses.push_back(std::move(response));
+    if (faults_ &&
+        faults_->should_fire(core::FaultSite::kShardEvalThrow, stream, seq, attempt)) {
+      // Injected transient failure: not delivered, not cached, not counted
+      // here — handed (attempt advanced) to the cluster for retry/failover.
+      transient[i] = 1;
+      continue;
+    }
+    responses[i] = evaluate(item);
+    ++evaluated;
+    // Degraded responses never reach this path (the cluster delivers them
+    // directly), so everything evaluated here is cache-safe: a pure
+    // function of the request.
+    if (cache_) cache_->insert(item.cache_key, responses[i]);
   }
   const auto now = std::chrono::steady_clock::now();
 
-  // Feed the live shed estimator: EWMA of measured microseconds per
-  // request. Relaxed read-modify-write — concurrent metrics readers see a
-  // slightly stale estimate at worst.
-  const double measured_us =
-      std::chrono::duration<double, std::micro>(now - eval_start).count() /
-      static_cast<double>(batch.size());
-  const double old = service_estimate_us_.load(std::memory_order_relaxed);
-  service_estimate_us_.store(0.8 * old + 0.2 * measured_us, std::memory_order_relaxed);
+  if (evaluated > 0) {
+    // Feed the live shed estimator: EWMA of measured microseconds per
+    // request. Relaxed read-modify-write — concurrent metrics readers see a
+    // slightly stale estimate at worst.
+    const double measured_us =
+        std::chrono::duration<double, std::micro>(now - eval_start).count() /
+        static_cast<double>(evaluated);
+    const double old = service_estimate_us_.load(std::memory_order_relaxed);
+    service_estimate_us_.store(0.8 * old + 0.2 * measured_us,
+                               std::memory_order_relaxed);
+  }
 
   // Account the batch BEFORE delivering: the final delivery may wake a
   // close()d session whose client immediately reads metrics(), and the
-  // flush that carried its responses must already be counted.
+  // flush that carried its responses must already be counted. Only
+  // delivered items count as queries; transient failures are the failover
+  // path's to account.
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.queries += static_cast<long>(batch.size());
+    stats_.queries += static_cast<long>(evaluated);
     stats_.batches += 1;
     if (flush == core::BatchFlush::kSize) stats_.size_flushes += 1;
     else if (flush == core::BatchFlush::kDeadline) stats_.deadline_flushes += 1;
     else if (flush == core::BatchFlush::kKicked) stats_.kick_flushes += 1;
     else stats_.close_flushes += 1;
-    for (const StreamItem& item : batch)
-      latencies_ms_.push_back(
-          std::chrono::duration<double, std::milli>(now - item.enqueued).count());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      if (!transient[i])
+        latencies_ms_.push_back(std::chrono::duration<double, std::milli>(
+                                    now - batch[i].enqueued)
+                                    .count());
     if (latencies_ms_.size() > kShardLatencyWindow)
       latencies_ms_.erase(latencies_ms_.begin(),
                           latencies_ms_.begin() +
                               static_cast<std::ptrdiff_t>(latencies_ms_.size() / 2));
   }
 
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    batch[i].session->deliver(batch[i].slot, std::move(responses[i]));
-  return true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (transient[i]) {
+      StreamItem item = std::move(batch[i]);
+      item.attempt += 1;
+      failed.push_back(std::move(item));
+    } else {
+      batch[i].session->deliver(batch[i].slot, std::move(responses[i]));
+    }
+  }
+
+  // Everything in the batch is now either delivered or owned by `failed`;
+  // a crash after this point (there is none — no fault site remains) could
+  // no longer lose work. Clear the ledger.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.clear();
+  }
+  return DrainStatus::kContinue;
+}
+
+std::vector<StreamItem> Shard::take_inflight() {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  std::vector<StreamItem> out = std::move(inflight_);
+  inflight_.clear();
+  return out;
+}
+
+bool Shard::has_inflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  return !inflight_.empty();
+}
+
+void Shard::restart() {
+  // The crashed thread has already returned from worker_loop; join reclaims
+  // it immediately. A fresh worker resumes over the same queue and wiring.
+  if (worker_.joinable()) worker_.join();
+  crashed_.store(false, std::memory_order_release);
+  worker_ = std::thread([this] { worker_loop(); });
 }
 
 ShardStats Shard::stats() const {

@@ -3,27 +3,36 @@
 // once; every shard adopts a copy of each fitted bundle, so a cluster
 // performs exactly one fit per distinct corpus fingerprint no matter how
 // many shards it runs), fed by a bounded core::OrderedBatchQueue the
-// cluster's admission path pushes StreamItems into. The shard's dedicated
-// worker thread drains coalesced batches — flushed on batch size, on the
-// coalescing deadline, on a kick (a closing stream flushing its in-flight
-// tail), or on shutdown — in strict-priority/EDF order, evaluates each
-// item through serve::answer_request against the fingerprint-selected
-// replica bundle, and delivers the response into the item's session slot
-// (and, on a miss path, into the shared response cache). Full replication
-// is what makes hot-key rebalancing free: any shard can evaluate any
-// (corpus, arch) request.
+// cluster's admission path pushes StreamItems into. The shard OWNS its
+// dedicated worker thread (start()/stop()) and is SUPERVISED: the worker
+// drains coalesced batches — flushed on batch size, on the coalescing
+// deadline, on a kick (a closing stream flushing its in-flight tail), or
+// on shutdown — in strict-priority/EDF order and evaluates each item
+// through serve::answer_request against the fingerprint-selected replica
+// bundle, but an evaluation that throws becomes an in-slot error response
+// (never a dead thread), an injected transient failure hands the item to
+// the cluster's failure handler for retry/failover, and a (simulated)
+// worker crash parks the undelivered batch in an in-flight ledger the
+// heartbeat watchdog re-drives after restart() — which is what makes
+// StreamSession::close() un-hangable: every admitted item is always
+// delivered by SOMEONE. Full replication is what makes hot-key
+// rebalancing and failover free: any shard can evaluate any
+// (corpus, arch) request, so placement never changes response bytes.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/batch_queue.hpp"
+#include "core/fault.hpp"
 #include "cluster/stream.hpp"
 #include "serve/registry.hpp"
 
@@ -31,20 +40,39 @@ namespace isr::cluster {
 
 class ResponseCache;
 
+// Per-shard health as the router/admission path sees it:
+//   healthy  — worker alive, heartbeat advancing, no recent failures.
+//   degraded — alive but suspect: freshly restarted, stalled mid-drain,
+//              or a recent transient failure; still routable.
+//   down     — worker crashed and not yet restarted; admission and
+//              failover route around it.
+enum class ShardHealth : int { kHealthy = 0, kDegraded = 1, kDown = 2 };
+const char* shard_health_name(ShardHealth health);
+
+// Items the worker could not answer in place (injected transient
+// failures): the cluster's handler retries them against the next shard in
+// their key's rendezvous order, or degrades them once the retry budget is
+// spent. `from_shard` is the shard that failed them.
+using FailureHandler = std::function<void(std::vector<StreamItem>&&, int from_shard)>;
+
 // Per-shard counters, merged into ClusterMetrics by the cluster.
 struct ShardStats {
-  long queries = 0;  // requests this shard evaluated
+  long queries = 0;  // requests this shard evaluated AND delivered
   long batches = 0;
   long size_flushes = 0;
   long deadline_flushes = 0;
   long kick_flushes = 0;  // partial batches flushed by a closing stream
   long close_flushes = 0;
+  long eval_exceptions = 0;  // evaluations that threw (answered in-slot)
 };
 
 class Shard {
  public:
   Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
         std::chrono::nanoseconds batch_deadline, double initial_service_us);
+  // Joins the worker if the owner forgot stop(); sessions are closed by
+  // then per the cluster contract, so nothing can be in flight.
+  ~Shard();
 
   int index() const { return index_; }
 
@@ -61,24 +89,53 @@ class Shard {
   // Resident replica count (distinct corpus keys adopted so far).
   std::size_t resident_corpora() const { return replicas_.size(); }
 
+  // Starts the dedicated worker thread. `faults` (nullable) injects the
+  // deterministic chaos schedule; `on_failed` (nullable) receives items
+  // that failed transiently. Call once, after every replica is adopted.
+  void start(ResponseCache* cache, core::FaultInjector* faults, FailureHandler on_failed);
+  // Closes the queue (shutdown()) and joins the worker — including a
+  // crashed one the watchdog never got to.
+  void stop();
+
   // Admission: blocking bounded push (admitters are client threads; the
   // cluster sheds at admission time, so a full queue means "wait", never
-  // "help drain"). Returns false only after shutdown. kick() flushes the
-  // current partial batch to the worker — a closing stream's in-flight
-  // tail must not wait out the coalescing deadline.
+  // "help drain"). Returns false only after shutdown — the caller must
+  // then answer the item itself (deliver an error), or close() would hang.
+  // kick() flushes the current partial batch to the worker — a closing
+  // stream's in-flight tail must not wait out the coalescing deadline.
   bool enqueue(StreamItem&& item) { return queue_.push(std::move(item)); }
+  // Non-blocking variant for the failover path: workers and the watchdog
+  // re-drive items with this (falling back to inline evaluation on a full
+  // queue), because a blocking push from a worker into a sibling's full
+  // queue could deadlock two shards against each other.
+  bool try_enqueue(StreamItem&& item) { return queue_.try_push(std::move(item)); }
   void kick() { queue_.kick(); }
   // No more admissions, ever: the worker drains what remains and stops.
   void shutdown() { queue_.close(); }
 
-  // Drains and evaluates ONE coalesced batch in scheduling order:
-  // responses are delivered into each item's session slot, evaluated
-  // responses are inserted into `cache` (when non-null and enabled),
-  // per-request latencies and the service-time estimate are recorded.
-  // Returns false when the queue is shut down and empty — the worker's
-  // stop signal. Single-consumer by convention (one worker thread per
-  // shard), though nothing here would break under a second drainer.
-  bool drain_one_batch(ResponseCache* cache);
+  // The pure per-item evaluation (replica lookup + serve::answer_request),
+  // exceptions converted to in-slot error responses. Public so the
+  // cluster's failover path can evaluate inline when every queue route is
+  // saturated — the response is a pure function of (request, models), so
+  // WHO evaluates never changes the bytes.
+  serve::AdvisorResponse evaluate(const StreamItem& item);
+
+  // --- Supervision surface (the cluster's heartbeat watchdog) -----------
+  // Monotone liveness counter, bumped once per worker loop iteration; a
+  // stale heartbeat with work pending means the worker is stalled.
+  std::uint64_t heartbeat() const { return heartbeat_.load(std::memory_order_relaxed); }
+  // True when the worker thread died mid-batch (injected crash). The
+  // watchdog must take_inflight() and restart().
+  bool worker_down() const { return crashed_.load(std::memory_order_acquire); }
+  // The undelivered batch a crashed worker held. Empty once re-driven.
+  std::vector<StreamItem> take_inflight();
+  // True while a popped batch awaits delivery. Paired with a stale
+  // heartbeat it distinguishes "stalled mid-batch" from "idle at an empty
+  // queue" (an idle worker blocks in pop and legitimately stops beating).
+  bool has_inflight() const;
+  // Joins the dead thread and spawns a fresh worker over the same queue.
+  // Only meaningful after worker_down(); counts are the caller's job.
+  void restart();
 
   // Live shed accounting reads this: an EWMA of measured per-request
   // evaluation cost in microseconds. Relaxed atomics — a lost update skews
@@ -106,6 +163,14 @@ class Shard {
     model::MappingConstants constants;
   };
 
+  // Why one drain iteration ended: keep going, queue closed-and-empty
+  // (normal worker exit), or an injected crash (the thread dies and the
+  // watchdog takes over).
+  enum class DrainStatus { kContinue, kStop, kCrashed };
+
+  void worker_loop();
+  DrainStatus drain_one_batch(std::vector<StreamItem>& failed);
+
   int index_;
   std::size_t batch_size_;
   std::chrono::nanoseconds batch_deadline_;
@@ -113,6 +178,20 @@ class Shard {
   std::map<std::uint64_t, Replica> replicas_;  // corpus key -> replica
   core::OrderedBatchQueue<StreamItem, StreamBefore> queue_;
   std::atomic<double> service_estimate_us_;
+
+  // Wiring fixed by start() before the worker exists; restart() reuses it.
+  ResponseCache* cache_ = nullptr;
+  core::FaultInjector* faults_ = nullptr;
+  FailureHandler on_failed_;
+  std::thread worker_;
+
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> crashed_{false};
+  // The batch currently being evaluated, parked here from pop until the
+  // delivery loop finishes so a crash can never lose work. Guarded by its
+  // own mutex: the watchdog reads it while the (dead) worker cannot.
+  mutable std::mutex inflight_mutex_;
+  std::vector<StreamItem> inflight_;
 
   mutable std::mutex stats_mutex_;
   ShardStats stats_;

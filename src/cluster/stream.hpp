@@ -103,6 +103,14 @@ struct StreamItem {
   std::uint64_t admit_seq = 0;
   std::string cache_key;
   std::chrono::steady_clock::time_point enqueued;  // latency clock start
+  // Fault-tolerance bookkeeping: how many injected faults THIS item has
+  // personally triggered (eval throws, worker crashes). Part of the fault
+  // injector's decision key — (stream, seq, attempt) — so a re-driven item
+  // draws a fresh deterministic decision instead of refiring forever, and
+  // an item merely co-batched with a crasher keeps its attempt (and its
+  // schedule) unchanged. Exceeding the cluster's retry limit turns the
+  // item into an explicit degraded response.
+  int attempt = 0;
 };
 
 // The serving order: strict across priority classes (0 preempts 7 even

@@ -1,5 +1,6 @@
 #include "serve/advisor.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/parallel_for.hpp"
@@ -42,7 +43,12 @@ AdvisorResponse answer_request(const FittedModels& fitted,
   if (req.n_per_task <= 0) return error_response("n_per_task must be > 0");
   if (req.tasks <= 0) return error_response("tasks must be > 0");
   if (req.image_edge <= 0) return error_response("image_edge must be > 0");
-  if (!(req.budget_seconds >= 0.0)) return error_response("budget_seconds must be >= 0");
+  // Finiteness before sign: a NaN or +/-inf budget must be rejected here —
+  // +inf satisfies ">= 0" and would reach a float->long cast (UB), and the
+  // C++ API can be called with values the wire-format parser never admits.
+  if (!std::isfinite(req.budget_seconds))
+    return error_response("budget_seconds must be finite");
+  if (req.budget_seconds < 0.0) return error_response("budget_seconds must be >= 0");
   if (req.frames <= 0) return error_response("frames must be > 0");
 
   const model::PerfModel* m = fitted.find(req.arch, req.renderer);
@@ -80,7 +86,8 @@ AdvisorResponse answer_request(const FittedModels& fitted,
 }
 
 bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b) {
-  return a.ok == b.ok && a.shed == b.shed && a.error == b.error &&
+  return a.ok == b.ok && a.shed == b.shed && a.degraded == b.degraded &&
+         a.error == b.error &&
          a.frame_seconds == b.frame_seconds &&
          a.build_seconds == b.build_seconds && a.images_in_budget == b.images_in_budget &&
          a.has_verdict == b.has_verdict && a.rt_seconds == b.rt_seconds &&
@@ -89,11 +96,13 @@ bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b) {
 }
 
 std::string to_jsonl(const AdvisorResponse& r) {
-  // Shed responses carry an explicit marker clients can branch on without
-  // parsing the error text; ordinary errors keep their historical bytes.
+  // Shed and degraded responses carry explicit markers clients can branch
+  // on without parsing the error text; ordinary errors keep their
+  // historical bytes.
   if (!r.ok)
     return std::string("{\"ok\":false,") + (r.shed ? "\"shed\":true," : "") +
-           "\"error\":\"" + json_escape(r.error) + "\"}";
+           (r.degraded ? "\"degraded\":true," : "") + "\"error\":\"" +
+           json_escape(r.error) + "\"}";
   const char* recommendation =
       r.has_verdict ? (r.prefer_ray_tracing ? "raytrace" : "rasterize") : "";
   // Two-pass snprintf into an exactly-sized string, as in study.cpp.

@@ -61,6 +61,13 @@ struct AdvisorResponse {
   // deadline. Always an error response (!ok), so the ok-path wire bytes
   // are untouched by the flag's existence.
   bool shed = false;
+  // Fault tolerance (streaming admission only): true when the cluster
+  // admitted the request but could not evaluate it within its
+  // fault-tolerance budget — retry budget exhausted, per-request deadline
+  // passed during retry, the corpus's calibration fit failed, or shutdown
+  // raced the admission. Always an error response (!ok), never cached, and
+  // the error text starts with "degraded: ".
+  bool degraded = false;
 
   // Fig 14: predicted cost of the requested (arch, renderer) configuration.
   double frame_seconds = 0.0;  // per frame, build amortized away

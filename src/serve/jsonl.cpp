@@ -71,11 +71,21 @@ struct Scanner {
   bool parse_number(double& out, std::string& error) {
     skip_ws();
     const char* start = p;
-    while (p < end && (*p == '-' || *p == '+' || *p == '.' || *p == 'e' || *p == 'E' ||
-                       (*p >= '0' && *p <= '9')))
+    // Consume alphabetic characters too, so non-finite spellings ("nan",
+    // "NaN", "inf", "Infinity", "1e999") form one token and earn the
+    // precise rejection below rather than a generic parse failure at the
+    // stray letters.
+    while (p < end &&
+           (*p == '-' || *p == '+' || *p == '.' || (*p >= '0' && *p <= '9') ||
+            (*p >= 'a' && *p <= 'z') || (*p >= 'A' && *p <= 'Z')))
       ++p;
     const std::string token(start, p);
-    if (core::parse_double(token.c_str(), out) != core::ParseStatus::kOk) {
+    const core::ParseStatus status = core::parse_double(token.c_str(), out);
+    if (status == core::ParseStatus::kNotFinite) {
+      error = "must be finite (NaN/Infinity and overflowing values are rejected)";
+      return false;
+    }
+    if (status != core::ParseStatus::kOk) {
       error = "expected number";
       return false;
     }

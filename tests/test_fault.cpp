@@ -1,0 +1,497 @@
+// Tests for the fault-tolerance layer (PR 7): the deterministic fault
+// injector (pure-hash schedules, env/CSV parsing, fail-safe typos), the
+// ordered queue's shutdown edges (close must release blocked producers and
+// parked consumers), and the cluster's chaos behavior — supervised workers
+// that survive injected eval throws, watchdog-driven crash restarts that
+// re-drive the held batch, failover along the rendezvous order, bounded
+// retries that end in explicit degraded responses, fit failures served
+// degraded instead of crashing boot, and the determinism contract: a fixed
+// fault seed reproduces the same degraded bytes on a fresh cluster, and a
+// disarmed injector leaves every byte identical to a fault-free build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/router.hpp"
+#include "cluster/stream.hpp"
+#include "core/batch_queue.hpp"
+#include "core/fault.hpp"
+#include "serve/advisor.hpp"
+#include "serve/registry.hpp"
+
+namespace isr::cluster {
+namespace {
+
+using core::FaultConfig;
+using core::FaultInjector;
+using core::FaultSite;
+using serve::AdvisorRequest;
+using serve::AdvisorResponse;
+
+std::uint32_t site_mask(FaultSite site) { return 1u << static_cast<int>(site); }
+
+// --- Fault injector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfSeedSiteAndKeys) {
+  FaultConfig config;
+  config.seed = 42;
+  config.rate = 0.5;
+  config.sites = (1u << core::kFaultSiteCount) - 1u;
+  FaultInjector a(config);
+  FaultInjector b(config);
+
+  // Two injectors with the same config agree on every opportunity — the
+  // schedule is a hash, not a shared RNG stream whose draws would depend
+  // on who asked first.
+  int fired = 0;
+  for (std::uint64_t k0 = 0; k0 < 8; ++k0)
+    for (std::uint64_t k1 = 0; k1 < 8; ++k1)
+      for (std::uint64_t k2 = 0; k2 < 3; ++k2) {
+        const bool fa = a.should_fire(FaultSite::kShardEvalThrow, k0, k1, k2);
+        const bool fb = b.should_fire(FaultSite::kShardEvalThrow, k0, k1, k2);
+        EXPECT_EQ(fa, fb) << k0 << "," << k1 << "," << k2;
+        if (fa) ++fired;
+      }
+  // Rate 0.5 over 192 opportunities: both outcomes must occur.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 192);
+  EXPECT_EQ(a.fired(FaultSite::kShardEvalThrow), fired);
+  EXPECT_EQ(a.total_fired(), fired);
+
+  // Different sites get independent schedules off the same keys.
+  bool differs = false;
+  for (std::uint64_t k = 0; k < 64 && !differs; ++k)
+    differs = a.should_fire(FaultSite::kWorkerCrash, k) !=
+              b.should_fire(FaultSite::kQueueStall, k);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysFiresAndDisarmedNeverDoes) {
+  FaultConfig config;
+  config.seed = 7;
+  config.rate = 1.0;
+  config.sites = site_mask(FaultSite::kShardEvalThrow);
+  FaultInjector always(config);
+  for (std::uint64_t k = 0; k < 32; ++k)
+    EXPECT_TRUE(always.should_fire(FaultSite::kShardEvalThrow, k));
+  // A site outside the mask never fires even at rate 1.0.
+  for (std::uint64_t k = 0; k < 32; ++k)
+    EXPECT_FALSE(always.should_fire(FaultSite::kWorkerCrash, k));
+  EXPECT_EQ(always.fired(FaultSite::kWorkerCrash), 0);
+
+  FaultInjector disarmed;  // default: seed 0
+  EXPECT_FALSE(disarmed.armed());
+  for (std::uint64_t k = 0; k < 32; ++k)
+    EXPECT_FALSE(disarmed.should_fire(FaultSite::kShardEvalThrow, k));
+  EXPECT_EQ(disarmed.total_fired(), 0);
+
+  config.rate = 0.0;  // seed + sites but zero rate: still disarmed
+  EXPECT_FALSE(FaultConfig(config).armed());
+}
+
+TEST(FaultInjectorTest, ParseSitesHandlesTokensAllAndGarbage) {
+  std::uint32_t mask = 0;
+  std::string error;
+  ASSERT_TRUE(FaultConfig::parse_sites("eval-throw,worker-crash", mask, error)) << error;
+  EXPECT_EQ(mask, site_mask(FaultSite::kShardEvalThrow) |
+                      site_mask(FaultSite::kWorkerCrash));
+  ASSERT_TRUE(FaultConfig::parse_sites("all", mask, error)) << error;
+  EXPECT_EQ(mask, (1u << core::kFaultSiteCount) - 1u);
+  ASSERT_TRUE(FaultConfig::parse_sites("fit-fail,,queue-stall,", mask, error))
+      << error;  // empty segments tolerated
+  EXPECT_EQ(mask, site_mask(FaultSite::kCorpusFitFail) |
+                      site_mask(FaultSite::kQueueStall));
+
+  EXPECT_FALSE(FaultConfig::parse_sites("eval-throw,typo", mask, error));
+  EXPECT_NE(error.find("typo"), std::string::npos) << error;
+  EXPECT_FALSE(FaultConfig::parse_sites("", mask, error));
+  EXPECT_FALSE(FaultConfig::parse_sites(",,", mask, error));
+
+  // Token round trip for every site.
+  for (int s = 0; s < core::kFaultSiteCount; ++s) {
+    FaultSite site;
+    ASSERT_TRUE(core::fault_site_from_token(
+        core::fault_site_name(static_cast<FaultSite>(s)), site));
+    EXPECT_EQ(static_cast<int>(site), s);
+  }
+  FaultSite site;
+  EXPECT_FALSE(core::fault_site_from_token("garbage", site));
+}
+
+TEST(FaultInjectorTest, FromEnvReadsKnobsAndFailsSafeOnTypos) {
+  const auto clear_env = [] {
+    unsetenv("ISR_FAULT_SEED");
+    unsetenv("ISR_FAULT_RATE");
+    unsetenv("ISR_FAULT_SITES");
+    unsetenv("ISR_FAULT_STALL_MS");
+  };
+  clear_env();
+
+  // Unset environment: disarmed defaults.
+  EXPECT_FALSE(FaultConfig::from_env().armed());
+
+  // Seed alone enables every site at the default rate.
+  setenv("ISR_FAULT_SEED", "9001", 1);
+  FaultConfig config = FaultConfig::from_env();
+  EXPECT_TRUE(config.armed());
+  EXPECT_EQ(config.seed, 9001u);
+  EXPECT_EQ(config.sites, (1u << core::kFaultSiteCount) - 1u);
+
+  // Explicit knobs.
+  setenv("ISR_FAULT_RATE", "0.25", 1);
+  setenv("ISR_FAULT_SITES", "eval-throw", 1);
+  setenv("ISR_FAULT_STALL_MS", "5", 1);
+  config = FaultConfig::from_env();
+  EXPECT_DOUBLE_EQ(config.rate, 0.25);
+  EXPECT_EQ(config.sites, site_mask(FaultSite::kShardEvalThrow));
+  EXPECT_EQ(config.stall_ms, 5);
+
+  // A typo'd site list disables injection entirely (fail safe) instead of
+  // silently running half a chaos schedule.
+  setenv("ISR_FAULT_SITES", "eval-thorw", 1);
+  config = FaultConfig::from_env();
+  EXPECT_FALSE(config.armed());
+  EXPECT_EQ(config.sites, 0u);
+
+  clear_env();
+}
+
+// --- Ordered queue shutdown edges -------------------------------------------
+
+struct IntBefore {
+  bool operator()(const int& a, const int& b) const { return a < b; }
+};
+using IntQueue = core::OrderedBatchQueue<int, IntBefore>;
+
+TEST(OrderedQueueShutdownTest, CloseReleasesProducersBlockedInPush) {
+  IntQueue queue(2);
+  ASSERT_TRUE(queue.try_push(1));
+  ASSERT_TRUE(queue.try_push(2));
+
+  // Two producers park inside the blocking push on a full queue. Nothing
+  // ever drains; only close() can release them — and it must, with a false
+  // return, or ServingCluster teardown could hang forever.
+  std::vector<std::thread> producers;
+  std::vector<int> results(2, -1);
+  for (int t = 0; t < 2; ++t)
+    producers.emplace_back([&queue, &results, t] {
+      results[static_cast<std::size_t>(t)] = queue.push(10 + t) ? 1 : 0;
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(results[0], 0);
+  EXPECT_EQ(results[1], 0);
+
+  // The items admitted before the close still drain (kClosed), then the
+  // queue reports empty-and-closed.
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(8, std::chrono::nanoseconds(0), batch),
+            core::BatchFlush::kClosed);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(queue.pop_batch(8, std::chrono::nanoseconds(0), batch),
+            core::BatchFlush::kEmpty);
+}  // destructor runs here, after close, with no thread inside — the contract
+
+TEST(OrderedQueueShutdownTest, CloseWakesAConsumerParkedOnAnEmptyQueue) {
+  IntQueue queue(4);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&queue, &woke] {
+    std::vector<int> batch;
+    // A 10-second coalescing deadline the close must preempt.
+    const core::BatchFlush flush =
+        queue.pop_batch(4, std::chrono::seconds(10), batch);
+    EXPECT_EQ(flush, core::BatchFlush::kEmpty);
+    EXPECT_TRUE(batch.empty());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto start = std::chrono::steady_clock::now();
+  queue.close();
+  consumer.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_TRUE(woke.load());
+  EXPECT_LT(elapsed, 5.0);  // never waited out the deadline
+}
+
+// --- Router failover order ---------------------------------------------------
+
+TEST(RouterFailoverTest, RendezvousOrderIsAStablePermutationOfAllShards) {
+  const Router router(5);
+  const std::vector<int> order = router.rendezvous_order(0xC0FFEEull, "CPU1");
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int s = 0; s < 5; ++s) EXPECT_EQ(sorted[static_cast<std::size_t>(s)], s);
+
+  // Stable across calls (failover placement must not wander) and key-
+  // dependent (different keys spread over different permutations).
+  EXPECT_EQ(router.rendezvous_order(0xC0FFEEull, "CPU1"), order);
+  EXPECT_NE(router.rendezvous_order(0xBEEFull, "GPU1"), order);
+}
+
+// --- Chaos over a live cluster ----------------------------------------------
+
+// Clusters share one primary registry so the whole suite pays for a single
+// calibration fit (replicas adopt, never refit) — same as test_stream.
+class FaultClusterFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    primary_ = std::make_shared<serve::ModelRegistry>();
+  }
+  static void TearDownTestSuite() { primary_.reset(); }
+  static std::shared_ptr<serve::ModelRegistry> primary_;
+
+  static model::StudyConfig tiny_calibration() {
+    model::StudyConfig cfg;
+    cfg.archs = {"CPU1", "GPU1"};
+    cfg.sims = {"cloverleaf"};
+    cfg.tasks = {1, 2};
+    cfg.samples_per_config = 3;
+    cfg.min_image = 96;
+    cfg.max_image = 192;
+    cfg.min_n = 16;
+    cfg.max_n = 28;
+    cfg.vr_samples = 120;
+    cfg.sim_steps = 1;
+    cfg.seed = 123;
+    return cfg;
+  }
+
+  // Cache OFF in every chaos config: a hit skips evaluation, which would
+  // mask the injected eval faults this suite is about.
+  static ClusterConfig chaos_config(int shards, std::uint64_t seed, double rate,
+                                    std::uint32_t sites) {
+    ClusterConfig cfg;
+    cfg.service.calibration = tiny_calibration();
+    cfg.shards = shards;
+    cfg.cache_entries = 0;
+    cfg.batch_size = 4;
+    cfg.fault.seed = seed;
+    cfg.fault.rate = rate;
+    cfg.fault.sites = sites;
+    cfg.watchdog_poll_us = 200;  // fast detection keeps crash tests quick
+    return cfg;
+  }
+
+  // Distinct shapes per index so a response mixup can never pass a byte
+  // compare (the test_stream idiom).
+  static std::vector<AdvisorRequest> workload(int count) {
+    std::vector<AdvisorRequest> requests;
+    requests.reserve(static_cast<std::size_t>(count));
+    for (int j = 0; j < count; ++j) {
+      AdvisorRequest req;
+      req.arch = (j % 2 == 0) ? "CPU1" : "GPU1";
+      req.renderer = (j % 3 == 0) ? model::RendererKind::kRayTrace
+                                  : (j % 3 == 1) ? model::RendererKind::kRasterize
+                                                 : model::RendererKind::kVolume;
+      req.n_per_task = 16 + (j % 4);
+      req.image_edge = 96 + 8 * j;
+      req.tasks = 1 + (j % 2);
+      requests.push_back(req);
+    }
+    return requests;
+  }
+
+  // One serial session: submit everything, close, return the responses.
+  static std::vector<AdvisorResponse> run_serial(ServingCluster& cluster,
+                                                 const std::vector<AdvisorRequest>& reqs) {
+    StreamSession session = cluster.open_stream();
+    for (const AdvisorRequest& req : reqs) session.submit(req);
+    return session.close();
+  }
+};
+
+std::shared_ptr<serve::ModelRegistry> FaultClusterFixture::primary_;
+
+TEST_F(FaultClusterFixture, EvalThrowAtFullRateDegradesEveryRequestAfterBoundedRetries) {
+  // Rate 1.0 on eval-throw: every attempt of every request fails, so each
+  // walks the full retry ladder — attempt 0 on its home shard, failover
+  // re-drives at attempts 1 and 2, then an explicit degraded response. The
+  // workers must survive it all (a supervised throw is not a crash).
+  constexpr int kRequests = 10;
+  ServingCluster cluster(
+      chaos_config(2, 99, 1.0, site_mask(FaultSite::kShardEvalThrow)), primary_);
+  const std::vector<AdvisorResponse> responses =
+      run_serial(cluster, workload(kRequests));
+
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  for (const AdvisorResponse& r : responses) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_NE(r.error.find("degraded: retry budget exhausted after 3 attempts"),
+              std::string::npos)
+        << r.error;
+  }
+
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.degraded_queries, kRequests);
+  // Deterministic accounting at rate 1.0: retry_limit (2) re-drives per
+  // request, each a successful failover enqueue, and 3 injected throws.
+  EXPECT_EQ(m.retries, 2 * kRequests);
+  EXPECT_EQ(m.failovers, 2 * kRequests);
+  EXPECT_EQ(m.faults_injected, 3 * kRequests);
+  EXPECT_EQ(m.worker_restarts, 0);  // throws are absorbed, never fatal
+  EXPECT_EQ(m.eval_exceptions, 0);  // injected, not a real evaluation throw
+  ASSERT_EQ(m.shard_health.size(), 2u);
+
+  // The new observability fields are on the wire.
+  const std::string line = m.to_jsonl();
+  for (const char* key : {"\"worker_restarts\":", "\"failovers\":", "\"retries\":",
+                          "\"timeouts\":", "\"degraded_queries\":",
+                          "\"eval_exceptions\":", "\"faults_injected\":",
+                          "\"shard_health\":"})
+    EXPECT_NE(line.find(key), std::string::npos) << key << " missing in " << line;
+}
+
+TEST_F(FaultClusterFixture, WorkerCrashIsRestartedAndTheHeldBatchIsRedriven) {
+  // Rate 0.5 on worker-crash, single shard: roughly every other request
+  // kills the worker mid-batch. The watchdog must reclaim the corpse,
+  // restart the worker, and re-drive the held batch — with no sibling
+  // shard to fail over to, the re-drive walks the fault ladder inline, so
+  // a request whose attempts don't all fire is answered with its normal
+  // pure bytes, and one whose three attempts all fire (hash odds ~12.5%)
+  // degrades explicitly. Every slot gets exactly one of the two.
+  constexpr int kRequests = 12;
+  const std::vector<AdvisorRequest> requests = workload(kRequests);
+
+  ServingCluster plain(chaos_config(1, 0, 1.0, 0), primary_);  // disarmed twin
+  const std::vector<AdvisorResponse> expected = run_serial(plain, requests);
+
+  ServingCluster cluster(
+      chaos_config(1, 4242, 0.5, site_mask(FaultSite::kWorkerCrash)), primary_);
+  const std::vector<AdvisorResponse> responses = run_serial(cluster, requests);
+
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  int survived = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (responses[i].ok) {
+      ++survived;
+      EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(responses[i]))
+          << "slot " << i;  // WHO evaluates never changes bytes
+    } else {
+      EXPECT_TRUE(responses[i].degraded) << responses[i].error;
+      EXPECT_NE(responses[i].error.find("retry budget exhausted"), std::string::npos)
+          << responses[i].error;
+    }
+  }
+  EXPECT_GT(survived, 0);  // at seed 4242 most requests recover
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GE(m.worker_restarts, 1);
+  EXPECT_GE(m.retries, 1);
+  EXPECT_GE(m.faults_injected, 1);
+}
+
+TEST_F(FaultClusterFixture, SameSeedReproducesTheSameDegradedBytesOnAFreshCluster) {
+  // A mixed-fate schedule: rate 0.6 on eval-throw degrades a request only
+  // when all three of its attempts fire (~22%), so both degraded and
+  // answered responses occur. Two fresh clusters with the same seed must
+  // agree byte-for-byte on every slot, and the answered slots must match a
+  // fault-free run — the injector disturbs only whom it names.
+  constexpr int kRequests = 24;
+  const std::vector<AdvisorRequest> requests = workload(kRequests);
+  const auto chaos = [&] {
+    ServingCluster cluster(
+        chaos_config(2, 31337, 0.6, site_mask(FaultSite::kShardEvalThrow)), primary_);
+    return run_serial(cluster, requests);
+  };
+  const std::vector<AdvisorResponse> first = chaos();
+  const std::vector<AdvisorResponse> second = chaos();
+
+  ServingCluster plain(chaos_config(2, 0, 1.0, 0), primary_);
+  const std::vector<AdvisorResponse> expected = run_serial(plain, requests);
+
+  ASSERT_EQ(first.size(), static_cast<std::size_t>(kRequests));
+  ASSERT_EQ(second.size(), first.size());
+  int degraded = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(serve::to_jsonl(first[i]), serve::to_jsonl(second[i])) << "slot " << i;
+    if (first[i].degraded) {
+      ++degraded;
+    } else {
+      EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(first[i])) << "slot " << i;
+    }
+  }
+  EXPECT_GT(degraded, 0);          // the schedule really injects...
+  EXPECT_LT(degraded, kRequests);  // ...and really spares
+}
+
+TEST_F(FaultClusterFixture, DisarmedInjectorLeavesEveryByteUntouched) {
+  // A seed with an empty site mask is disarmed: every fault branch is dead
+  // and responses are byte-identical to a cluster with no fault config at
+  // all — the subsystem's presence must cost nothing when off.
+  constexpr int kRequests = 16;
+  const std::vector<AdvisorRequest> requests = workload(kRequests);
+
+  ClusterConfig vanilla;
+  vanilla.service.calibration = tiny_calibration();
+  vanilla.shards = 2;
+  vanilla.cache_entries = 0;
+  vanilla.batch_size = 4;
+  ServingCluster baseline(std::move(vanilla), primary_);
+  const std::vector<AdvisorResponse> expected = run_serial(baseline, requests);
+
+  ServingCluster disarmed(chaos_config(2, 777, 1.0, 0), primary_);
+  const std::vector<AdvisorResponse> responses = run_serial(disarmed, requests);
+
+  ASSERT_EQ(responses.size(), expected.size());
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(responses[i]))
+        << "slot " << i;
+  const ClusterMetrics m = disarmed.metrics();
+  EXPECT_EQ(m.faults_injected, 0);
+  EXPECT_EQ(m.degraded_queries, 0);
+  EXPECT_EQ(m.worker_restarts, 0);
+}
+
+TEST_F(FaultClusterFixture, FitFailureServesExplicitDegradedResponsesInsteadOfCrashing) {
+  // Rate 1.0 on fit-fail: the default corpus's calibration fit fails at
+  // every replication attempt, so boot survives, the fit is never charged
+  // to the registry, and every request earns an explicit degraded response
+  // naming the broken corpus.
+  const auto fresh = std::make_shared<serve::ModelRegistry>();
+  ServingCluster cluster(
+      chaos_config(2, 55, 1.0, site_mask(FaultSite::kCorpusFitFail)), fresh);
+  const std::vector<AdvisorResponse> responses = run_serial(cluster, workload(3));
+
+  ASSERT_EQ(responses.size(), 3u);
+  for (const AdvisorResponse& r : responses) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_NE(
+        r.error.find("corpus \"default\" unavailable: calibration fit failed"),
+        std::string::npos)
+        << r.error;
+  }
+  EXPECT_EQ(cluster.registry_fits(), 0);  // the fit never landed anywhere
+  EXPECT_EQ(cluster.metrics().degraded_queries, 3);
+}
+
+TEST_F(FaultClusterFixture, QueueStallIsSurvivedWithNormalResponses) {
+  // A stall delays a batch, it fails nothing: every response must come
+  // back ok with its normal bytes, just later.
+  ClusterConfig config =
+      chaos_config(1, 808, 1.0, site_mask(FaultSite::kQueueStall));
+  config.fault.stall_ms = 2;
+  ServingCluster cluster(std::move(config), primary_);
+  const std::vector<AdvisorResponse> responses = run_serial(cluster, workload(8));
+
+  ASSERT_EQ(responses.size(), 8u);
+  for (const AdvisorResponse& r : responses) EXPECT_TRUE(r.ok) << r.error;
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GE(m.faults_injected, 1);
+  EXPECT_EQ(m.degraded_queries, 0);
+}
+
+}  // namespace
+}  // namespace isr::cluster

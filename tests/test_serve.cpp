@@ -346,5 +346,81 @@ TEST(JsonlFormat, ErrorResponsesEscapeJsonMetacharacters) {
             "{\"ok\":false,\"error\":\"bad \\\"value\\\"\\u000awith\\\\slash\"}");
 }
 
+TEST(JsonlFormat, DegradedMarkerPrecedesTheErrorAndIsPartOfIdentity) {
+  // The fault-tolerance wire contract (src/cluster/): a response the
+  // cluster could not answer within its retry budget carries an explicit
+  // "degraded":true marker clients can branch on without parsing the text.
+  AdvisorResponse r;
+  r.ok = false;
+  r.degraded = true;
+  r.error = "degraded: retry budget exhausted after 3 attempts";
+  EXPECT_EQ(to_jsonl(r),
+            "{\"ok\":false,\"degraded\":true,"
+            "\"error\":\"degraded: retry budget exhausted after 3 attempts\"}");
+
+  // An ordinary error with the same text is a DIFFERENT response.
+  AdvisorResponse plain;
+  plain.ok = false;
+  plain.error = r.error;
+  EXPECT_FALSE(responses_identical(r, plain));
+  EXPECT_TRUE(responses_identical(r, r));
+}
+
+// --- Non-finite budgets (every entry point) ---------------------------------
+
+TEST(JsonlParse, NonFiniteBudgetSpellingsAreRejectedWithOneLineReasons) {
+  // Every spelling a client could smuggle a non-finite budget in as — NaN,
+  // infinities, and overflow-to-inf exponents — must die in the parser with
+  // a reason naming the key, never reach the advisor as a double.
+  AdvisorRequest req;
+  std::string error;
+  for (const char* line :
+       {R"({"budget_seconds":nan})", R"({"budget_seconds":NaN})",
+        R"({"budget_seconds":inf})", R"({"budget_seconds":Infinity})",
+        R"({"budget_seconds":-Infinity})", R"({"budget_seconds":1e999})"}) {
+    EXPECT_FALSE(parse_request_line(line, req, error)) << line;
+    EXPECT_NE(error.find("budget_seconds"), std::string::npos) << line << ": " << error;
+    EXPECT_NE(error.find("must be finite"), std::string::npos) << line << ": " << error;
+  }
+}
+
+TEST_F(ServeFixture, NonFiniteBudgetsAreRejectedBeforeEvaluation) {
+  // The C++ API can be handed values the wire parser never admits; the
+  // advisor must reject them before the float->long images-in-budget cast
+  // (+inf passes ">= 0" and the cast would be UB).
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    AdvisorRequest req;
+    req.budget_seconds = bad;
+    const AdvisorResponse resp = service_->serve_one(req);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("budget_seconds must be finite"), std::string::npos)
+        << resp.error;
+  }
+}
+
+TEST(JsonlService, NonFiniteBudgetGetsAnInSlotErrorResponse) {
+  // End to end through the batch front-end: the poisoned line earns an
+  // in-slot error while its neighbors are answered normally.
+  std::istringstream in(
+      "{\"renderer\":\"raytrace\",\"image_edge\":128}\n"
+      "{\"budget_seconds\":Infinity}\n"
+      "{\"renderer\":\"rasterize\",\"image_edge\":128}\n");
+  std::ostringstream out;
+  AdvisorService service(tiny_service_config());
+  EXPECT_EQ(run_jsonl(in, out, service), 3u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(responses[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(responses[1].find("must be finite"), std::string::npos);
+  EXPECT_NE(responses[2].find("\"ok\":true"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace isr::serve
