@@ -1,0 +1,201 @@
+// Throughput across a live recalibration swap (beyond the paper): one
+// fixed batch of §5.9 feasibility queries served three ways on a cached
+// cluster — warm at epoch 1, DURING a background recalibration (the refit
+// worker fits epoch 2 and swaps it in while this pass runs), and warm
+// again after the swap (epoch 2 re-populated) — reporting queries/sec for
+// each. The interesting number is qps_during_refit: serving must not
+// collapse while the refit worker runs a drift study and a full re-fit.
+//
+// Health gates (exit nonzero on violation):
+//   - the pre-swap warm pass hits the cache on every request, and so does
+//     the post-swap warm pass (epoch-scoped invalidation evicted the stale
+//     entries exactly once, then the cache re-filled at epoch 2);
+//   - every response served during the swap is byte-identical to its
+//     epoch-1 OR epoch-2 reference bytes (an in-flight request finishes on
+//     the epoch it was admitted under — never a blend);
+//   - the post-swap passes are byte-identical to each other;
+//   - exactly one refit, advancing the default corpus to epoch 2.
+//
+// The final line is machine-readable JSON (prefix "JSON ") for the
+// bench-regression gate:
+//   JSON {"bench":"recal_swap","queries":...,"shards":...,
+//         "calibration_seconds":...,"refits":1,"epoch_after":2,
+//         "qps_warm":...,"qps_during_refit":...,"qps_post_swap_warm":...,
+//         "warm_hit_rate":1.0,"post_swap_warm_hit_rate":1.0,
+//         "epoch_invalidations":...,"identical":true}
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common.hpp"
+#include "core/thread_pool.hpp"
+#include "serve/advisor.hpp"
+#include "serve/jsonl.hpp"
+
+using namespace isr;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+model::StudyConfig calibration() {
+  // The bench_cluster_throughput calibration shape, ISR_BENCH_SCALE-scaled,
+  // with the same floor on max_n (a constant-O corpus makes the
+  // rasterization regression singular).
+  model::StudyConfig cfg = serve::default_calibration();
+  cfg.min_image = bench::scaled(128);
+  cfg.max_image = bench::scaled(288);
+  cfg.min_n = bench::scaled(20);
+  cfg.max_n = std::max(bench::scaled(40), cfg.min_n + 12);
+  cfg.vr_samples = bench::scaled(200, 50);
+  return cfg;
+}
+
+// The cluster-bench query grid at 20 repetitions: 3840 distinct queries
+// (the budget sweep makes every repetition a distinct cache key).
+std::vector<serve::AdvisorRequest> query_grid() {
+  const std::vector<std::string> archs = {"CPU1", "GPU1"};
+  const std::vector<model::RendererKind> renderers = {model::RendererKind::kRayTrace,
+                                                      model::RendererKind::kRasterize,
+                                                      model::RendererKind::kVolume};
+  const std::vector<int> edges = {256, 512, 1024, 2048};
+  const std::vector<int> data_sizes = {50, 100, 200, 400};
+  const std::vector<int> task_counts = {8, 64};
+  const int repetitions = 20;
+
+  std::vector<serve::AdvisorRequest> requests;
+  requests.reserve(archs.size() * renderers.size() * edges.size() * data_sizes.size() *
+                   task_counts.size() * static_cast<std::size_t>(repetitions));
+  for (int rep = 0; rep < repetitions; ++rep)
+    for (const std::string& arch : archs)
+      for (const model::RendererKind kind : renderers)
+        for (const int edge : edges)
+          for (const int n : data_sizes)
+            for (const int tasks : task_counts) {
+              serve::AdvisorRequest req;
+              req.arch = arch;
+              req.renderer = kind;
+              req.n_per_task = n;
+              req.tasks = tasks;
+              req.image_edge = edge;
+              req.budget_seconds = 30.0 + rep;
+              req.frames = 100;
+              requests.push_back(req);
+            }
+  return requests;
+}
+
+std::vector<std::string> jsonl_of(const std::vector<serve::AdvisorResponse>& responses) {
+  std::vector<std::string> lines;
+  lines.reserve(responses.size());
+  for (const serve::AdvisorResponse& r : responses) lines.push_back(serve::to_jsonl(r));
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = core::default_thread_count();
+  const int shards = std::max(2, std::min(4, threads));
+  bench::print_header(
+      "Serving throughput across a live recalibration swap (beyond the paper)",
+      "One fixed query batch on a " + std::to_string(shards) +
+          "-shard cached cluster: warm at epoch 1, during the background refit, "
+          "warm again at epoch 2.");
+
+  const std::vector<serve::AdvisorRequest> requests = query_grid();
+  const double n = static_cast<double>(requests.size());
+  cluster::ClusterConfig config;
+  config.service.calibration = calibration();
+  config.shards = shards;
+  // 2x slack so both warm passes are all hits even with uneven way hashing.
+  config.cache_entries = 2 * requests.size();
+  cluster::ServingCluster cluster(std::move(config));
+
+  // The lazy fit, forced outside the timed region via the recalibration
+  // surface (append of nothing: residency without an epoch bump).
+  const auto calib_start = std::chrono::steady_clock::now();
+  cluster.append_observations("", {});
+  const double t_calibrate = seconds_since(calib_start);
+
+  // Epoch 1: cold fill (the byte reference), then the timed warm pass.
+  const std::vector<std::string> epoch1 = jsonl_of(cluster.serve_batch(requests));
+  const long hits_cold = cluster.metrics().cache_hits;
+  const auto warm_start = std::chrono::steady_clock::now();
+  const std::vector<serve::AdvisorResponse> warm = cluster.serve_batch(requests);
+  const double t_warm = seconds_since(warm_start);
+  const double warm_hit_rate =
+      static_cast<double>(cluster.metrics().cache_hits - hits_cold) / n;
+
+  // The swap: schedule the recalibration, then keep serving while the
+  // refit worker runs the drift study + re-fit and swaps epoch 2 in.
+  const auto during_start = std::chrono::steady_clock::now();
+  const std::uint64_t scheduled = cluster.recalibrate("");
+  const std::vector<serve::AdvisorResponse> during = cluster.serve_batch(requests);
+  const double t_during = seconds_since(during_start);
+  cluster.wait_refits();
+
+  // Epoch 2: cold re-fill (reference), then the timed warm pass.
+  const std::vector<std::string> epoch2 = jsonl_of(cluster.serve_batch(requests));
+  const long hits_refill = cluster.metrics().cache_hits;
+  const auto post_start = std::chrono::steady_clock::now();
+  const std::vector<serve::AdvisorResponse> post = cluster.serve_batch(requests);
+  const double t_post = seconds_since(post_start);
+  const double post_warm_hit_rate =
+      static_cast<double>(cluster.metrics().cache_hits - hits_refill) / n;
+
+  // Byte gates: warm == epoch 1; every during-swap response is epoch 1 or
+  // epoch 2 bytes; post-swap warm == epoch 2.
+  bool identical = warm.size() == requests.size() && post.size() == requests.size() &&
+                   during.size() == requests.size();
+  std::size_t served_old = 0, served_new = 0;
+  for (std::size_t i = 0; identical && i < requests.size(); ++i) {
+    if (serve::to_jsonl(warm[i]) != epoch1[i]) identical = false;
+    if (serve::to_jsonl(post[i]) != epoch2[i]) identical = false;
+    const std::string d = serve::to_jsonl(during[i]);
+    if (d == epoch1[i])
+      ++served_old;
+    else if (d == epoch2[i])
+      ++served_new;
+    else
+      identical = false;
+  }
+
+  const cluster::ClusterMetrics metrics = cluster.metrics();
+  const std::uint64_t epoch_after = cluster.bundle_epoch("");
+  const bool gates = identical && scheduled == 2 && epoch_after == 2 &&
+                     metrics.refits == 1 && warm_hit_rate == 1.0 &&
+                     post_warm_hit_rate == 1.0;
+
+  std::printf("calibration (lazy, via append): %.3fs; %zu queries per pass\n\n",
+              t_calibrate, requests.size());
+  std::printf("%-28s %8s %12s %12s\n", "pass", "epoch", "seconds", "queries/sec");
+  bench::print_rule(64);
+  std::printf("%-28s %8d %12.4f %12.0f\n", "warm (pre-swap)", 1, t_warm, n / t_warm);
+  std::printf("%-28s %8s %12.4f %12.0f\n", "during refit", "1->2", t_during, n / t_during);
+  std::printf("%-28s %8d %12.4f %12.0f\n", "warm (post-swap)", 2, t_post, n / t_post);
+  std::printf("\ncluster metrics: %s\n", metrics.to_jsonl().c_str());
+  std::printf(
+      "\nduring the swap: %zu responses on epoch 1, %zu on epoch 2; "
+      "invalidated %ld stale entries; byte gates: %s\n",
+      served_old, served_new, metrics.epoch_invalidations, identical ? "pass" : "FAIL");
+
+  std::printf(
+      "JSON {\"bench\":\"recal_swap\",\"queries\":%zu,\"shards\":%d,"
+      "\"calibration_seconds\":%.6f,\"refits\":%ld,\"epoch_after\":%llu,"
+      "\"qps_warm\":%.1f,\"qps_during_refit\":%.1f,\"qps_post_swap_warm\":%.1f,"
+      "\"warm_hit_rate\":%.6f,\"post_swap_warm_hit_rate\":%.6f,"
+      "\"epoch_invalidations\":%ld,\"identical\":%s}\n",
+      requests.size(), shards, t_calibrate, metrics.refits,
+      static_cast<unsigned long long>(epoch_after), n / t_warm, n / t_during, n / t_post,
+      warm_hit_rate, post_warm_hit_rate, metrics.epoch_invalidations,
+      identical ? "true" : "false");
+
+  return gates ? 0 : 1;
+}

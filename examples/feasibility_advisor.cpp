@@ -31,11 +31,17 @@
 //   --replay FILE pins admission to a prior recording, making even shed
 //   decisions reproducible (feed it the SAME input the recording saw — a
 //   diverging flow blocks forever by design, like any misused barrier).
-//   Flags override the ISR_SHARDS (default 1), ISR_CACHE_ENTRIES (default
-//   1024; 0 disables), ISR_IMBALANCE_RATIO (default 1.25), ISR_STREAMS
-//   (default 1), and ISR_DEADLINE_US (default 0 = none) environment
-//   variables; a cluster-metrics JSON line (including per-corpus query
-//   counts) goes to stderr at EOF, keeping stdout pure responses.
+//   --recalibrate-every N schedules a live recalibration of every resident
+//   corpus after each N served requests, at batch boundaries (the refit
+//   runs in the background and the service waits for the swap before the
+//   next batch, so the epoch schedule — and therefore every output byte —
+//   is a pure function of the input; two identically-seeded runs
+//   byte-match). Flags override the ISR_SHARDS (default 1),
+//   ISR_CACHE_ENTRIES (default 1024; 0 disables), ISR_IMBALANCE_RATIO
+//   (default 1.25), ISR_STREAMS (default 1), ISR_DEADLINE_US (default 0 =
+//   none), and ISR_RECAL_EVERY (default 0 = never) environment variables;
+//   a cluster-metrics JSON line (including per-corpus query counts and
+//   bundle epochs) goes to stderr at EOF, keeping stdout pure responses.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -65,6 +71,7 @@ int usage(const char* argv0) {
                "       %s --serve [--shards N] [--cache ENTRIES]\n"
                "                      [--corpus NAME=SEED]... [--imbalance-ratio R]\n"
                "                      [--streams N] [--deadline-us D]\n"
+               "                      [--recalibrate-every N]\n"
                "                      [--record FILE | --replay FILE]\n"
                "                      [--fault-seed S] [--fault-rate R] [--fault-sites CSV]\n"
                "                      (JSON-lines service on stdin/stdout; defaults come\n"
@@ -75,6 +82,9 @@ int usage(const char* argv0) {
                "                       with {\"corpus\":\"NAME\"}; --streams N submits each\n"
                "                       batch over N concurrent stream sessions;\n"
                "                       --deadline-us stamps undeadlined requests;\n"
+               "                       --recalibrate-every N refits every resident corpus\n"
+               "                       after each N served requests, at batch boundaries\n"
+               "                       (0 = never; env: ISR_RECAL_EVERY);\n"
                "                       --record/--replay save or pin the admission\n"
                "                       schedule — replay must see the recording's input;\n"
                "                       --fault-seed arms deterministic fault injection\n"
@@ -178,6 +188,11 @@ int main(int argc, char** argv) {
     }
     long deadline_us = core::env_long("ISR_DEADLINE_US", 0, /*require_positive=*/false);
     if (deadline_us < 0) deadline_us = 0;
+    // Live recalibration cadence in served requests (0 = never). Applied at
+    // batch boundaries with a completed swap before the next batch, so the
+    // epoch schedule stays a pure function of the input stream.
+    long recal_every = core::env_long("ISR_RECAL_EVERY", 0, /*require_positive=*/false);
+    if (recal_every < 0) recal_every = 0;
     // Deterministic fault injection: env first (ISR_FAULT_*), flags
     // override. A flag-set seed without explicit sites arms every site,
     // mirroring FaultConfig::from_env's seed-only behavior.
@@ -245,6 +260,15 @@ int main(int argc, char** argv) {
                                                         : core::parse_status_message(status));
           return usage(argv[0]);
         }
+      } else if (std::strcmp(argv[a], "--recalibrate-every") == 0 && a + 1 < argc) {
+        const core::ParseStatus status = core::parse_long(argv[++a], recal_every);
+        if (status != core::ParseStatus::kOk || recal_every < 0) {
+          std::fprintf(stderr, "%s: bad --recalibrate-every \"%s\" (%s)\n", argv[0],
+                       argv[a],
+                       status == core::ParseStatus::kOk ? "must be >= 0"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
       } else if (std::strcmp(argv[a], "--record") == 0 && a + 1 < argc) {
         record_file = argv[++a];
       } else if (std::strcmp(argv[a], "--replay") == 0 && a + 1 < argc) {
@@ -286,6 +310,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: --record and --replay are mutually exclusive\n", argv[0]);
       return usage(argv[0]);
     }
+
+    // The recalibration schedule names every resident corpus ("" selects
+    // the default); capture the list before the configs move away.
+    std::vector<std::string> recal_names{""};
+    for (const cluster::CorpusConfig& corpus : corpora) recal_names.push_back(corpus.name);
 
     cluster::ClusterConfig config;
     config.shards = static_cast<int>(shards);
@@ -330,15 +359,36 @@ int main(int argc, char** argv) {
     // i % n and reassembling by the same rule keeps responses in input
     // order, so stdout is byte-comparable to the serialized run.
     const std::size_t n_streams_flag = static_cast<std::size_t>(streams);
+    // --recalibrate-every bookkeeping: served requests since the last
+    // recalibration. The refit fires at the first batch boundary past the
+    // threshold and the handler waits for the swap, so the epoch schedule
+    // is a pure function of the input stream (byte-reproducible runs).
+    long served_since_recal = 0;
+    const auto maybe_recalibrate = [&serving, &recal_names, recal_every,
+                                    &served_since_recal](std::size_t served) {
+      if (recal_every <= 0) return;
+      served_since_recal += static_cast<long>(served);
+      if (served_since_recal < recal_every) return;
+      served_since_recal = 0;
+      // Only corpora the stream has actually touched: recalibrating a
+      // never-queried corpus would defeat lazy residency.
+      for (const std::string& name : recal_names)
+        if (serving.bundle_epoch(name) > 0) serving.recalibrate(name);
+      serving.wait_refits();
+    };
     serve::run_jsonl(
         std::cin, std::cout,
-        [&serving, n_streams_flag, deadline_us](
+        [&serving, n_streams_flag, deadline_us, &maybe_recalibrate](
             const std::vector<serve::AdvisorRequest>& requests) {
           std::vector<serve::AdvisorRequest> reqs = requests;
           if (deadline_us > 0)
             for (serve::AdvisorRequest& r : reqs)
               if (r.deadline_us == 0) r.deadline_us = deadline_us;
-          if (n_streams_flag <= 1) return serving.serve_batch(reqs);
+          if (n_streams_flag <= 1) {
+            std::vector<serve::AdvisorResponse> responses = serving.serve_batch(reqs);
+            maybe_recalibrate(reqs.size());
+            return responses;
+          }
           if (reqs.empty()) return std::vector<serve::AdvisorResponse>();
           const std::size_t n_streams = std::min(n_streams_flag, reqs.size());
           std::vector<cluster::StreamSession> sessions;
@@ -359,6 +409,7 @@ int main(int argc, char** argv) {
             for (std::size_t j = 0; j < mine.size(); ++j)
               responses[k + j * n_streams] = std::move(mine[j]);
           }
+          maybe_recalibrate(reqs.size());
           return responses;
         });
     if (!record_file.empty()) {

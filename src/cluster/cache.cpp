@@ -29,70 +29,124 @@ std::string canonical_request_key(const serve::AdvisorRequest& r) {
   return key;
 }
 
-ResponseCache::ResponseCache(std::size_t entries, int ways) {
+ResponseCache::ResponseCache(std::size_t entries, int ways, std::size_t partitions) {
   if (entries == 0) return;  // disabled
+  if (partitions < 1) partitions = 1;
+  // Every partition gets an equal, nonzero quota: a resident corpus with a
+  // cache at all must be able to hold at least one entry, even when the
+  // operator configures fewer total entries than corpora.
+  const std::size_t quota = entries / partitions > 0 ? entries / partitions : 1;
   if (ways < 1) ways = 1;
-  if (static_cast<std::size_t>(ways) > entries) ways = static_cast<int>(entries);
-  const std::size_t per_way = (entries + static_cast<std::size_t>(ways) - 1) /
-                              static_cast<std::size_t>(ways);
-  ways_.reserve(static_cast<std::size_t>(ways));
-  for (int w = 0; w < ways; ++w) {
-    auto way = std::make_unique<Way>();
-    way->capacity = per_way;
-    ways_.push_back(std::move(way));
+  if (static_cast<std::size_t>(ways) > quota) ways = static_cast<int>(quota);
+  const std::size_t per_way =
+      (quota + static_cast<std::size_t>(ways) - 1) / static_cast<std::size_t>(ways);
+  partitions_.resize(partitions);
+  for (Partition& partition : partitions_) {
+    partition.ways.reserve(static_cast<std::size_t>(ways));
+    for (int w = 0; w < ways; ++w) {
+      auto way = std::make_unique<Way>();
+      way->capacity = per_way;
+      partition.ways.push_back(std::move(way));
+    }
   }
 }
 
-ResponseCache::Way& ResponseCache::way_for(const std::string& key) {
+ResponseCache::Way& ResponseCache::way_for(std::size_t partition, const std::string& key) {
   // hash_combine's FNV-1a path over the key bytes; splitmix64-finalized, so
   // the low bits used for way selection are well mixed.
+  Partition& p = partitions_[partition];
   const std::uint64_t h = hash_combine(0x57A9E5ull, key);
-  return *ways_[static_cast<std::size_t>(h % ways_.size())];
+  return *p.ways[static_cast<std::size_t>(h % p.ways.size())];
 }
 
-bool ResponseCache::lookup(const std::string& key, serve::AdvisorResponse& out) {
+bool ResponseCache::lookup(std::size_t partition, std::uint64_t epoch,
+                           const std::string& key, serve::AdvisorResponse& out) {
   if (!enabled()) return false;
   lookups_.fetch_add(1, std::memory_order_relaxed);
-  Way& way = way_for(key);
+  Way& way = way_for(partition, key);
   std::lock_guard<std::mutex> lock(way.mutex);
   const auto it = way.index.find(key);
   if (it == way.index.end()) return false;
+  if (it->second->epoch != epoch) {
+    // Stale entry from a superseded epoch: erase in passing — no future
+    // lookup can want it. A NEWER entry (the looker pinned an old bundle
+    // mid-swap) is left alone; the post-swap traffic wants it.
+    if (it->second->epoch < epoch) {
+      way.lru.erase(it->second);
+      way.index.erase(it);
+    }
+    return false;
+  }
   way.lru.splice(way.lru.begin(), way.lru, it->second);  // refresh recency
-  out = it->second->second;
+  out = it->second->response;
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void ResponseCache::insert(const std::string& key, const serve::AdvisorResponse& response) {
+void ResponseCache::insert(std::size_t partition, std::uint64_t epoch,
+                           const std::string& key,
+                           const serve::AdvisorResponse& response) {
   if (!enabled()) return;
-  Way& way = way_for(key);
+  Way& way = way_for(partition, key);
   std::lock_guard<std::mutex> lock(way.mutex);
   const auto it = way.index.find(key);
   if (it != way.index.end()) {
-    it->second->second = response;
+    it->second->epoch = epoch;
+    it->second->response = response;
     way.lru.splice(way.lru.begin(), way.lru, it->second);
     return;
   }
   if (way.lru.size() >= way.capacity) {
-    way.index.erase(way.lru.back().first);  // evict least recently used
+    way.index.erase(way.lru.back().key);  // evict least recently used
     way.lru.pop_back();
   }
-  way.lru.emplace_front(key, response);
-  way.index.emplace(way.lru.front().first, way.lru.begin());
+  way.lru.emplace_front();
+  way.lru.front().key = key;
+  way.lru.front().epoch = epoch;
+  way.lru.front().response = response;
+  way.index.emplace(way.lru.front().key, way.lru.begin());
+}
+
+std::size_t ResponseCache::invalidate_stale(std::size_t partition,
+                                            std::uint64_t keep_epoch) {
+  if (!enabled() || partition >= partitions_.size()) return 0;
+  std::size_t evicted = 0;
+  for (const auto& way : partitions_[partition].ways) {
+    std::lock_guard<std::mutex> lock(way->mutex);
+    for (auto it = way->lru.begin(); it != way->lru.end();) {
+      if (it->epoch < keep_epoch) {
+        way->index.erase(it->key);
+        it = way->lru.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
 }
 
 std::size_t ResponseCache::size() const {
   std::size_t total = 0;
-  for (const auto& way : ways_) {
-    std::lock_guard<std::mutex> lock(way->mutex);
-    total += way->lru.size();
-  }
+  for (const Partition& partition : partitions_)
+    for (const auto& way : partition.ways) {
+      std::lock_guard<std::mutex> lock(way->mutex);
+      total += way->lru.size();
+    }
   return total;
 }
 
 std::size_t ResponseCache::capacity() const {
   std::size_t total = 0;
-  for (const auto& way : ways_) total += way->capacity;
+  for (const Partition& partition : partitions_)
+    for (const auto& way : partition.ways) total += way->capacity;
+  return total;
+}
+
+std::size_t ResponseCache::partition_capacity(std::size_t partition) const {
+  if (partition >= partitions_.size()) return 0;
+  std::size_t total = 0;
+  for (const auto& way : partitions_[partition].ways) total += way->capacity;
   return total;
 }
 

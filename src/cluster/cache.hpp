@@ -5,16 +5,27 @@
 // function of (request, fitted models), a cached response is bitwise the
 // response evaluation would have produced, so cache state can never change
 // the bytes a client sees (the cluster's determinism contract).
+//
+// Lifecycle (the recalibration PR):
+//   - PARTITIONS: the cache is hard-partitioned per resident corpus, each
+//     partition owning entries/partitions slots. One corpus's traffic can
+//     therefore never evict another corpus's entries — the quota is
+//     structural, not an accounting policy.
+//   - EPOCHS: every entry carries the bundle epoch its response was
+//     computed under. A lookup pinned to epoch E only hits entries stamped
+//     E (an older entry is lazily erased in passing); a refit calls
+//     invalidate_stale() to sweep exactly the refitted corpus's stale
+//     entries, leaving every other partition untouched.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "serve/advisor.hpp"
@@ -32,42 +43,64 @@ std::string canonical_request_key(const serve::AdvisorRequest& request);
 
 class ResponseCache {
  public:
-  // `entries` caps the TOTAL cached responses across all ways; 0 disables
-  // the cache (lookup always misses, insert is a no-op). `ways` is the
-  // lock-sharding factor; each way holds an independent LRU of
-  // ceil(entries/ways) entries, so the effective total can exceed `entries`
-  // by at most ways-1.
-  explicit ResponseCache(std::size_t entries, int ways = 8);
+  // `entries` caps the TOTAL cached responses; 0 disables the cache
+  // (lookup always misses, insert is a no-op). `partitions` splits that
+  // total evenly — each partition holds max(1, entries/partitions) entries
+  // (the per-corpus quota). `ways` is the per-partition lock-sharding
+  // factor; each way holds an independent LRU of ceil(quota/ways) entries,
+  // so a partition's effective quota can exceed its share by at most
+  // ways-1.
+  explicit ResponseCache(std::size_t entries, int ways = 8, std::size_t partitions = 1);
 
-  bool enabled() const { return !ways_.empty(); }
+  bool enabled() const { return !partitions_.empty(); }
 
-  // On hit copies the stored response into `out`, refreshes recency, and
-  // returns true. Both outcomes count toward the hit-rate metrics.
-  bool lookup(const std::string& key, serve::AdvisorResponse& out);
+  // On hit — same partition, same epoch, same key — copies the stored
+  // response into `out`, refreshes recency, and returns true. An entry
+  // stamped with an OLDER epoch is a miss and is erased in passing (it can
+  // never hit again); a NEWER entry is just a miss (the looker pinned an
+  // old bundle mid-swap). Both outcomes count toward the hit-rate metrics.
+  bool lookup(std::size_t partition, std::uint64_t epoch, const std::string& key,
+              serve::AdvisorResponse& out);
 
-  // Inserts (or refreshes) `key`, evicting the way's least-recently-used
-  // entry when full.
-  void insert(const std::string& key, const serve::AdvisorResponse& response);
+  // Inserts (or refreshes) `key` under `epoch` in `partition`, evicting the
+  // way's least-recently-used entry when the quota is full.
+  void insert(std::size_t partition, std::uint64_t epoch, const std::string& key,
+              const serve::AdvisorResponse& response);
+
+  // Sweeps `partition`, erasing every entry older than `keep_epoch` and
+  // returning how many were evicted. A refit calls this with the new
+  // bundle's epoch: exactly the refitted corpus's stale entries go, every
+  // other partition keeps its working set.
+  std::size_t invalidate_stale(std::size_t partition, std::uint64_t keep_epoch);
 
   long lookups() const { return lookups_.load(std::memory_order_relaxed); }
   long hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::size_t size() const;      // responses currently held
-  std::size_t capacity() const;  // sum of the ways' capacities
+  std::size_t size() const;      // responses currently held, all partitions
+  std::size_t partitions() const { return partitions_.size(); }
+  std::size_t capacity() const;  // sum of every way's capacity
+  // One partition's quota (the sum of its ways' capacities).
+  std::size_t partition_capacity(std::size_t partition) const;
 
  private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch = 0;
+    serve::AdvisorResponse response;
+  };
   struct Way {
     std::mutex mutex;
     std::size_t capacity = 0;
     // Front = most recently used. The map indexes into the list.
-    std::list<std::pair<std::string, serve::AdvisorResponse>> lru;
-    std::unordered_map<std::string,
-                       std::list<std::pair<std::string, serve::AdvisorResponse>>::iterator>
-        index;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+  struct Partition {
+    std::vector<std::unique_ptr<Way>> ways;
   };
 
-  Way& way_for(const std::string& key);
+  Way& way_for(std::size_t partition, const std::string& key);
 
-  std::vector<std::unique_ptr<Way>> ways_;  // empty when disabled
+  std::vector<Partition> partitions_;  // empty when disabled
   std::atomic<long> lookups_{0};
   std::atomic<long> hits_{0};
 };

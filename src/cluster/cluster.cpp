@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
-#include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "math/rng.hpp"
 
@@ -79,35 +79,39 @@ ServingCluster::ServingCluster(ClusterConfig config,
               RouterOptions{/*replicas=*/64, config_.rebalance, config_.imbalance_ratio,
                             config_.rebalance_window > 0 ? config_.rebalance_window : 1,
                             /*min_hot_load=*/32.0}),
-      cache_(config_.cache_entries, config_.cache_ways),
       faults_(config_.fault),
       epoch_(std::chrono::steady_clock::now()) {
-  // Resolve the resident corpora up front: the default first (selector ""),
-  // then each valid named corpus. Empty, "default", and duplicate names
-  // are dropped — "" is reserved for the default corpus, "default" is its
-  // metrics alias (a named reuse would emit colliding JSON keys), and a
-  // duplicate would make resolution ambiguous (first writer wins, like the
-  // registry's adopt).
+  // Resolve the configured corpora up front: the default first (selector
+  // ""), then each valid named corpus. Empty, "default", and duplicate
+  // names are dropped — "" is reserved for the default corpus, "default"
+  // is its metrics alias (a named reuse would emit colliding JSON keys),
+  // and a duplicate would make resolution ambiguous (first writer wins,
+  // like the registry's adopt). Resolution fixes names, fingerprints, and
+  // keys only; the model bundles arrive lazily, on first query.
   derive_spr_base(config_.service);
-  CorpusState default_corpus;
-  default_corpus.service = config_.service;
-  default_corpus.fingerprint =
+  auto default_corpus = std::make_unique<CorpusState>();
+  default_corpus->service = config_.service;
+  default_corpus->fingerprint =
       serve::ModelRegistry::fingerprint(config_.service.calibration);
-  default_corpus.corpus_key =
-      corpus_key_for(default_corpus.service, default_corpus.fingerprint);
+  default_corpus->corpus_key =
+      corpus_key_for(default_corpus->service, default_corpus->fingerprint);
   corpora_.push_back(std::move(default_corpus));
   for (const CorpusConfig& named : config_.corpora) {
     if (named.name.empty() || named.name == "default" || resolve_corpus(named.name) >= 0)
       continue;
-    CorpusState state;
-    state.name = named.name;
-    state.service = named.service;
-    derive_spr_base(state.service);
-    state.fingerprint = serve::ModelRegistry::fingerprint(state.service.calibration);
-    state.corpus_key = corpus_key_for(state.service, state.fingerprint);
+    auto state = std::make_unique<CorpusState>();
+    state->name = named.name;
+    state->service = named.service;
+    derive_spr_base(state->service);
+    state->fingerprint = serve::ModelRegistry::fingerprint(state->service.calibration);
+    state->corpus_key = corpus_key_for(state->service, state->fingerprint);
     corpora_.push_back(std::move(state));
   }
   corpus_queries_ = std::make_unique<std::atomic<long>[]>(corpora_.size());
+  // The cache is hard-partitioned per configured corpus, so its shape
+  // depends on the corpus count resolved above.
+  cache_ = std::make_unique<ResponseCache>(config_.cache_entries, config_.cache_ways,
+                                           corpora_.size());
 
   const int n_shards = config_.shards > 0 ? config_.shards : 1;
   config_.shards = n_shards;
@@ -143,7 +147,17 @@ ServingCluster::ServingCluster(ClusterConfig config,
 }
 
 ServingCluster::~ServingCluster() {
-  // Watchdog first: a restart racing shard teardown must not happen. By
+  // Refit worker first: it touches corpora, the cache, and the primary
+  // registry, all of which teardown is about to reclaim. Queued jobs are
+  // drained (not dropped) so a shutdown race cannot silently eat a refit
+  // a test already scheduled.
+  {
+    std::lock_guard<std::mutex> lock(refit_mutex_);
+    refit_stop_ = true;
+  }
+  refit_cv_.notify_all();
+  if (refit_worker_.joinable()) refit_worker_.join();
+  // Watchdog next: a restart racing shard teardown must not happen. By
   // contract every session is closed before destruction, so no in-flight
   // work depends on the watchdog anymore.
   watchdog_stop_.store(true, std::memory_order_release);
@@ -158,61 +172,25 @@ int ServingCluster::resolve_corpus(const std::string& name) const {
   // to keep ordered anyway.
   if (name.empty()) return corpora_.empty() ? -1 : 0;
   for (std::size_t c = 1; c < corpora_.size(); ++c)
-    if (corpora_[c].name == name) return static_cast<int>(c);
+    if (corpora_[c]->name == name) return static_cast<int>(c);
   return -1;
 }
 
 std::uint64_t ServingCluster::corpus_fingerprint(const std::string& name) const {
   const int idx = resolve_corpus(name);
-  return idx < 0 ? 0 : corpora_[static_cast<std::size_t>(idx)].fingerprint;
+  return idx < 0 ? 0 : corpora_[static_cast<std::size_t>(idx)]->fingerprint;
 }
 
 void ServingCluster::ensure_serving() {
   std::lock_guard<std::mutex> lock(serving_mutex_);
   if (serving_) return;
-  // One fit per distinct calibration fingerprint, on the primary (its
-  // cache dedups repeat calls); every shard adopts a replica entry per
-  // distinct corpus key (adoption never counts as a fit), so any shard can
-  // evaluate any resident corpus — which is what lets the rebalancer place
-  // hot keys anywhere. A fit that fails — the injected fit-fail site or a
-  // real exception — retries up to the shared retry budget; a corpus whose
-  // fit never lands is marked fit_failed and served explicit degraded
-  // responses instead of crashing boot (corpora sharing its key fail with
-  // it: they would have shared the fit).
-  std::set<std::uint64_t> adopted;
-  std::set<std::uint64_t> failed_keys;
-  for (CorpusState& corpus : corpora_) {
-    if (failed_keys.count(corpus.corpus_key) > 0) {
-      corpus.fit_failed = true;
-      continue;
-    }
-    if (!adopted.insert(corpus.corpus_key).second) continue;
-    bool fitted = false;
-    for (int attempt = 0; attempt <= config_.retry_limit && !fitted; ++attempt) {
-      if (faults_.should_fire(core::FaultSite::kCorpusFitFail, corpus.fingerprint,
-                              static_cast<std::uint64_t>(attempt)))
-        continue;
-      try {
-        const serve::FittedModels& bundle =
-            primary_->models_for(corpus.service.calibration);
-        for (const auto& shard : shards_)
-          shard->adopt(bundle, corpus.service.constants, corpus.corpus_key);
-        fitted = true;
-      } catch (const std::exception&) {
-        // Real fit failure: retry — transient by assumption until the
-        // budget says otherwise.
-      }
-    }
-    if (!fitted) {
-      corpus.fit_failed = true;
-      failed_keys.insert(corpus.corpus_key);
-    }
-  }
-  // Workers start only after every replica is resident: a worker must
-  // never see an item whose corpus_key it cannot resolve. Each shard owns
-  // its supervised worker; transient failures flow back through
-  // redeliver(), and the watchdog handles crashes and stalls.
-  ResponseCache* cache = cache_.enabled() ? &cache_ : nullptr;
+  // No fitting happens here anymore: residency is lazy, paid by the first
+  // query naming each corpus (ensure_corpus_resident). Workers can start
+  // immediately — every admitted item carries its own pinned bundle, so a
+  // worker never needs model state the admission path did not resolve.
+  // Each shard owns its supervised worker; transient failures flow back
+  // through redeliver(), and the watchdog handles crashes and stalls.
+  ResponseCache* cache = cache_->enabled() ? cache_.get() : nullptr;
   core::FaultInjector* faults = faults_.armed() ? &faults_ : nullptr;
   for (const auto& shard : shards_)
     shard->start(cache, faults, [this](std::vector<StreamItem>&& items, int from) {
@@ -220,7 +198,47 @@ void ServingCluster::ensure_serving() {
     });
   watchdog_stop_.store(false, std::memory_order_release);
   watchdog_ = std::thread([this] { watchdog_loop(); });
+  refit_stop_ = false;
+  refit_worker_ = std::thread([this] { refit_loop(); });
   serving_ = true;
+}
+
+bool ServingCluster::ensure_corpus_resident(std::size_t idx) {
+  CorpusState& corpus = *corpora_[idx];
+  // Fast path: one relaxed-ish load on every admission. acquire pairs with
+  // the release store below so a resident corpus's bundle is visible.
+  int state = corpus.residency.load(std::memory_order_acquire);
+  if (state == CorpusState::kResident) return true;
+  if (state == CorpusState::kFitFailed) return false;
+  std::lock_guard<std::mutex> lock(fit_mutex_);
+  state = corpus.residency.load(std::memory_order_acquire);
+  if (state != CorpusState::kEmpty) return state == CorpusState::kResident;
+  // First touch: walk the same deterministic fit-failure retry ladder the
+  // eager path used, keyed on (fingerprint, attempt) — pure hash
+  // decisions, so lazy and eager runs fail the same corpora the same way.
+  // The registry dedups by fingerprint, so a corpus sharing an
+  // already-fitted calibration becomes resident without a second study.
+  bool fitted = false;
+  for (int attempt = 0; attempt <= config_.retry_limit && !fitted; ++attempt) {
+    if (faults_.should_fire(core::FaultSite::kCorpusFitFail, corpus.fingerprint,
+                            static_cast<std::uint64_t>(attempt)))
+      continue;
+    try {
+      serve::BundlePtr bundle = primary_->bundle_for(corpus.service.calibration);
+      std::atomic_store(&corpus.bundle, std::move(bundle));
+      fitted = true;
+    } catch (const std::exception&) {
+      // Real fit failure: retry — transient by assumption until the
+      // budget says otherwise.
+    }
+  }
+  if (!fitted) {
+    corpus.residency.store(CorpusState::kFitFailed, std::memory_order_release);
+    return false;
+  }
+  lazy_fits_.fetch_add(1, std::memory_order_relaxed);
+  corpus.residency.store(CorpusState::kResident, std::memory_order_release);
+  return true;
 }
 
 StreamSession ServingCluster::open_stream() {
@@ -247,7 +265,7 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   item.priority = std::max(0, std::min(7, request.priority));
   item.enqueued = std::chrono::steady_clock::now();
   std::string cache_key;
-  if (cache_.enabled()) cache_key = canonical_request_key(request);
+  if (cache_->enabled()) cache_key = canonical_request_key(request);
 
   // Record/replay are correctness modes: the whole admission serializes
   // under the lock so the schedule captures (or pins) every submission,
@@ -276,8 +294,12 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   }
   corpus_queries_[static_cast<std::size_t>(corpus_idx)].fetch_add(
       1, std::memory_order_relaxed);
-  const CorpusState& corpus = corpora_[static_cast<std::size_t>(corpus_idx)];
-  if (corpus.fit_failed) {
+  CorpusState& corpus = *corpora_[static_cast<std::size_t>(corpus_idx)];
+  // Lazy residency: the first query naming a corpus pays its fit here
+  // (one-time, serialized under fit_mutex_); every later query is one
+  // atomic load. Then pin the CURRENT bundle into the item — from here on
+  // the request is bound to this epoch, whatever a concurrent refit does.
+  if (!ensure_corpus_resident(static_cast<std::size_t>(corpus_idx))) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
     session->deliver(slot, degraded_response(
                                "corpus \"" +
@@ -286,15 +308,21 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
                                "\" unavailable: calibration fit failed"));
     return;
   }
+  item.bundle = std::atomic_load(&corpus.bundle);
+  item.constants = &corpus.service.constants;
+  item.corpus_index = corpus_idx;
 
   // Cache before routing and before the deadline check: a hit costs no
   // queue time, so shedding it would refuse work the cluster can do for
   // free — and the canonical key excludes deadline/priority, so a hurried
-  // request hits entries its relaxed twin populated. The cache is
+  // request hits entries its relaxed twin populated. The probe is scoped
+  // to the corpus's partition and the PINNED epoch, so a hit is exactly
+  // the bytes this epoch's evaluation would produce. The cache is
   // internally lock-sharded; probing it needs no admission lock.
-  if (cache_.enabled()) {
+  if (cache_->enabled()) {
     serve::AdvisorResponse hit;
-    if (cache_.lookup(cache_key, hit)) {
+    if (cache_->lookup(static_cast<std::size_t>(corpus_idx), item.bundle->epoch,
+                       cache_key, hit)) {
       session->deliver(slot, std::move(hit));
       return;
     }
@@ -402,8 +430,12 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   }
   corpus_queries_[static_cast<std::size_t>(corpus_idx)].fetch_add(
       1, std::memory_order_relaxed);
-  const CorpusState& corpus = corpora_[static_cast<std::size_t>(corpus_idx)];
-  if (corpus.fit_failed) {
+  CorpusState& corpus = *corpora_[static_cast<std::size_t>(corpus_idx)];
+  // Same lazy-residency + epoch-pinning sequence as the live path; the
+  // serialized path just runs it under the admission lock, so a recorded
+  // schedule's first-query fit lands at a deterministic point in the
+  // admission order.
+  if (!ensure_corpus_resident(static_cast<std::size_t>(corpus_idx))) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
     session->deliver(slot, degraded_response(
@@ -413,10 +445,14 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
                                "\" unavailable: calibration fit failed"));
     return;
   }
+  item.bundle = std::atomic_load(&corpus.bundle);
+  item.constants = &corpus.service.constants;
+  item.corpus_index = corpus_idx;
 
-  if (cache_.enabled()) {
+  if (cache_->enabled()) {
     serve::AdvisorResponse hit;
-    if (cache_.lookup(cache_key, hit)) {
+    if (cache_->lookup(static_cast<std::size_t>(corpus_idx), item.bundle->epoch,
+                       cache_key, hit)) {
       lock.unlock();
       session->deliver(slot, std::move(hit));
       return;
@@ -626,6 +662,123 @@ void ServingCluster::watchdog_loop() {
   }
 }
 
+void ServingCluster::refit_loop() {
+  for (;;) {
+    RefitJob job;
+    {
+      std::unique_lock<std::mutex> lock(refit_mutex_);
+      refit_cv_.wait(lock, [this] { return refit_stop_ || !refit_queue_.empty(); });
+      // Stop drains the queue first: a refit a test scheduled before
+      // shutdown still completes, making "schedule then destroy"
+      // deterministic.
+      if (refit_queue_.empty()) return;
+      job = refit_queue_.front();
+      refit_queue_.pop_front();
+      refit_busy_ = true;
+    }
+    run_refit(job);
+    {
+      std::lock_guard<std::mutex> lock(refit_mutex_);
+      refit_busy_ = false;
+    }
+    refit_idle_cv_.notify_all();
+  }
+}
+
+void ServingCluster::run_refit(const RefitJob& job) {
+  CorpusState& corpus = *corpora_[job.corpus];
+  if (corpus.residency.load(std::memory_order_acquire) != CorpusState::kResident)
+    return;  // raced a fit failure; nothing to refit
+  const serve::BundlePtr before = std::atomic_load(&corpus.bundle);
+  if (!before) return;
+  if (job.drift) {
+    // The drift study: one reduced calibration pass whose seed is a pure
+    // function of (calibration seed, the epoch being superseded) — so a
+    // fixed recalibration schedule appends identical observations in every
+    // run, and the refit below is bit-reproducible. run_study spreads the
+    // renders over the existing core::ThreadPool.
+    model::StudyConfig drift = corpus.service.calibration;
+    drift.seed = hash_seed(hash_seed(drift.seed, before->epoch),
+                           std::uint64_t{0xD21F7ull});
+    drift.samples_per_config = 1;
+    try {
+      primary_->append_observations(corpus.fingerprint, model::run_study(drift));
+    } catch (const std::exception&) {
+      return;  // a drift study that cannot run leaves the epoch unchanged
+    }
+  }
+  const serve::BundlePtr fresh = primary_->refit(corpus.fingerprint);
+  if (!fresh) return;
+  // Swap the fresh epoch into EVERY resident corpus sharing the
+  // fingerprint (they share the one fit, so they advance together), then
+  // sweep exactly those corpora's cache partitions of pre-swap entries.
+  // In-flight items keep their pinned `before` bundle; new admissions pin
+  // `fresh`.
+  for (std::size_t c = 0; c < corpora_.size(); ++c) {
+    CorpusState& other = *corpora_[c];
+    if (other.fingerprint != corpus.fingerprint) continue;
+    if (other.residency.load(std::memory_order_acquire) != CorpusState::kResident)
+      continue;
+    std::atomic_store(&other.bundle, fresh);
+    if (cache_->enabled())
+      epoch_invalidations_.fetch_add(
+          static_cast<long>(cache_->invalidate_stale(c, fresh->epoch)),
+          std::memory_order_relaxed);
+  }
+}
+
+bool ServingCluster::append_observations(const std::string& name,
+                                         std::vector<model::Observation> observations) {
+  const int idx = resolve_corpus(name);
+  if (idx < 0) return false;
+  if (!ensure_corpus_resident(static_cast<std::size_t>(idx))) return false;
+  return primary_->append_observations(
+      corpora_[static_cast<std::size_t>(idx)]->fingerprint, std::move(observations));
+}
+
+std::uint64_t ServingCluster::refit(const std::string& name) {
+  const int idx = resolve_corpus(name);
+  if (idx < 0) return 0;
+  ensure_serving();  // the refit worker must exist to drain the queue
+  if (!ensure_corpus_resident(static_cast<std::size_t>(idx))) return 0;
+  const serve::BundlePtr current =
+      std::atomic_load(&corpora_[static_cast<std::size_t>(idx)]->bundle);
+  {
+    std::lock_guard<std::mutex> lock(refit_mutex_);
+    refit_queue_.push_back({static_cast<std::size_t>(idx), /*drift=*/false});
+  }
+  refit_cv_.notify_one();
+  return current->epoch + 1;
+}
+
+std::uint64_t ServingCluster::recalibrate(const std::string& name) {
+  const int idx = resolve_corpus(name);
+  if (idx < 0) return 0;
+  ensure_serving();
+  if (!ensure_corpus_resident(static_cast<std::size_t>(idx))) return 0;
+  const serve::BundlePtr current =
+      std::atomic_load(&corpora_[static_cast<std::size_t>(idx)]->bundle);
+  {
+    std::lock_guard<std::mutex> lock(refit_mutex_);
+    refit_queue_.push_back({static_cast<std::size_t>(idx), /*drift=*/true});
+  }
+  refit_cv_.notify_one();
+  return current->epoch + 1;
+}
+
+void ServingCluster::wait_refits() {
+  std::unique_lock<std::mutex> lock(refit_mutex_);
+  refit_idle_cv_.wait(lock, [this] { return refit_queue_.empty() && !refit_busy_; });
+}
+
+std::uint64_t ServingCluster::bundle_epoch(const std::string& name) const {
+  const int idx = resolve_corpus(name);
+  if (idx < 0) return 0;
+  const serve::BundlePtr bundle =
+      std::atomic_load(&corpora_[static_cast<std::size_t>(idx)]->bundle);
+  return bundle ? bundle->epoch : 0;
+}
+
 std::uint64_t StreamSession::submit(const serve::AdvisorRequest& request) {
   if (!state_) throw std::logic_error("StreamSession: submit on a closed session");
   const std::size_t slot = state_->allocate_slot();
@@ -703,8 +856,8 @@ ClusterMetrics ServingCluster::metrics() const {
   for (std::size_t s = 0; s < shards_.size(); ++s)
     m.shard_health.emplace_back(shard_health_name(health(s)));
   m.rebalanced_queries = router_.rebalanced();
-  m.cache_lookups = cache_.lookups();
-  m.cache_hits = cache_.hits();
+  m.cache_lookups = cache_->lookups();
+  m.cache_hits = cache_->hits();
   m.cache_hit_rate =
       m.cache_lookups > 0
           ? static_cast<double>(m.cache_hits) / static_cast<double>(m.cache_lookups)
@@ -714,10 +867,17 @@ ClusterMetrics ServingCluster::metrics() const {
   // lock, because route() mutates the load counters under it.
   m.queries = queries_.load(std::memory_order_relaxed);
   m.corpus_queries.reserve(corpora_.size());
-  for (std::size_t c = 0; c < corpora_.size(); ++c)
-    m.corpus_queries.emplace_back(corpora_[c].name,
+  m.bundle_epoch.reserve(corpora_.size());
+  for (std::size_t c = 0; c < corpora_.size(); ++c) {
+    m.corpus_queries.emplace_back(corpora_[c]->name,
                                   corpus_queries_[c].load(std::memory_order_relaxed));
+    const serve::BundlePtr bundle = std::atomic_load(&corpora_[c]->bundle);
+    m.bundle_epoch.emplace_back(corpora_[c]->name, bundle ? bundle->epoch : 0);
+  }
   m.unknown_corpus_queries = unknown_corpus_queries_.load(std::memory_order_relaxed);
+  m.refits = primary_->refits();
+  m.lazy_fits = lazy_fits_.load(std::memory_order_relaxed);
+  m.epoch_invalidations = epoch_invalidations_.load(std::memory_order_relaxed);
   m.streams = streams_.load(std::memory_order_relaxed);
   m.shed_queries = shed_queries_.load(std::memory_order_relaxed);
   {
@@ -742,9 +902,8 @@ ClusterMetrics ServingCluster::metrics() const {
 }
 
 int ServingCluster::registry_fits() const {
-  int total = primary_->fits();
-  for (const auto& shard : shards_) total += shard->registry().fits();
-  return total;
+  // Shards hold no registries anymore; the primary is the only fitter.
+  return primary_->fits();
 }
 
 }  // namespace isr::cluster

@@ -43,11 +43,27 @@
 // Live mode instead reads the wall clock and a measured service-time
 // EWMA — fast, but not replayable without a recording.
 //
-// Replication: the cluster fits each resident calibration corpus exactly
+// Replication and residency: the cluster fits each calibration corpus
+// LAZILY — on the first query that names it, not at boot — and exactly
 // once per distinct fingerprint (on the primary registry, which callers
-// may share across clusters) and copies every fitted bundle into each
-// shard's replica; registry_fits() == distinct resident fingerprints at
-// any shard count.
+// may share across clusters); registry_fits() == distinct QUERIED
+// fingerprints at any shard count. Shards hold no model state: admission
+// pins the resolved corpus's current bundle (a shared_ptr) plus its
+// mapping constants into every StreamItem, so any shard can evaluate any
+// item and placement never changes bytes.
+//
+// Live recalibration (PR 8): bundles are epoch-versioned (registry.hpp).
+// append_observations() queues drift measurements against a resident
+// corpus; recalibrate()/refit() schedule a background refit job on the
+// cluster's refit worker (the observation study inside it runs on the
+// existing core::ThreadPool), which fits a fresh bundle at epoch + 1 and
+// atomically swaps it into every corpus sharing the fingerprint
+// (std::atomic_store on the shared_ptr — no torn reads under TSan), then
+// sweeps exactly those corpora's response-cache partitions of pre-swap
+// entries. In-flight requests finish on the epoch they were admitted
+// under (their pinned bundle), so for a FIXED epoch schedule responses
+// remain byte-identical at any shard/thread/cache configuration;
+// wait_refits() is the barrier that fixes the schedule.
 //
 // Fault tolerance (PR 7): shard workers are supervised — evaluation
 // exceptions become in-slot error responses, a heartbeat watchdog restarts
@@ -86,6 +102,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -196,9 +213,11 @@ class ServingCluster {
   ~ServingCluster();
 
   // Opens a long-lived submission handle. Stream ids are assigned in open
-  // order (the replay matching key), and the first open lazily fits /
-  // replicates the corpora and starts the shard workers. Thread-safe: any
-  // number of sessions may be open and submitting concurrently.
+  // order (the replay matching key), and the first open starts the shard
+  // workers, the watchdog, and the refit worker. Corpora are NOT fitted
+  // here: residency is lazy, paid by the first query naming each corpus.
+  // Thread-safe: any number of sessions may be open and submitting
+  // concurrently.
   StreamSession open_stream();
 
   // Compatibility surface: opens a session, submits every request in
@@ -226,11 +245,44 @@ class ServingCluster {
   // metrics lock.
   ClusterMetrics metrics() const;
 
-  // Calibration fits performed across the primary and every shard replica.
-  // Must equal the number of distinct resident corpus fingerprints —
-  // shards adopt, they never refit, and corpora sharing a fingerprint
-  // share one fit.
+  // Calibration fits performed (refits excluded). Under lazy residency
+  // this must equal the number of distinct QUERIED corpus fingerprints —
+  // shards hold no registries, and corpora sharing a fingerprint share
+  // one fit.
   int registry_fits() const;
+
+  // --- Live recalibration ------------------------------------------------
+  // Queues drift observations against the corpus `name` selects for its
+  // next refit. Forces residency (the corpus fits now if it never served a
+  // query). Returns false when the name is unknown or the corpus's
+  // calibration fit failed.
+  bool append_observations(const std::string& name,
+                           std::vector<model::Observation> observations);
+
+  // Schedules a background refit of `name`'s corpus folding in whatever
+  // observations were appended (an empty pending set still re-fits the
+  // same corpus at the next epoch). Returns the LOWER BOUND on the epoch
+  // the completed refit will publish (current + 1), or 0 when the name is
+  // unknown or the corpus's fit failed. The swap happens on the refit
+  // worker; wait_refits() is the completion barrier.
+  std::uint64_t refit(const std::string& name);
+
+  // refit() plus a deterministic drift study: the job generates one
+  // reduced calibration pass whose seed is a pure function of
+  // (calibration seed, current epoch), appends it, and refits — so two
+  // identically-seeded runs issuing the same recalibrate() schedule
+  // produce bit-identical bundles. Same return contract as refit().
+  std::uint64_t recalibrate(const std::string& name);
+
+  // Blocks until every scheduled refit job has completed and swapped.
+  // After this, the epoch schedule is fixed and responses are pure
+  // functions of (request, current epoch) again.
+  void wait_refits();
+
+  // The current bundle epoch of the corpus `name` selects: 0 when the
+  // name is unknown or the corpus is not yet resident, 1 after the
+  // initial (lazy) fit, +1 per completed refit.
+  std::uint64_t bundle_epoch(const std::string& name) const;
 
   int shards() const { return static_cast<int>(shards_.size()); }
   // Resident corpora (the default plus every accepted named corpus).
@@ -245,26 +297,59 @@ class ServingCluster {
  private:
   friend class StreamSession;
 
-  // One resident corpus, resolved at construction: its selector, its
+  // One configured corpus, resolved at construction: its selector, its
   // config (spr_base derived), its calibration fingerprint (what the
   // registry fits once), and its corpus key (calibration + constants —
-  // what routing and the shard replica maps select by, so corpora sharing
-  // a calibration but not constants never conflate).
+  // what routing selects by, so corpora sharing a calibration but not
+  // constants never conflate). Model state arrives lazily: `bundle` is
+  // null until the first query (or recalibration) naming this corpus
+  // forces residency, and is thereafter swapped atomically by refits.
   struct CorpusState {
+    // Residency states. kFitFailed means the calibration fit failed
+    // (injected or real) even after retry_limit + 1 attempts: the corpus
+    // stays configured but every request for it is answered with an
+    // explicit degraded response — a broken corpus must not crash the
+    // cluster or hang its clients.
+    static constexpr int kEmpty = 0;
+    static constexpr int kResident = 1;
+    static constexpr int kFitFailed = 2;
+
     std::string name;
     serve::ServiceConfig service;
     std::uint64_t fingerprint = 0;
     std::uint64_t corpus_key = 0;
-    // Calibration fit failed (injected or real) even after retry_limit + 1
-    // attempts at replication time: the corpus stays resident but every
-    // request for it is answered with an explicit degraded response —
-    // a broken corpus must not crash boot or hang its clients.
-    bool fit_failed = false;
+    std::atomic<int> residency{kEmpty};
+    // The corpus's CURRENT epoch bundle. Read with std::atomic_load and
+    // written with std::atomic_store only (C++17 shared_ptr atomics), so
+    // admission pinning a bundle can never observe a torn pointer while
+    // the refit worker swaps epochs.
+    serve::BundlePtr bundle;
   };
 
-  // Fit-once-replicate-everywhere, then start one worker thread per shard.
-  // Lazy (first open_stream) so constructing a cluster stays cheap.
+  // One scheduled background refit: which corpus, and whether to generate
+  // a deterministic drift study before refitting (recalibrate vs refit).
+  struct RefitJob {
+    std::size_t corpus = 0;
+    bool drift = false;
+  };
+
+  // Starts the shard workers, the heartbeat watchdog, and the refit
+  // worker. Lazy (first open_stream) so constructing a cluster stays
+  // cheap; corpora are fitted even later, on first query.
   void ensure_serving();
+
+  // Lazy residency: returns true when the corpus at `idx` holds a bundle,
+  // fitting it (once, under fit_mutex_, walking the same deterministic
+  // fit-failure retry ladder the eager path used) when this is its first
+  // touch. Returns false when the fit failed permanently.
+  bool ensure_corpus_resident(std::size_t idx);
+
+  // The refit worker thread: drains refit_queue_, running each job's
+  // drift study + registry refit and swapping the fresh bundle into every
+  // resident corpus sharing the fingerprint, then sweeping exactly those
+  // corpora's cache partitions.
+  void refit_loop();
+  void run_refit(const RefitJob& job);
 
   // The admission path (StreamSession::submit lands here): resolve, cache,
   // route, shed-or-enqueue. `session` rides into the StreamItem so the
@@ -305,13 +390,33 @@ class ServingCluster {
   }
 
   ClusterConfig config_;
-  std::vector<CorpusState> corpora_;  // [0] is the default corpus
+  // [0] is the default corpus. unique_ptr entries: CorpusState holds an
+  // atomic (not movable), and items pin &service.constants — addresses
+  // must be stable for the cluster's lifetime.
+  std::vector<std::unique_ptr<CorpusState>> corpora_;
   std::shared_ptr<serve::ModelRegistry> primary_;
   Router router_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  ResponseCache cache_;
+  // Built in the constructor body, once the corpus count (its partition
+  // count) is known.
+  std::unique_ptr<ResponseCache> cache_;
   bool serving_ = false;
   std::mutex serving_mutex_;
+  // Serializes lazy corpus fits (a calibration study must run at most once
+  // per corpus no matter how many admitters race the first query).
+  std::mutex fit_mutex_;
+
+  // Recalibration state: the dedicated refit worker and its job queue.
+  // refit_busy_ distinguishes "queue empty" from "done" for wait_refits().
+  std::thread refit_worker_;
+  std::mutex refit_mutex_;
+  std::condition_variable refit_cv_;       // wakes the worker
+  std::condition_variable refit_idle_cv_;  // wakes wait_refits()
+  std::deque<RefitJob> refit_queue_;
+  bool refit_busy_ = false;
+  bool refit_stop_ = false;
+  std::atomic<long> lazy_fits_{0};
+  std::atomic<long> epoch_invalidations_{0};
 
   // Fault-tolerance state. health_ is written by the watchdog only and
   // read (relaxed) by admission/failover — a stale read routes to a shard

@@ -43,6 +43,21 @@ std::string ClusterMetrics::to_jsonl() const {
   }
   corpus_map += "}";
 
+  // Per-corpus bundle epochs, same nested-object shape and key order as
+  // corpus_queries (0 marks a corpus configured but not yet resident).
+  std::string epoch_map = "{";
+  for (std::size_t c = 0; c < bundle_epoch.size(); ++c) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(bundle_epoch[c].second));
+    epoch_map += c == 0 ? "\"" : ",\"";
+    epoch_map += serve::json_escape(bundle_epoch[c].first.empty()
+                                        ? "default"
+                                        : bundle_epoch[c].first);
+    epoch_map += buf;
+  }
+  epoch_map += "}";
+
   // Per-shard health as a JSON string array, shard order.
   std::string health_list = "[";
   for (std::size_t s = 0; s < shard_health.size(); ++s) {
@@ -55,6 +70,8 @@ std::string ClusterMetrics::to_jsonl() const {
   const char* fmt =
       "{\"shards\":%d,\"queries\":%ld,\"shard_queries\":%s,"
       "\"corpus_queries\":%s,\"unknown_corpus_queries\":%ld,"
+      "\"bundle_epoch\":%s,\"refits\":%ld,\"lazy_fits\":%ld,"
+      "\"epoch_invalidations\":%ld,"
       "\"streams\":%ld,\"shed_queries\":%ld,"
       "\"rebalanced_queries\":%ld,\"hot_keys\":%d,"
       "\"cache_lookups\":%ld,\"cache_hits\":%ld,\"cache_hit_rate\":%.6f,"
@@ -67,14 +84,16 @@ std::string ClusterMetrics::to_jsonl() const {
   // Two-pass snprintf into an exactly-sized string, as in study.cpp.
   const int len = std::snprintf(
       nullptr, 0, fmt, shards, queries, shard_list.c_str(), corpus_map.c_str(),
-      unknown_corpus_queries, streams, shed_queries, rebalanced_queries, hot_keys,
+      unknown_corpus_queries, epoch_map.c_str(), refits, lazy_fits,
+      epoch_invalidations, streams, shed_queries, rebalanced_queries, hot_keys,
       cache_lookups, cache_hits, cache_hit_rate, worker_restarts, failovers, retries,
       timeouts, degraded_queries, eval_exceptions, faults_injected,
       health_list.c_str(), batches, size_flushes, deadline_flushes, kick_flushes,
       close_flushes, max_queue_depth, p50_latency_ms, p99_latency_ms);
   std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
   std::snprintf(&line[0], line.size() + 1, fmt, shards, queries, shard_list.c_str(),
-                corpus_map.c_str(), unknown_corpus_queries, streams, shed_queries,
+                corpus_map.c_str(), unknown_corpus_queries, epoch_map.c_str(), refits,
+                lazy_fits, epoch_invalidations, streams, shed_queries,
                 rebalanced_queries, hot_keys, cache_lookups, cache_hits, cache_hit_rate,
                 worker_restarts, failovers, retries, timeouts, degraded_queries,
                 eval_exceptions, faults_injected, health_list.c_str(), batches,

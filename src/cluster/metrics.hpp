@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +29,16 @@ struct ClusterMetrics {
   // in-slot error responses and never reach a shard.
   std::vector<std::pair<std::string, long>> corpus_queries;
   long unknown_corpus_queries = 0;
+
+  // Live recalibration: the current bundle epoch per configured corpus
+  // (cluster-config order; 0 = not yet resident under lazy fitting, 1 =
+  // initial fit, +1 per refit), refits completed, corpora fitted lazily on
+  // first query, and response-cache entries evicted by epoch-scoped
+  // invalidation sweeps after refit swaps.
+  std::vector<std::pair<std::string, std::uint64_t>> bundle_epoch;
+  long refits = 0;
+  long lazy_fits = 0;
+  long epoch_invalidations = 0;
 
   // Streaming admission: sessions ever opened (serve_batch counts one per
   // call — it is a session under the hood), and requests refused at

@@ -26,23 +26,10 @@ Shard::Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
     : index_(index),
       batch_size_(batch_size > 0 ? batch_size : 1),
       batch_deadline_(batch_deadline),
-      registry_(std::make_unique<serve::ModelRegistry>()),
       queue_(queue_capacity),
       service_estimate_us_(initial_service_us > 0.0 ? initial_service_us : 1.0) {}
 
 Shard::~Shard() { stop(); }
-
-void Shard::adopt(const serve::FittedModels& bundle,
-                  const model::MappingConstants& constants, std::uint64_t corpus_key) {
-  const auto it = replicas_.find(corpus_key);
-  if (it != replicas_.end()) return;  // already resident (entries identical)
-  Replica replica;
-  // The registry dedups by bundle fingerprint, so two corpus keys sharing
-  // a calibration share one adopted bundle under distinct replica entries.
-  replica.fitted = &registry_->adopt(bundle);
-  replica.constants = constants;
-  replicas_.emplace(corpus_key, replica);
-}
 
 void Shard::start(ResponseCache* cache, core::FaultInjector* faults,
                   FailureHandler on_failed) {
@@ -89,10 +76,9 @@ void Shard::worker_loop() {
 
 serve::AdvisorResponse Shard::evaluate(const StreamItem& item) {
   serve::AdvisorResponse response;
-  const auto replica = replicas_.find(item.corpus_key);
-  // The cluster only admits requests for resolved resident corpora, so the
-  // miss branch is a defensive invariant, not a code path.
-  if (replica == replicas_.end()) {
+  // Admission pins the bundle and constants before enqueueing, so the null
+  // branch is a defensive invariant, not a code path.
+  if (!item.bundle || !item.constants) {
     response.ok = false;
     response.error = "corpus bundle not resident on shard";
     return response;
@@ -102,8 +88,7 @@ serve::AdvisorResponse Shard::evaluate(const StreamItem& item) {
   // itself a pure function of (request, models), so the bytes stay
   // deterministic.
   try {
-    response = serve::answer_request(*replica->second.fitted,
-                                     replica->second.constants, item.request);
+    response = serve::answer_request(*item.bundle, *item.constants, item.request);
   } catch (const std::exception& e) {
     response = serve::AdvisorResponse{};
     response.ok = false;
@@ -180,8 +165,12 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
     ++evaluated;
     // Degraded responses never reach this path (the cluster delivers them
     // directly), so everything evaluated here is cache-safe: a pure
-    // function of the request.
-    if (cache_) cache_->insert(item.cache_key, responses[i]);
+    // function of (request, pinned epoch). The entry is stamped with the
+    // item's ADMISSION epoch — a concurrent refit's invalidation sweep
+    // will clear it if the epoch moved on before this insert landed.
+    if (cache_ && item.bundle)
+      cache_->insert(static_cast<std::size_t>(item.corpus_index),
+                     item.bundle->epoch, item.cache_key, responses[i]);
   }
   const auto now = std::chrono::steady_clock::now();
 

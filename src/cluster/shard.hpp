@@ -1,23 +1,21 @@
-// One serving shard: a replicated serve::ModelRegistry holding EVERY
-// resident calibration corpus (the primary fits each distinct fingerprint
-// once; every shard adopts a copy of each fitted bundle, so a cluster
-// performs exactly one fit per distinct corpus fingerprint no matter how
-// many shards it runs), fed by a bounded core::OrderedBatchQueue the
-// cluster's admission path pushes StreamItems into. The shard OWNS its
-// dedicated worker thread (start()/stop()) and is SUPERVISED: the worker
-// drains coalesced batches — flushed on batch size, on the coalescing
-// deadline, on a kick (a closing stream flushing its in-flight tail), or
-// on shutdown — in strict-priority/EDF order and evaluates each item
-// through serve::answer_request against the fingerprint-selected replica
-// bundle, but an evaluation that throws becomes an in-slot error response
-// (never a dead thread), an injected transient failure hands the item to
-// the cluster's failure handler for retry/failover, and a (simulated)
-// worker crash parks the undelivered batch in an in-flight ledger the
-// heartbeat watchdog re-drives after restart() — which is what makes
-// StreamSession::close() un-hangable: every admitted item is always
-// delivered by SOMEONE. Full replication is what makes hot-key
-// rebalancing and failover free: any shard can evaluate any
-// (corpus, arch) request, so placement never changes response bytes.
+// One serving shard: a bounded core::OrderedBatchQueue the cluster's
+// admission path pushes StreamItems into, drained by a dedicated SUPERVISED
+// worker thread the shard owns (start()/stop()). Since the recalibration
+// PR, shards hold NO model state of their own: every StreamItem carries a
+// shared_ptr pin of the bundle it was admitted under plus its corpus's
+// mapping constants, so any shard can evaluate any item — placement,
+// failover, and even a mid-flight recalibration swap can never change the
+// bytes a request answers. The worker drains coalesced batches — flushed
+// on batch size, on the coalescing deadline, on a kick (a closing stream
+// flushing its in-flight tail), or on shutdown — in strict-priority/EDF
+// order and evaluates each item through serve::answer_request against its
+// pinned bundle, but an evaluation that throws becomes an in-slot error
+// response (never a dead thread), an injected transient failure hands the
+// item to the cluster's failure handler for retry/failover, and a
+// (simulated) worker crash parks the undelivered batch in an in-flight
+// ledger the heartbeat watchdog re-drives after restart() — which is what
+// makes StreamSession::close() un-hangable: every admitted item is always
+// delivered by SOMEONE.
 #pragma once
 
 #include <atomic>
@@ -25,8 +23,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -34,7 +30,6 @@
 #include "core/batch_queue.hpp"
 #include "core/fault.hpp"
 #include "cluster/stream.hpp"
-#include "serve/registry.hpp"
 
 namespace isr::cluster {
 
@@ -76,22 +71,9 @@ class Shard {
 
   int index() const { return index_; }
 
-  // Replication: installs one resident corpus — the primary's fitted
-  // bundle plus that corpus's mapping constants — into this shard's
-  // replica registry (no refit), keyed by the cluster's corpus key (a hash
-  // of the calibration fingerprint AND the constants, so two corpora
-  // sharing a calibration but differing in constants get separate replica
-  // entries over the one adopted bundle). Re-adopting a resident key is a
-  // no-op (entries for one key are identical).
-  void adopt(const serve::FittedModels& bundle, const model::MappingConstants& constants,
-             std::uint64_t corpus_key);
-
-  // Resident replica count (distinct corpus keys adopted so far).
-  std::size_t resident_corpora() const { return replicas_.size(); }
-
   // Starts the dedicated worker thread. `faults` (nullable) injects the
   // deterministic chaos schedule; `on_failed` (nullable) receives items
-  // that failed transiently. Call once, after every replica is adopted.
+  // that failed transiently. Call once.
   void start(ResponseCache* cache, core::FaultInjector* faults, FailureHandler on_failed);
   // Closes the queue (shutdown()) and joins the worker — including a
   // crashed one the watchdog never got to.
@@ -113,11 +95,11 @@ class Shard {
   // No more admissions, ever: the worker drains what remains and stops.
   void shutdown() { queue_.close(); }
 
-  // The pure per-item evaluation (replica lookup + serve::answer_request),
-  // exceptions converted to in-slot error responses. Public so the
-  // cluster's failover path can evaluate inline when every queue route is
-  // saturated — the response is a pure function of (request, models), so
-  // WHO evaluates never changes the bytes.
+  // The pure per-item evaluation (serve::answer_request against the item's
+  // pinned bundle and constants), exceptions converted to in-slot error
+  // responses. Public so the cluster's failover path can evaluate inline
+  // when every queue route is saturated — the response is a pure function
+  // of (request, pinned bundle), so WHO evaluates never changes the bytes.
   serve::AdvisorResponse evaluate(const StreamItem& item);
 
   // --- Supervision surface (the cluster's heartbeat watchdog) -----------
@@ -151,18 +133,7 @@ class Shard {
   std::size_t queue_depth() const { return queue_.depth(); }
   void drain_latencies(std::vector<double>& into);  // moves out recorded ms
 
-  // The replica registry, exposed so the cluster can count fits (which must
-  // stay zero here — replicas adopt, never fit).
-  const serve::ModelRegistry& registry() const { return *registry_; }
-
  private:
-  // One resident corpus on this shard: the adopted bundle (owned by
-  // registry_) and the mapping constants its requests evaluate under.
-  struct Replica {
-    const serve::FittedModels* fitted = nullptr;
-    model::MappingConstants constants;
-  };
-
   // Why one drain iteration ended: keep going, queue closed-and-empty
   // (normal worker exit), or an injected crash (the thread dies and the
   // watchdog takes over).
@@ -174,8 +145,6 @@ class Shard {
   int index_;
   std::size_t batch_size_;
   std::chrono::nanoseconds batch_deadline_;
-  std::unique_ptr<serve::ModelRegistry> registry_;
-  std::map<std::uint64_t, Replica> replicas_;  // corpus key -> replica
   core::OrderedBatchQueue<StreamItem, StreamBefore> queue_;
   std::atomic<double> service_estimate_us_;
 

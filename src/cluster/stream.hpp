@@ -29,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "model/mapping.hpp"
 #include "serve/advisor.hpp"
+#include "serve/registry.hpp"
 
 namespace isr::cluster {
 
@@ -92,6 +94,17 @@ class SessionState {
 struct StreamItem {
   serve::AdvisorRequest request;
   std::uint64_t corpus_key = 0;  // resident replica the request resolved to
+  // The bundle this request was ADMITTED under, pinned here so evaluation —
+  // on any shard, after any failover, before or after a recalibration swap —
+  // reads exactly the epoch admission saw. Shared ownership keeps a
+  // superseded bundle alive until its last in-flight request delivers.
+  serve::BundlePtr bundle;
+  // The resolved corpus's mapping constants; owned by the cluster's corpus
+  // state, which outlives every in-flight item.
+  const model::MappingConstants* constants = nullptr;
+  // Index of the resolved corpus in the cluster's configuration order —
+  // the response-cache partition this item's entry lives in.
+  int corpus_index = 0;
   std::shared_ptr<SessionState> session;
   std::size_t slot = 0;
   // Scheduling key. deadline_at_us is the absolute virtual deadline

@@ -1,5 +1,7 @@
 #include "serve/registry.hpp"
 
+#include <utility>
+
 #include "math/rng.hpp"
 
 namespace isr::serve {
@@ -34,47 +36,125 @@ std::uint64_t ModelRegistry::fingerprint(const model::StudyConfig& config) {
   return h;
 }
 
-const FittedModels& ModelRegistry::models_for(const model::StudyConfig& config) {
-  const std::uint64_t key = fingerprint(config);
-  // The fit runs under the lock: concurrent first queries for the same
-  // config must not both pay for (or race on) a calibration study. Fits
-  // are rare (once per config) and the study uses its own pool, so the
-  // coarse critical section costs nothing in steady state.
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return *it->second;
-
-  auto fitted = std::make_unique<FittedModels>();
-  fitted->fingerprint = key;
-  const std::vector<model::Observation> obs = model::run_study(config);
-  fitted->corpus_size = obs.size();
+FittedModels fit_bundle(const model::StudyConfig& config,
+                        const std::vector<model::Observation>& observations,
+                        std::uint64_t epoch) {
+  FittedModels fitted;
+  fitted.fingerprint = ModelRegistry::fingerprint(config);
+  fitted.epoch = epoch;
+  fitted.corpus_size = observations.size();
   for (const std::string& arch : config.archs) {
     for (const model::RendererKind kind : config.renderers) {
-      const std::vector<model::RenderSample> samples = model::samples_for(obs, arch, kind);
+      const std::vector<model::RenderSample> samples =
+          model::samples_for(observations, arch, kind);
       if (samples.empty()) continue;  // combination excluded from the corpus
       FittedModels::Entry entry;
       entry.arch = arch;
       entry.kind = kind;
       entry.model = model::PerfModel::fit(kind, samples);
-      fitted->entries.push_back(std::move(entry));
+      fitted.entries.push_back(std::move(entry));
     }
   }
-  fitted->composite = model::CompositeModel::fit(model::composite_samples(obs));
+  fitted.composite = model::CompositeModel::fit(model::composite_samples(observations));
+  return fitted;
+}
+
+ModelRegistry::Record& ModelRegistry::fit_locked(const model::StudyConfig& config,
+                                                 std::uint64_t key) {
+  // Caller holds mutex_ and has already missed the cache. The fit runs
+  // under the lock: concurrent first queries for the same config must not
+  // both pay for (or race on) a calibration study. Fits are rare (once per
+  // config) and the study uses its own pool, so the coarse critical section
+  // costs nothing in steady state.
+  Record record;
+  record.config = config;
+  record.refittable = true;
+  record.observations = model::run_study(config);
+  record.bundle = std::make_shared<const FittedModels>(
+      fit_bundle(config, record.observations, /*epoch=*/1));
   ++fits_;
-  return *cache_.emplace(key, std::move(fitted)).first->second;
+  return cache_.emplace(key, std::move(record)).first->second;
+}
+
+const FittedModels& ModelRegistry::models_for(const model::StudyConfig& config) {
+  const std::uint64_t key = fingerprint(config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second.bundle;
+  return *fit_locked(config, key).bundle;
+}
+
+BundlePtr ModelRegistry::bundle_for(const model::StudyConfig& config) {
+  const std::uint64_t key = fingerprint(config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.bundle;
+  return fit_locked(config, key).bundle;
+}
+
+BundlePtr ModelRegistry::current(std::uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(fingerprint);
+  return it == cache_.end() ? nullptr : it->second.bundle;
 }
 
 const FittedModels& ModelRegistry::adopt(const FittedModels& bundle) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(bundle.fingerprint);
-  if (it != cache_.end()) return *it->second;
-  return *cache_.emplace(bundle.fingerprint, std::make_unique<FittedModels>(bundle))
-              .first->second;
+  if (it != cache_.end()) return *it->second.bundle;
+  Record record;
+  record.bundle = std::make_shared<const FittedModels>(bundle);
+  return *cache_.emplace(bundle.fingerprint, std::move(record)).first->second.bundle;
+}
+
+bool ModelRegistry::append_observations(std::uint64_t fingerprint,
+                                        std::vector<model::Observation> observations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(fingerprint);
+  if (it == cache_.end() || !it->second.refittable) return false;
+  Record& record = it->second;
+  record.pending.insert(record.pending.end(),
+                        std::make_move_iterator(observations.begin()),
+                        std::make_move_iterator(observations.end()));
+  return true;
+}
+
+std::size_t ModelRegistry::pending_observations(std::uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(fingerprint);
+  return it == cache_.end() ? 0 : it->second.pending.size();
+}
+
+BundlePtr ModelRegistry::refit(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(fingerprint);
+  if (it == cache_.end() || !it->second.refittable) return nullptr;
+  Record& record = it->second;
+  // Fold the pending observations into the corpus, then fit exactly the
+  // way the initial fit did — the new bundle is bit-identical to a fresh
+  // fit_bundle() of the appended corpus. The regressions are linear solves
+  // over a few dozen samples, so fitting under the lock is fine; heavy
+  // observation GENERATION (a drift study) belongs to the caller, outside.
+  record.observations.insert(record.observations.end(),
+                             std::make_move_iterator(record.pending.begin()),
+                             std::make_move_iterator(record.pending.end()));
+  record.pending.clear();
+  BundlePtr fresh = std::make_shared<const FittedModels>(
+      fit_bundle(record.config, record.observations, record.bundle->epoch + 1));
+  retired_.push_back(std::move(record.bundle));  // keep old references valid
+  record.bundle = fresh;
+  ++refits_;
+  return fresh;
 }
 
 int ModelRegistry::fits() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fits_;
+}
+
+int ModelRegistry::refits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return refits_;
 }
 
 }  // namespace isr::serve

@@ -8,6 +8,15 @@
 // that shapes the corpus. `threads` is deliberately excluded — run_study
 // guarantees the corpus is bit-identical at any thread count, so a config
 // that differs only in worker count must hit the same cache entry.
+//
+// Live recalibration: bundles are EPOCH-VERSIONED. The initial fit is
+// epoch 1; append_observations() queues new measurements against a fitted
+// fingerprint, and refit() folds them into the corpus and fits a fresh
+// bundle at epoch + 1. The refitted bundle is bit-identical to a fresh
+// fit_bundle() of the same appended corpus — refitting is re-fitting, not
+// an incremental approximation. Old bundles stay alive (shared_ptr + a
+// retired list), so both the reference-returning API and any in-flight
+// request pinning an old epoch remain valid across swaps.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,10 @@ namespace isr::serve {
 // models (arch x renderer, §5.5-§5.6) plus the compositing model (Eq. 5.5).
 struct FittedModels {
   std::uint64_t fingerprint = 0;
+  // Version of this bundle within its fingerprint: 1 = the initial fit,
+  // +1 per refit. 0 only on a default-constructed (unfitted) value, so it
+  // doubles as "no bundle" in cache-entry and metrics contexts.
+  std::uint64_t epoch = 0;
   std::size_t corpus_size = 0;  // observations the fits consumed
 
   struct Entry {
@@ -42,6 +55,22 @@ struct FittedModels {
   const model::PerfModel* find(const std::string& arch, model::RendererKind kind) const;
 };
 
+// Shared, immutable ownership of one bundle version. In-flight requests pin
+// the epoch they were admitted under by holding one of these; swapping the
+// registry's current bundle can never tear or invalidate what they read.
+using BundlePtr = std::shared_ptr<const FittedModels>;
+
+// The fitting core every path shares: fit each (arch, renderer) model that
+// has samples in `observations`, then the compositing model, exactly in
+// calibration-config order. A pure function of its arguments — the same
+// observations produce bit-identical coefficients whether they arrive as
+// one fresh corpus or as a fitted corpus plus appended measurements (the
+// refit-vs-fresh-fit identity test_recal gates). `epoch` is stamped on the
+// result; fingerprint is derived from `config`.
+FittedModels fit_bundle(const model::StudyConfig& config,
+                        const std::vector<model::Observation>& observations,
+                        std::uint64_t epoch = 1);
+
 class ModelRegistry {
  public:
   // Corpus fingerprint: pure function of the config fields that determine
@@ -52,24 +81,74 @@ class ModelRegistry {
   // The fitted bundle for `config`, running the calibration study and the
   // regressions at most once per fingerprint. Thread-safe; the returned
   // reference stays valid for the registry's lifetime (entries are never
-  // evicted — calibration configs are few and bundles are tiny).
+  // evicted, and refits retire — never destroy — superseded bundles).
+  // Returns the CURRENT epoch's bundle; callers that must survive a
+  // concurrent refit should take shared ownership via bundle_for().
   const FittedModels& models_for(const model::StudyConfig& config);
 
+  // Same fit-once contract, shared ownership: the serving cluster pins one
+  // of these per admitted request so an in-flight request finishes on the
+  // epoch it was admitted under even while a refit swaps the current.
+  BundlePtr bundle_for(const model::StudyConfig& config);
+
+  // The current bundle for an already-fitted (or adopted) fingerprint;
+  // nullptr when the fingerprint is unknown here. Never fits.
+  BundlePtr current(std::uint64_t fingerprint) const;
+
   // Replication path: installs a copy of an already-fitted bundle under its
-  // own fingerprint, so a replica registry (one per cluster shard) answers
-  // from the primary's models without re-running the calibration study.
-  // Does NOT count as a fit; an existing entry for the fingerprint is kept
-  // (first writer wins — bundles for one fingerprint are identical).
+  // own fingerprint, so a replica registry answers from the primary's
+  // models without re-running the calibration study. Does NOT count as a
+  // fit; an existing entry for the fingerprint is kept (first writer wins —
+  // bundles for one fingerprint are identical). Adopted entries carry no
+  // corpus, so they cannot be refitted (append/refit return false/nullptr).
   const FittedModels& adopt(const FittedModels& bundle);
 
+  // Queues new observations against a fitted fingerprint for the next
+  // refit. Returns false when the fingerprint is unknown or was adopted
+  // rather than fitted here (no corpus to append to). Cheap: no fitting
+  // happens until refit().
+  bool append_observations(std::uint64_t fingerprint,
+                           std::vector<model::Observation> observations);
+
+  // Observations appended but not yet folded in by a refit.
+  std::size_t pending_observations(std::uint64_t fingerprint) const;
+
+  // Folds every pending observation into the fingerprint's corpus and fits
+  // a fresh bundle at epoch + 1, atomically replacing the current one (the
+  // superseded bundle is retired, keeping old references and pins valid).
+  // Returns the new bundle, or nullptr when the fingerprint is unknown or
+  // not refittable (adopted). Bit-identical to fit_bundle() of the same
+  // appended corpus.
+  BundlePtr refit(std::uint64_t fingerprint);
+
   // Number of calibration fits performed so far (cache misses; adopted
-  // bundles excluded).
+  // bundles and refits excluded).
   int fits() const;
+  // Number of refits performed so far.
+  int refits() const;
 
  private:
+  // One fingerprint's record: the config and corpus it was fitted from
+  // (absent for adopted entries), observations queued for the next refit,
+  // and the current bundle.
+  struct Record {
+    model::StudyConfig config;
+    bool refittable = false;  // fitted here (config + corpus retained)
+    std::vector<model::Observation> observations;  // the fitted corpus
+    std::vector<model::Observation> pending;       // appended, not yet fitted
+    BundlePtr bundle;
+  };
+
+  Record& fit_locked(const model::StudyConfig& config, std::uint64_t key);
+
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::unique_ptr<FittedModels>> cache_;
+  std::map<std::uint64_t, Record> cache_;
+  // Superseded bundles, pinned for the registry's lifetime so the
+  // reference-returning API stays valid across refits. Bundles are tiny
+  // (a few coefficient vectors) and refits are rare.
+  std::vector<BundlePtr> retired_;
   int fits_ = 0;
+  int refits_ = 0;
 };
 
 }  // namespace isr::serve

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Tests for scripts/check_bench_regression.py — the CI bench gate.
+
+The gate is the last line of defense for the throughput benches (including
+bench_recal_swap's during-refit floor), so its failure modes are tested
+like product code: a clean FAIL line and exit 1 for every way a truncated
+artifact or interrupted bench can corrupt a record — missing current file,
+malformed JSON, a JSON value that is not an object, throughput fields
+absent — and exit 0 only when every field of every baseline holds up.
+
+Run directly (python3 tests/test_check_bench_regression.py) or via ctest
+(registered in tests/CMakeLists.txt when a python3 interpreter is found).
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_bench_regression.py"
+BASELINE_DIR = REPO_ROOT / "bench" / "baselines"
+
+
+def run_gate(baseline_dir, current_dir, max_regression=None):
+    cmd = [
+        sys.executable,
+        str(SCRIPT),
+        "--baseline-dir",
+        str(baseline_dir),
+        "--current-dir",
+        str(current_dir),
+    ]
+    if max_regression is not None:
+        cmd += ["--max-regression", str(max_regression)]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = pathlib.Path(self._tmp.name)
+        self.baselines = root / "baselines"
+        self.current = root / "current"
+        self.baselines.mkdir()
+        self.current.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, directory, name, payload):
+        path = directory / name
+        text = payload if isinstance(payload, str) else json.dumps(payload)
+        path.write_text(text)
+        return path
+
+    def test_healthy_result_passes(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0, "obs_per_sec_y": 50.0})
+        self.write(self.current, "a.json", {"qps_x": 90.0, "obs_per_sec_y": 60.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("all bench regression checks passed", result.stdout)
+
+    def test_improvement_never_fails(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        self.write(self.current, "a.json", {"qps_x": 100000.0})
+        self.assertEqual(run_gate(self.baselines, self.current).returncode, 0)
+
+    def test_collapse_below_half_baseline_fails(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        self.write(self.current, "a.json", {"qps_x": 49.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL a.json: qps_x", result.stdout)
+
+    def test_max_regression_flag_widens_the_floor(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        self.write(self.current, "a.json", {"qps_x": 49.0})
+        self.assertEqual(
+            run_gate(self.baselines, self.current, max_regression=4.0).returncode, 0
+        )
+
+    def test_missing_current_file_fails(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no current result", result.stdout)
+
+    def test_malformed_current_json_fails_without_traceback(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        self.write(self.current, "a.json", '{"qps_x": 100.0')  # truncated
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("malformed JSON", result.stdout)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_malformed_baseline_json_fails(self):
+        self.write(self.baselines, "a.json", "not json at all")
+        self.write(self.current, "a.json", {"qps_x": 100.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("baseline malformed JSON", result.stdout)
+
+    def test_non_dict_json_fails(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        self.write(self.current, "a.json", "[1, 2, 3]")
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("expected a JSON object, got list", result.stdout)
+
+    def test_baseline_without_throughput_fields_fails(self):
+        self.write(self.baselines, "a.json", {"identical": True, "queries": 5})
+        self.write(self.current, "a.json", {"identical": True})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no qps_*/obs_per_sec_* fields", result.stdout)
+
+    def test_field_missing_from_current_fails(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0, "qps_y": 10.0})
+        self.write(self.current, "a.json", {"qps_x": 100.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("qps_y missing from current result", result.stdout)
+
+    def test_zero_baseline_field_cannot_regress(self):
+        self.write(self.baselines, "a.json", {"qps_x": 0.0, "qps_y": 10.0})
+        self.write(self.current, "a.json", {"qps_y": 10.0})  # no qps_x at all
+        self.assertEqual(run_gate(self.baselines, self.current).returncode, 0)
+
+    def test_empty_baseline_dir_fails(self):
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no baselines found", result.stderr)
+
+    def test_one_bad_record_fails_the_whole_run(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0})
+        self.write(self.baselines, "b.json", {"qps_x": 100.0})
+        self.write(self.current, "a.json", {"qps_x": 100.0})
+        self.write(self.current, "b.json", {"qps_x": 1.0})  # collapsed
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("ok a.json", result.stdout)
+        self.assertIn("FAIL b.json", result.stdout)
+
+
+class CommittedBaselinesTest(unittest.TestCase):
+    """The baselines the repo actually ships must satisfy the gate's shape
+    requirements — a committed baseline the gate cannot parse would turn
+    every CI run red."""
+
+    def test_every_committed_baseline_is_gateable(self):
+        paths = sorted(BASELINE_DIR.glob("*.json"))
+        self.assertTrue(paths, f"no baselines in {BASELINE_DIR}")
+        for path in paths:
+            record = json.loads(path.read_text())
+            self.assertIsInstance(record, dict, path.name)
+            throughput = [
+                key
+                for key, value in record.items()
+                if key.startswith(("qps_", "obs_per_sec_"))
+                and isinstance(value, (int, float))
+            ]
+            self.assertTrue(throughput, f"{path.name} has no throughput fields")
+
+    def test_recal_swap_baseline_covers_the_swap_phases(self):
+        record = json.loads((BASELINE_DIR / "recal_swap.json").read_text())
+        for key in ("qps_warm", "qps_during_refit", "qps_post_swap_warm"):
+            self.assertIn(key, record)
+            self.assertGreater(record[key], 0)
+        self.assertEqual(record["warm_hit_rate"], 1.0)
+        self.assertEqual(record["post_swap_warm_hit_rate"], 1.0)
+        self.assertTrue(record["identical"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -245,41 +245,98 @@ TEST(CanonicalKeyTest, IgnoresDeadlineAndPriority) {
 
 TEST(ResponseCacheTest, EvictsLeastRecentlyUsedInOrder) {
   ResponseCache cache(2, /*ways=*/1);  // one way: exact global LRU order
-  cache.insert("a", ok_response(1.0));
-  cache.insert("b", ok_response(2.0));
+  cache.insert(0, 1, "a", ok_response(1.0));
+  cache.insert(0, 1, "b", ok_response(2.0));
   AdvisorResponse out;
-  ASSERT_TRUE(cache.lookup("a", out));  // refreshes a: LRU order is now b, a
+  ASSERT_TRUE(cache.lookup(0, 1, "a", out));  // refreshes a: LRU order is now b, a
   EXPECT_DOUBLE_EQ(out.frame_seconds, 1.0);
 
-  cache.insert("c", ok_response(3.0));  // evicts b (least recently used)
-  EXPECT_FALSE(cache.lookup("b", out));
-  EXPECT_TRUE(cache.lookup("a", out));
-  EXPECT_TRUE(cache.lookup("c", out));
+  cache.insert(0, 1, "c", ok_response(3.0));  // evicts b (least recently used)
+  EXPECT_FALSE(cache.lookup(0, 1, "b", out));
+  EXPECT_TRUE(cache.lookup(0, 1, "a", out));
+  EXPECT_TRUE(cache.lookup(0, 1, "c", out));
   EXPECT_EQ(cache.size(), 2u);
 
-  cache.insert("d", ok_response(4.0));  // now a is LRU (c, a after lookups)
-  EXPECT_FALSE(cache.lookup("a", out));
-  EXPECT_TRUE(cache.lookup("c", out));
-  EXPECT_TRUE(cache.lookup("d", out));
+  cache.insert(0, 1, "d", ok_response(4.0));  // now a is LRU (c, a after lookups)
+  EXPECT_FALSE(cache.lookup(0, 1, "a", out));
+  EXPECT_TRUE(cache.lookup(0, 1, "c", out));
+  EXPECT_TRUE(cache.lookup(0, 1, "d", out));
 }
 
 TEST(ResponseCacheTest, DisabledCacheNeverHits) {
   ResponseCache cache(0);
   EXPECT_FALSE(cache.enabled());
-  cache.insert("a", ok_response(1.0));
+  cache.insert(0, 1, "a", ok_response(1.0));
   AdvisorResponse out;
-  EXPECT_FALSE(cache.lookup("a", out));
+  EXPECT_FALSE(cache.lookup(0, 1, "a", out));
   EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(ResponseCacheTest, CountsLookupsAndHits) {
   ResponseCache cache(8);
   AdvisorResponse out;
-  EXPECT_FALSE(cache.lookup("a", out));
-  cache.insert("a", ok_response(1.0));
-  EXPECT_TRUE(cache.lookup("a", out));
+  EXPECT_FALSE(cache.lookup(0, 1, "a", out));
+  cache.insert(0, 1, "a", ok_response(1.0));
+  EXPECT_TRUE(cache.lookup(0, 1, "a", out));
   EXPECT_EQ(cache.lookups(), 2);
   EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(ResponseCacheTest, PartitionQuotasAreStructural) {
+  // 8 entries over 2 partitions: each partition owns 4 slots, and
+  // flooding partition 0 with far more keys than the whole cache holds
+  // cannot evict a single partition-1 entry — the quota is hard, not an
+  // accounting policy (the cross-corpus eviction regression).
+  ResponseCache cache(8, /*ways=*/1, /*partitions=*/2);
+  EXPECT_EQ(cache.partitions(), 2u);
+  EXPECT_EQ(cache.partition_capacity(0), 4u);
+  EXPECT_EQ(cache.partition_capacity(1), 4u);
+  cache.insert(1, 1, "keep-a", ok_response(1.0));
+  cache.insert(1, 1, "keep-b", ok_response(2.0));
+  for (int i = 0; i < 64; ++i)
+    cache.insert(0, 1, "flood-" + std::to_string(i), ok_response(3.0));
+  AdvisorResponse out;
+  EXPECT_TRUE(cache.lookup(1, 1, "keep-a", out));
+  EXPECT_TRUE(cache.lookup(1, 1, "keep-b", out));
+  // The flood stayed inside its own quota.
+  EXPECT_LE(cache.size(), cache.partition_capacity(0) + 2);
+  // The same key bytes live independently per partition (corpus is part of
+  // the canonical key anyway, but the partition alone already isolates).
+  EXPECT_FALSE(cache.lookup(0, 1, "keep-a", out));
+}
+
+TEST(ResponseCacheTest, EveryPartitionHoldsAtLeastOneEntry) {
+  // Fewer entries than partitions: each partition still gets one slot, so
+  // a resident corpus is never structurally uncacheable.
+  ResponseCache cache(2, /*ways=*/8, /*partitions=*/4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_GE(cache.partition_capacity(p), 1u) << "partition " << p;
+    cache.insert(p, 1, "k", ok_response(1.0));
+    AdvisorResponse out;
+    EXPECT_TRUE(cache.lookup(p, 1, "k", out)) << "partition " << p;
+  }
+}
+
+TEST(ResponseCacheTest, EpochScopesHitsAndInvalidation) {
+  ResponseCache cache(16, /*ways=*/1, /*partitions=*/2);
+  cache.insert(0, 1, "a", ok_response(1.0));
+  cache.insert(0, 2, "b", ok_response(2.0));
+  cache.insert(1, 1, "c", ok_response(3.0));
+  AdvisorResponse out;
+  // A lookup pinned to a NEWER epoch misses an older entry and erases it
+  // in passing; pinned to an OLDER epoch it misses a newer entry but
+  // leaves it (post-swap traffic wants it).
+  EXPECT_FALSE(cache.lookup(0, 2, "a", out));  // older entry: erased
+  EXPECT_FALSE(cache.lookup(0, 1, "b", out));  // newer entry: left alone
+  EXPECT_TRUE(cache.lookup(0, 2, "b", out));
+  EXPECT_EQ(cache.size(), 2u);  // a gone, b and c alive
+
+  // invalidate_stale sweeps ONE partition of entries older than the new
+  // epoch; the other partition is untouched.
+  cache.insert(0, 2, "d", ok_response(4.0));
+  EXPECT_EQ(cache.invalidate_stale(0, 3), 2u);  // b and d (epoch 2 < 3)
+  EXPECT_EQ(cache.invalidate_stale(0, 3), 0u);  // idempotent
+  EXPECT_TRUE(cache.lookup(1, 1, "c", out));    // partition 1 untouched
 }
 
 // --- Batch queue ------------------------------------------------------------
@@ -479,6 +536,8 @@ TEST_F(ClusterFixture, MetricsJsonLineHasTheDocumentedShape)  {
   for (const char* key :
        {"\"shards\":", "\"queries\":", "\"shard_queries\":[",
         "\"corpus_queries\":{\"default\":", "\"unknown_corpus_queries\":",
+        "\"bundle_epoch\":{\"default\":", "\"refits\":", "\"lazy_fits\":",
+        "\"epoch_invalidations\":",
         "\"streams\":", "\"shed_queries\":",
         "\"rebalanced_queries\":", "\"hot_keys\":", "\"cache_lookups\":",
         "\"cache_hits\":", "\"cache_hit_rate\":", "\"batches\":", "\"size_flushes\":",
@@ -662,6 +721,34 @@ TEST(MultiCorpusTest, CacheEntriesNeverCollideAcrossCorpora) {
   EXPECT_EQ(m.corpus_queries[0].second, static_cast<long>(requests.size()));
   EXPECT_EQ(m.corpus_queries[1].second, static_cast<long>(requests.size()));
   EXPECT_EQ(m.unknown_corpus_queries, 0);
+}
+
+TEST(MultiCorpusTest, OneCorpusFloodCannotEvictAnotherCorpusEntries) {
+  // The cross-corpus eviction regression: the cache is hard-partitioned
+  // per corpus, so a flood of distinct default-corpus requests — more than
+  // the ENTIRE cache holds — cannot push out "alt"'s warm entries.
+  const auto primary = std::make_shared<serve::ModelRegistry>();
+  ServingCluster cluster(two_corpus_config(2, 2, 64), primary);
+  AdvisorRequest alt_a, alt_b;
+  alt_a.corpus = "alt";
+  alt_a.image_edge = 256;
+  alt_b.corpus = "alt";
+  alt_b.image_edge = 512;
+  cluster.serve_batch({alt_a, alt_b});  // warm alt's partition
+
+  std::vector<AdvisorRequest> flood;
+  for (int i = 0; i < 96; ++i) {  // 96 distinct keys >> 64-entry cache
+    AdvisorRequest r;
+    r.image_edge = 64 + i;
+    flood.push_back(std::move(r));
+  }
+  cluster.serve_batch(flood);
+
+  const long hits_before = cluster.metrics().cache_hits;
+  const std::vector<AdvisorResponse> warm = cluster.serve_batch({alt_a, alt_b});
+  EXPECT_TRUE(warm[0].ok);
+  EXPECT_TRUE(warm[1].ok);
+  EXPECT_EQ(cluster.metrics().cache_hits - hits_before, 2);
 }
 
 TEST(MultiCorpusTest, ReservedDuplicateAndEmptyCorpusNamesAreIgnored) {
