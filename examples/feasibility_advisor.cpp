@@ -42,15 +42,32 @@
 //   none), and ISR_RECAL_EVERY (default 0 = never) environment variables;
 //   a cluster-metrics JSON line (including per-corpus query counts and
 //   bundle epochs) goes to stderr at EOF, keeping stdout pure responses.
+//
+//   Observability: --trace FILE (ISR_TRACE) records every request's
+//   lifecycle (admit/queue/eval/deliver spans plus shed/failover/retry/
+//   refit-swap annotations) and writes a Chrome trace_event JSON file at
+//   exit — load it in chrome://tracing or ui.perfetto.dev. Live runs stamp
+//   wall time; under --replay the trace carries the schedule's virtual
+//   clock and is byte-identical across runs. --metrics-every N
+//   (ISR_METRICS_EVERY, 0 = EOF only) additionally emits a metrics JSON
+//   line to stderr after every N served requests, at batch boundaries, so
+//   a long-lived serve process is monitorable mid-stream. SIGINT/SIGTERM
+//   interrupt the stdin loop but still flush the metrics line (and the
+//   trace file) before exiting 128+signal. Tracing never changes response
+//   bytes: stdout is identical with --trace on, off, or absent.
 #include <algorithm>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 #include "cluster/stream.hpp"
 
@@ -65,6 +82,13 @@ using model::RendererKind;
 
 namespace {
 
+// SIGINT/SIGTERM land here: remember which signal fired so the main loop's
+// blocked getline fails with EINTR (sigaction below installs the handler
+// WITHOUT SA_RESTART on purpose), run_jsonl returns, and the normal
+// metrics/trace flush path runs before exiting 128+signal.
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void on_terminate_signal(int sig) { g_signal = sig; }
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [N_per_task=200] [tasks=32] [image_edge=1024] [budget_seconds=60]\n"
@@ -73,6 +97,7 @@ int usage(const char* argv0) {
                "                      [--streams N] [--deadline-us D]\n"
                "                      [--recalibrate-every N]\n"
                "                      [--record FILE | --replay FILE]\n"
+               "                      [--trace FILE] [--metrics-every N]\n"
                "                      [--fault-seed S] [--fault-rate R] [--fault-sites CSV]\n"
                "                      (JSON-lines service on stdin/stdout; defaults come\n"
                "                       from ISR_SHARDS / ISR_CACHE_ENTRIES /\n"
@@ -87,6 +112,12 @@ int usage(const char* argv0) {
                "                       (0 = never; env: ISR_RECAL_EVERY);\n"
                "                       --record/--replay save or pin the admission\n"
                "                       schedule — replay must see the recording's input;\n"
+               "                       --trace FILE writes a Chrome trace_event JSON of\n"
+               "                       request lifecycles at exit (env: ISR_TRACE; under\n"
+               "                       --replay the trace is byte-reproducible);\n"
+               "                       --metrics-every N emits a metrics line to stderr\n"
+               "                       after every N served requests (0 = EOF only;\n"
+               "                       env: ISR_METRICS_EVERY);\n"
                "                       --fault-seed arms deterministic fault injection\n"
                "                       (0 = off; default sites: all) at --fault-rate\n"
                "                       probability per opportunity, --fault-sites a CSV of\n"
@@ -193,6 +224,13 @@ int main(int argc, char** argv) {
     // epoch schedule stays a pure function of the input stream.
     long recal_every = core::env_long("ISR_RECAL_EVERY", 0, /*require_positive=*/false);
     if (recal_every < 0) recal_every = 0;
+    // Observability: a trace output path (empty = tracing absent, the
+    // zero-cost default) and the periodic metrics cadence in served
+    // requests (0 = the EOF line only).
+    std::string trace_file;
+    if (const char* env_trace = std::getenv("ISR_TRACE")) trace_file = env_trace;
+    long metrics_every = core::env_long("ISR_METRICS_EVERY", 0, /*require_positive=*/false);
+    if (metrics_every < 0) metrics_every = 0;
     // Deterministic fault injection: env first (ISR_FAULT_*), flags
     // override. A flag-set seed without explicit sites arms every site,
     // mirroring FaultConfig::from_env's seed-only behavior.
@@ -273,6 +311,16 @@ int main(int argc, char** argv) {
         record_file = argv[++a];
       } else if (std::strcmp(argv[a], "--replay") == 0 && a + 1 < argc) {
         replay_file = argv[++a];
+      } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+        trace_file = argv[++a];
+      } else if (std::strcmp(argv[a], "--metrics-every") == 0 && a + 1 < argc) {
+        const core::ParseStatus status = core::parse_long(argv[++a], metrics_every);
+        if (status != core::ParseStatus::kOk || metrics_every < 0) {
+          std::fprintf(stderr, "%s: bad --metrics-every \"%s\" (%s)\n", argv[0], argv[a],
+                       status == core::ParseStatus::kOk ? "must be >= 0"
+                                                        : core::parse_status_message(status));
+          return usage(argv[0]);
+        }
       } else if (std::strcmp(argv[a], "--fault-seed") == 0 && a + 1 < argc) {
         long seed = 0;
         const core::ParseStatus status = core::parse_long(argv[++a], seed);
@@ -316,6 +364,22 @@ int main(int argc, char** argv) {
     std::vector<std::string> recal_names{""};
     for (const cluster::CorpusConfig& corpus : corpora) recal_names.push_back(corpus.name);
 
+    // The trace recorder outlives the cluster (workers record into it until
+    // shard stop). Fail fast on an unwritable path BEFORE serving anything,
+    // like --record does. Under --replay the recorder runs on the virtual
+    // clock: the exported trace is then a pure function of
+    // (schedule, requests) — byte-identical across runs.
+    obs::TraceRecorder tracer;
+    if (!trace_file.empty()) {
+      std::ofstream probe(trace_file);
+      if (!probe) {
+        std::fprintf(stderr, "%s: cannot open --trace file \"%s\"\n", argv[0],
+                     trace_file.c_str());
+        return 1;
+      }
+      tracer.enable(/*virtual_clock=*/!replay_file.empty());
+    }
+
     cluster::ClusterConfig config;
     config.shards = static_cast<int>(shards);
     config.cache_entries = static_cast<std::size_t>(cache_entries);
@@ -323,6 +387,7 @@ int main(int argc, char** argv) {
     config.rebalance = imbalance_ratio > 0.0;
     config.imbalance_ratio = imbalance_ratio;
     config.fault = fault;
+    if (!trace_file.empty()) config.trace = &tracer;
     cluster::ServingCluster serving(std::move(config));
 
     // Fail fast on schedule-file problems, before any request is served.
@@ -376,10 +441,32 @@ int main(int argc, char** argv) {
         if (serving.bundle_epoch(name) > 0) serving.recalibrate(name);
       serving.wait_refits();
     };
+    // Periodic metrics: one JSON line to stderr each time another
+    // --metrics-every served requests complete, at batch boundaries —
+    // same schema as the EOF line, so one parser reads both.
+    long served_since_metrics = 0;
+    const auto maybe_emit_metrics = [&serving, metrics_every,
+                                     &served_since_metrics](std::size_t served) {
+      if (metrics_every <= 0) return;
+      served_since_metrics += static_cast<long>(served);
+      if (served_since_metrics < metrics_every) return;
+      served_since_metrics = 0;
+      std::fprintf(stderr, "%s\n", serving.metrics().to_jsonl().c_str());
+    };
+    // Interrupting the service must still report: install SIGINT/SIGTERM
+    // handlers WITHOUT SA_RESTART so a blocked stdin read fails with EINTR,
+    // run_jsonl returns, and the flush path below runs as on EOF.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = on_terminate_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
     serve::run_jsonl(
         std::cin, std::cout,
-        [&serving, n_streams_flag, deadline_us, &maybe_recalibrate](
-            const std::vector<serve::AdvisorRequest>& requests) {
+        [&serving, n_streams_flag, deadline_us, &maybe_recalibrate,
+         &maybe_emit_metrics](const std::vector<serve::AdvisorRequest>& requests) {
           std::vector<serve::AdvisorRequest> reqs = requests;
           if (deadline_us > 0)
             for (serve::AdvisorRequest& r : reqs)
@@ -387,6 +474,7 @@ int main(int argc, char** argv) {
           if (n_streams_flag <= 1) {
             std::vector<serve::AdvisorResponse> responses = serving.serve_batch(reqs);
             maybe_recalibrate(reqs.size());
+            maybe_emit_metrics(reqs.size());
             return responses;
           }
           if (reqs.empty()) return std::vector<serve::AdvisorResponse>();
@@ -410,15 +498,23 @@ int main(int argc, char** argv) {
               responses[k + j * n_streams] = std::move(mine[j]);
           }
           maybe_recalibrate(reqs.size());
+          maybe_emit_metrics(reqs.size());
           return responses;
         });
     if (!record_file.empty()) {
       cluster::save_schedule(serving.take_recording(), record_out);
       record_out.close();
     }
-    // Operational snapshot on stderr so stdout stays pure response lines.
+    // Operational snapshot on stderr so stdout stays pure response lines —
+    // on EOF and on an interrupting signal alike.
     std::fprintf(stderr, "%s\n", serving.metrics().to_jsonl().c_str());
-    return 0;
+    if (!trace_file.empty()) {
+      std::ofstream out(trace_file);
+      tracer.export_chrome_trace(out);
+      if (!out) std::fprintf(stderr, "%s: failed writing --trace file \"%s\"\n",
+                             argv[0], trace_file.c_str());
+    }
+    return g_signal != 0 ? 128 + static_cast<int>(g_signal) : 0;
   }
   if (argc > 5) return usage(argv[0]);
 

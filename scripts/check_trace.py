@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI validator for Chrome trace_event files emitted by --trace.
+
+Checks, in order:
+
+1. The file is valid JSON with the expected wrapper shape
+   (``traceEvents`` list plus ``otherData`` counters).
+2. Every event carries the required keys for its phase: complete spans
+   (``ph == "X"``) need ``dur``, instants (``ph == "i"``) need the
+   thread scope ``"s": "t"``; all events need name/cat/ts/pid/tid and
+   the ``stream``/``seq`` request key in ``args``.
+3. No span ends before it begins (``dur >= 0``) and no timestamp is
+   negative.
+4. Per request — the ``(stream, seq)`` pairs of ``cat == "req"``
+   events — the lifecycle chain is complete: exactly one ``admit``,
+   exactly one terminal event (``deliver`` or ``shed``), the admit is
+   the earliest timestamp of the chain (ties allowed), and no
+   queue/eval span outlives the terminal's timestamp. Retries may
+   legally contribute extra queue/eval spans, so multiplicity of the
+   middle stages is not constrained.
+
+Exit status: 0 when the trace is coherent, 1 otherwise (every problem
+is printed, not just the first). A trace with zero request events is an
+error — the smoke test that feeds this script always serves requests.
+
+Usage:
+    check_trace.py TRACE_FILE [--allow-drops]
+
+Dropped events (ring overflow) can legitimately orphan chains, so drops
+fail validation unless --allow-drops is passed; the CI smoke workload is
+far below the default ring capacity and must never drop.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid", "args")
+TERMINAL_NAMES = ("deliver", "shed")
+
+
+def load_trace(path):
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return None, f"{path}: unreadable or invalid JSON: {err}"
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        return None, f"{path}: missing traceEvents list"
+    if not isinstance(payload.get("otherData"), dict):
+        return None, f"{path}: missing otherData counters"
+    return payload, None
+
+
+def check_event_shape(index, event, problems):
+    """Structural checks on one event; returns False when too malformed
+    to participate in the per-request chain checks."""
+    if not isinstance(event, dict):
+        problems.append(f"event {index}: not an object")
+        return False
+    for key in REQUIRED_KEYS:
+        if key not in event:
+            problems.append(f"event {index}: missing {key!r}")
+            return False
+    args = event["args"]
+    if not isinstance(args, dict) or "stream" not in args or "seq" not in args:
+        problems.append(f"event {index} ({event['name']}): args lacks stream/seq")
+        return False
+    label = f"event {index} ({event['name']} stream={args['stream']} seq={args['seq']})"
+    if event["ts"] < 0:
+        problems.append(f"{label}: negative ts {event['ts']}")
+    if event["ph"] == "X":
+        if "dur" not in event:
+            problems.append(f"{label}: complete span without dur")
+            return False
+        if event["dur"] < 0:
+            problems.append(f"{label}: ends before it begins (dur={event['dur']})")
+    elif event["ph"] == "i":
+        if event.get("s") != "t":
+            problems.append(f"{label}: instant without thread scope s=t")
+    else:
+        problems.append(f"{label}: unexpected phase {event['ph']!r}")
+    return True
+
+
+def check_request_chain(key, events, problems):
+    label = f"request stream={key[0]} seq={key[1]}"
+    admits = [e for e in events if e["name"] == "admit"]
+    terminals = [e for e in events if e["name"] in TERMINAL_NAMES]
+    if len(admits) != 1:
+        problems.append(f"{label}: {len(admits)} admit events, want exactly 1")
+    if len(terminals) != 1:
+        names = [e["name"] for e in terminals] or ["none"]
+        problems.append(f"{label}: {len(terminals)} terminal events ({', '.join(names)}), want exactly 1")
+    if not admits or not terminals:
+        return
+    admit_ts = admits[0]["ts"]
+    first_ts = min(e["ts"] for e in events)
+    if admit_ts > first_ts:
+        problems.append(f"{label}: admit at {admit_ts} is not the earliest event ({first_ts})")
+    end_ts = terminals[0]["ts"]
+    for e in events:
+        span_end = e["ts"] + e.get("dur", 0)
+        if span_end > end_ts:
+            problems.append(
+                f"{label}: {e['name']} runs to {span_end}, past the "
+                f"{terminals[0]['name']} at {end_ts}"
+            )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument(
+        "--allow-drops",
+        action="store_true",
+        help="tolerate ring-overflow drops (orphaned chains are then only structural warnings)",
+    )
+    options = parser.parse_args(argv)
+
+    payload, err = load_trace(options.trace)
+    if err:
+        print(f"FAIL {err}")
+        return 1
+
+    problems = []
+    dropped = payload["otherData"].get("dropped", 0)
+    if dropped and not options.allow_drops:
+        problems.append(f"trace dropped {dropped} events (ring overflow); rerun with a larger ring")
+
+    requests = {}
+    for index, event in enumerate(payload["traceEvents"]):
+        if not check_event_shape(index, event, problems):
+            continue
+        if event["cat"] == "req":
+            key = (event["args"]["stream"], event["args"]["seq"])
+            requests.setdefault(key, []).append(event)
+
+    if not requests:
+        problems.append("trace contains no request-lifecycle events")
+    if not (dropped and options.allow_drops):
+        for key in sorted(requests):
+            check_request_chain(key, requests[key], problems)
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"check_trace: {len(problems)} problem(s) in {options.trace}")
+        return 1
+    print(
+        f"check_trace: OK — {len(payload['traceEvents'])} events, "
+        f"{len(requests)} complete request chains, {dropped} dropped"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -193,9 +193,12 @@ void ServingCluster::ensure_serving() {
   ResponseCache* cache = cache_->enabled() ? cache_.get() : nullptr;
   core::FaultInjector* faults = faults_.armed() ? &faults_ : nullptr;
   for (const auto& shard : shards_)
-    shard->start(cache, faults, [this](std::vector<StreamItem>&& items, int from) {
-      redeliver(std::move(items), from);
-    });
+    shard->start(
+        cache, faults,
+        [this](std::vector<StreamItem>&& items, int from) {
+          redeliver(std::move(items), from);
+        },
+        config_.trace);
   watchdog_stop_.store(false, std::memory_order_release);
   watchdog_ = std::thread([this] { watchdog_loop(); });
   refit_stop_ = false;
@@ -281,6 +284,25 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
                                   std::chrono::steady_clock::now() - epoch_)
                                   .count();
   queries_.fetch_add(1, std::memory_order_relaxed);
+  // Live tracing on this path (wall microseconds since the recorder's
+  // epoch); the serialized path below owns the virtual-clock variant. The
+  // admit instant reuses the item's enqueue timestamp so it can never
+  // postdate the queue span the worker will stamp from the same clock.
+  obs::TraceRecorder* const tr = config_.trace;
+  const bool tracing = tr && tr->enabled() && !tr->virtual_clock();
+  const auto trace_instant = [&](const char* name, const char* note,
+                                 std::int64_t ts) {
+    obs::TraceEvent e{};
+    e.name = name;
+    e.cat = "req";
+    e.phase = 'i';
+    e.note = note;
+    e.ts_us = ts;
+    e.stream = session->id();
+    e.seq = slot;
+    tr->record(e);
+  };
+  if (tracing) trace_instant("admit", nullptr, tr->since_epoch_us(item.enqueued));
   // corpora_ is immutable after construction; resolution needs no lock.
   const int corpus_idx = resolve_corpus(request.corpus);
   if (corpus_idx < 0) {
@@ -289,6 +311,11 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
     r.ok = false;
     r.error =
         "unknown corpus \"" + request.corpus + "\" (not resident on this cluster)";
+    // All four live-path deliver instants are recorded BEFORE the session
+    // handoff (matching the serialized path and the shard worker): once a
+    // request's future resolves, its whole chain is in the rings, so an
+    // exporter woken by the delivery never reads a half-written chain.
+    if (tracing) trace_instant("deliver", "unknown-corpus", tr->now_us());
     session->deliver(slot, std::move(r));
     return;
   }
@@ -301,6 +328,7 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   // the request is bound to this epoch, whatever a concurrent refit does.
   if (!ensure_corpus_resident(static_cast<std::size_t>(corpus_idx))) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) trace_instant("deliver", "degraded", tr->now_us());
     session->deliver(slot, degraded_response(
                                "corpus \"" +
                                (corpus.name.empty() ? std::string("default")
@@ -320,15 +348,32 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   // the bytes this epoch's evaluation would produce. The cache is
   // internally lock-sharded; probing it needs no admission lock.
   if (cache_->enabled()) {
+    const std::int64_t probe_begin_us = tracing ? tr->now_us() : 0;
     serve::AdvisorResponse hit;
-    if (cache_->lookup(static_cast<std::size_t>(corpus_idx), item.bundle->epoch,
-                       cache_key, hit)) {
+    const bool was_hit = cache_->lookup(static_cast<std::size_t>(corpus_idx),
+                                        item.bundle->epoch, cache_key, hit);
+    if (tracing) {
+      obs::TraceEvent probe{};
+      probe.name = "cache-probe";
+      probe.cat = "req";
+      probe.phase = 'X';
+      probe.ts_us = probe_begin_us;
+      probe.dur_us = tr->now_us() - probe_begin_us;
+      probe.stream = session->id();
+      probe.seq = slot;
+      probe.values = 1;
+      probe.v0 = was_hit ? 1 : 0;
+      tr->record(probe);
+    }
+    if (was_hit) {
+      if (tracing) trace_instant("deliver", "cache-hit", tr->now_us());
       session->deliver(slot, std::move(hit));
       return;
     }
   }
 
   std::size_t shard_idx = 0;
+  bool routed_around_down = false;
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
     shard_idx = static_cast<std::size_t>(router_.route(corpus.corpus_key, request.arch));
@@ -341,6 +386,7 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
         if (health(static_cast<std::size_t>(s)) != ShardHealth::kDown) {
           shard_idx = static_cast<std::size_t>(s);
           failovers_.fetch_add(1, std::memory_order_relaxed);
+          routed_around_down = true;
           break;
         }
       }
@@ -351,15 +397,34 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
     // time its queue drains at; if this request would complete past its
     // deadline, refuse it NOW with an explicit shed response instead of
     // letting it rot in the queue. Admitted work advances the backlog,
-    // charged at the shard's measured EWMA.
+    // charged at the shard's measured EWMA — and an earliest start no
+    // sooner than the shard's MEASURED queue wait (the stage histogram's
+    // EWMA), so the estimate reflects real queue time, not just the
+    // virtual backlog arithmetic.
     const double service_us = shards_[shard_idx]->service_estimate_us();
+    const double wait_us = shards_[shard_idx]->queue_wait_estimate_us();
     double& backlog = backlog_end_us_[shard_idx];
-    const double start_us = std::max(backlog, static_cast<double>(now_us));
+    const double start_us =
+        std::max(backlog, static_cast<double>(now_us) + wait_us);
     const double done_us = start_us + service_us;
     if (request.deadline_us > 0 &&
         done_us - static_cast<double>(now_us) > static_cast<double>(request.deadline_us)) {
       shed_queries_.fetch_add(1, std::memory_order_relaxed);
       lock.unlock();
+      if (tracing) {
+        obs::TraceEvent shed{};
+        shed.name = "shed";
+        shed.cat = "req";
+        shed.phase = 'i';
+        shed.note = "deadline";
+        shed.ts_us = tr->now_us();
+        shed.stream = session->id();
+        shed.seq = slot;
+        shed.values = 2;
+        shed.v0 = static_cast<std::int64_t>(done_us) - now_us;
+        shed.v1 = request.deadline_us;
+        tr->record(shed);
+      }
       session->deliver(slot, shed_response(static_cast<long>(done_us) - now_us,
                                            request.deadline_us));
       return;
@@ -367,6 +432,8 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
     backlog = done_us;
     item.admit_seq = admit_seq_++;
   }
+  if (tracing && routed_around_down)
+    trace_instant("failover", "admission", tr->now_us());
 
   item.corpus_key = corpus.corpus_key;
   if (request.deadline_us > 0) item.deadline_at_us = now_us + request.deadline_us;
@@ -379,6 +446,7 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   // item, so answer it here or close() would hang on the owed slot.
   if (!shards_[shard_idx]->enqueue(std::move(item))) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) trace_instant("deliver", "degraded", tr->now_us());
     session->deliver(slot, degraded_response("cluster shut down before evaluation"));
   }
 }
@@ -416,10 +484,40 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   if (recording_.load(std::memory_order_relaxed))
     recorded_.push_back({session->id(), slot, now_us});
 
+  // Tracing on the serialized path. Under a virtual-clock recorder
+  // (replay), EVERY event of this request's chain is emitted here, from
+  // the schedule's virtual timestamps and the backlog arithmetic, on a
+  // per-stream lane — a pure function of (schedule, requests), so the
+  // exported trace is byte-identical across fresh clusters (the workers
+  // stay silent; shard.cpp suppresses live emission when the clock is
+  // virtual). A live-clock recorder (recording mode) just stamps the
+  // admit instant; the workers trace the rest as usual.
+  obs::TraceRecorder* const tr = config_.trace;
+  const bool tracing = tr && tr->enabled();
+  const bool virt = tracing && tr->virtual_clock();
+  const std::uint32_t lane = static_cast<std::uint32_t>(session->id() + 1);
+  const auto trace_instant = [&](const char* name, const char* note,
+                                 std::int64_t ts) {
+    obs::TraceEvent e{};
+    e.name = name;
+    e.cat = "req";
+    e.phase = 'i';
+    e.note = note;
+    e.ts_us = ts;
+    if (virt) e.tid = lane;
+    e.stream = session->id();
+    e.seq = slot;
+    tr->record(e);
+  };
+  if (tracing)
+    trace_instant("admit", nullptr, virt ? now_us : tr->since_epoch_us(item.enqueued));
+
   queries_.fetch_add(1, std::memory_order_relaxed);
   const int corpus_idx = resolve_corpus(request.corpus);
   if (corpus_idx < 0) {
     unknown_corpus_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing)
+      trace_instant("deliver", "unknown-corpus", virt ? now_us : tr->now_us());
     lock.unlock();
     serve::AdvisorResponse r;
     r.ok = false;
@@ -437,6 +535,7 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   // admission order.
   if (!ensure_corpus_resident(static_cast<std::size_t>(corpus_idx))) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) trace_instant("deliver", "degraded", virt ? now_us : tr->now_us());
     lock.unlock();
     session->deliver(slot, degraded_response(
                                "corpus \"" +
@@ -453,6 +552,7 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
     serve::AdvisorResponse hit;
     if (cache_->lookup(static_cast<std::size_t>(corpus_idx), item.bundle->epoch,
                        cache_key, hit)) {
+      if (tracing) trace_instant("deliver", "cache-hit", virt ? now_us : tr->now_us());
       lock.unlock();
       session->deliver(slot, std::move(hit));
       return;
@@ -479,12 +579,54 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   if (request.deadline_us > 0 &&
       done_us - static_cast<double>(now_us) > static_cast<double>(request.deadline_us)) {
     shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) {
+      obs::TraceEvent shed{};
+      shed.name = "shed";
+      shed.cat = "req";
+      shed.phase = 'i';
+      shed.note = "deadline";
+      shed.ts_us = virt ? now_us : tr->now_us();
+      if (virt) shed.tid = lane;
+      shed.stream = session->id();
+      shed.seq = slot;
+      shed.values = 2;
+      shed.v0 = static_cast<std::int64_t>(done_us) - now_us;
+      shed.v1 = request.deadline_us;
+      tr->record(shed);
+    }
     lock.unlock();
     session->deliver(slot, shed_response(static_cast<long>(done_us) - now_us,
                                          request.deadline_us));
     return;
   }
   backlog = done_us;
+
+  if (virt) {
+    // The admitted request's remaining virtual chain: it waits in the
+    // queue until the shard's virtual backlog reaches it, evaluates for
+    // the fixed replay service cost, and delivers at its virtual
+    // completion. Truncation is monotone (floor(a) <= floor(b) for
+    // a <= b), so the spans can never disorder.
+    const std::int64_t q_start = now_us;
+    const std::int64_t e_start = static_cast<std::int64_t>(start_us);
+    const std::int64_t e_end = static_cast<std::int64_t>(done_us);
+    obs::TraceEvent queue_span{};
+    queue_span.name = "queue";
+    queue_span.cat = "req";
+    queue_span.phase = 'X';
+    queue_span.ts_us = q_start;
+    queue_span.dur_us = e_start - q_start;
+    queue_span.tid = lane;
+    queue_span.stream = session->id();
+    queue_span.seq = slot;
+    tr->record(queue_span);
+    obs::TraceEvent eval_span = queue_span;
+    eval_span.name = "eval";
+    eval_span.ts_us = e_start;
+    eval_span.dur_us = e_end - e_start;
+    tr->record(eval_span);
+    trace_instant("deliver", nullptr, e_end);
+  }
 
   item.corpus_key = corpus.corpus_key;
   if (request.deadline_us > 0) item.deadline_at_us = now_us + request.deadline_us;
@@ -494,6 +636,7 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   lock.unlock();
   if (!shard.enqueue(std::move(item))) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing && !virt) trace_instant("deliver", "degraded", tr->now_us());
     session->deliver(slot, degraded_response("cluster shut down before evaluation"));
   }
 }
@@ -508,11 +651,29 @@ void ServingCluster::redeliver(std::vector<StreamItem>&& items, int from_shard) 
   // into a degraded health mark on its next poll.
   suspect_[static_cast<std::size_t>(from_shard)].fetch_add(1, std::memory_order_relaxed);
   const bool replaying = replaying_.load(std::memory_order_relaxed);
-  const auto degrade_exhausted = [this](StreamItem& item) {
+  // Retry/failover annotations are live-trace only: under a virtual clock
+  // the admission path already emitted each request's deterministic chain,
+  // and wall-clocked retry instants would break its byte reproducibility.
+  obs::TraceRecorder* const tr = config_.trace;
+  const bool tracing = tr && tr->enabled() && !tr->virtual_clock();
+  const auto trace_instant = [&](const StreamItem& item, const char* name,
+                                 const char* note) {
+    obs::TraceEvent e{};
+    e.name = name;
+    e.cat = "req";
+    e.phase = 'i';
+    e.note = note;
+    e.ts_us = tr->now_us();
+    e.stream = item.session->id();
+    e.seq = item.slot;
+    tr->record(e);
+  };
+  const auto degrade_exhausted = [&](StreamItem& item) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "retry budget exhausted after %d attempts",
                   config_.retry_limit + 1);
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) trace_instant(item, "deliver", "degraded");
     item.session->deliver(item.slot, degraded_response(buf));
   };
   for (StreamItem& item : items) {
@@ -536,6 +697,7 @@ void ServingCluster::redeliver(std::vector<StreamItem>&& items, int from_shard) 
       if (now_us > item.deadline_at_us) {
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+        if (tracing) trace_instant(item, "deliver", "timeout");
         item.session->deliver(item.slot,
                               degraded_response("deadline exceeded during retry"));
         continue;
@@ -552,6 +714,7 @@ void ServingCluster::redeliver(std::vector<StreamItem>&& items, int from_shard) 
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) trace_instant(item, "retry", nullptr);
     // Failover target: the first live shard other than the one that failed
     // the item, walking the key's deterministic rendezvous order — the
     // same permutation hot-key splitting uses, so a key's retry placement
@@ -563,9 +726,23 @@ void ServingCluster::redeliver(std::vector<StreamItem>&& items, int from_shard) 
       target = s;
       break;
     }
+    const std::uint64_t item_stream = item.session->id();
+    const std::uint64_t item_seq = item.slot;
     if (target >= 0 &&
         shards_[static_cast<std::size_t>(target)]->try_enqueue(std::move(item))) {
       failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (tracing) {
+        obs::TraceEvent e{};
+        e.name = "failover";
+        e.cat = "req";
+        e.phase = 'i';
+        e.ts_us = tr->now_us();
+        e.stream = item_stream;
+        e.seq = item_seq;
+        e.values = 1;
+        e.v0 = target;
+        tr->record(e);
+      }
       // Flush promptly: the re-driven item may be a closing stream's last
       // owed slot, past its kick.
       shards_[static_cast<std::size_t>(target)]->kick();
@@ -599,8 +776,10 @@ void ServingCluster::redeliver(std::vector<StreamItem>&& items, int from_shard) 
         retries_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      item.session->deliver(
-          item.slot, shards_[static_cast<std::size_t>(from_shard)]->evaluate(item));
+      serve::AdvisorResponse r =
+          shards_[static_cast<std::size_t>(from_shard)]->evaluate(item);
+      if (tracing) trace_instant(item, "deliver", "inline-eval");
+      item.session->deliver(item.slot, std::move(r));
       break;
     }
   }
@@ -724,6 +903,21 @@ void ServingCluster::run_refit(const RefitJob& job) {
       epoch_invalidations_.fetch_add(
           static_cast<long>(cache_->invalidate_stale(c, fresh->epoch)),
           std::memory_order_relaxed);
+  }
+  // Scope annotation (live traces only — a wall-clocked swap instant would
+  // break a virtual trace's reproducibility): which corpus swapped, to
+  // what epoch.
+  obs::TraceRecorder* const tr = config_.trace;
+  if (tr && tr->enabled() && !tr->virtual_clock()) {
+    obs::TraceEvent e{};
+    e.name = "refit-swap";
+    e.cat = "cluster";
+    e.phase = 'i';
+    e.ts_us = tr->now_us();
+    e.stream = corpus.fingerprint;
+    e.values = 1;
+    e.v0 = static_cast<std::int64_t>(fresh->epoch);
+    tr->record(e);
   }
 }
 
@@ -884,20 +1078,13 @@ ClusterMetrics ServingCluster::metrics() const {
     std::lock_guard<std::mutex> lock(admission_mutex_);
     m.hot_keys = router_.hot_keys();
   }
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    for (const auto& shard : shards_) shard->drain_latencies(latencies_ms_);
-    // Bound the latency reservoir: a long-lived service must not grow a
-    // sample per request forever. Keep the most recent window; the
-    // percentiles describe it.
-    constexpr std::size_t kLatencyWindow = 65536;
-    if (latencies_ms_.size() > kLatencyWindow)
-      latencies_ms_.erase(latencies_ms_.begin(),
-                          latencies_ms_.end() -
-                              static_cast<std::ptrdiff_t>(kLatencyWindow));
-    m.p50_latency_ms = percentile(latencies_ms_, 50.0);
-    m.p99_latency_ms = percentile(latencies_ms_, 99.0);
-  }
+  // Per-stage histograms: merge each shard's cumulative roll-up (bounded
+  // memory, O(1) per merge — this replaced the old sample reservoir). The
+  // legacy ms percentiles are views of the e2e histogram.
+  for (const auto& shard : shards_)
+    shard->merge_stage_histograms(m.queue_wait, m.service, m.e2e);
+  m.p50_latency_ms = m.e2e.percentile_us(50.0) / 1000.0;
+  m.p99_latency_ms = m.e2e.percentile_us(99.0) / 1000.0;
   return m;
 }
 

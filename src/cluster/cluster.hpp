@@ -93,8 +93,16 @@
 //   per-shard queue + stats locks — bounded blocking enqueue happens
 //     OUTSIDE admission_mutex_ (a full queue must not stall other
 //     admitters or a replay waiter; the admission-order guarantees are
-//     already fixed by then).
-//   metrics_mutex_ — the latency reservoir metrics() drains into.
+//     already fixed by then). The per-shard stats lock also guards the
+//     cumulative stage histograms metrics() merges — bounded memory, no
+//     reservoir, no cluster-level metrics lock anymore.
+//
+// Observability (PR 9): config.trace (nullable) wires an obs::TraceRecorder
+// through admission and the shard workers. Live runs stamp wall
+// microseconds; under --replay the admission path emits each request's
+// whole span chain from the schedule's virtual clock (workers stay silent),
+// so a replayed trace is byte-identical across fresh clusters. Tracing
+// never changes response bytes — every hook is behind a null/enabled check.
 #pragma once
 
 #include <atomic>
@@ -174,6 +182,13 @@ struct ClusterConfig {
   // the schedule), and the live EWMA estimator's starting value.
   double replay_service_us = 4.0;
 
+  // Request-lifecycle tracing (obs/trace.hpp), disabled when null — the
+  // zero-cost default. The recorder outlives the cluster by contract; the
+  // owner decides when to enable() it and where to export. Enable with
+  // virtual_clock = true when (and only when) the cluster replays an
+  // admission schedule.
+  obs::TraceRecorder* trace = nullptr;
+
   // --- Fault tolerance ---------------------------------------------------
   // Deterministic fault injection (core/fault.hpp): disarmed by default
   // (seed 0), in which case every fault branch below is dead and responses
@@ -240,9 +255,10 @@ class ServingCluster {
   void begin_replay(AdmissionSchedule schedule);
 
   // Cumulative metrics snapshot. Safe to call while streams are live: the
-  // admission counters are read under the admission lock, shard stats
-  // under theirs, and the latency reservoir (drained here) under the
-  // metrics lock.
+  // admission counters are atomics, shard stats and stage histograms are
+  // read under each shard's own lock, and the snapshot merges per-shard
+  // histograms into fresh cluster-wide roll-ups (bounded memory; nothing
+  // is drained or reset).
   ClusterMetrics metrics() const;
 
   // Calibration fits performed (refits excluded). Under lazy residency
@@ -461,12 +477,6 @@ class ServingCluster {
   std::atomic<long> unknown_corpus_queries_{0};
   std::atomic<long> shed_queries_{0};
   std::atomic<long> streams_{0};
-
-  // Most recent per-request latencies, drained from the shards by
-  // metrics() and bounded so a long-lived service cannot grow without
-  // limit; percentiles describe this sliding window.
-  mutable std::mutex metrics_mutex_;
-  mutable std::vector<double> latencies_ms_;
 };
 
 // A client's submission handle: submit() enqueues one request (returning

@@ -8,15 +8,34 @@
 
 namespace isr::cluster {
 
+namespace {
+
+// Nearest rank over an already-sorted sample vector (1-based rank,
+// ceil(p/100 * n)); the shared kernel of percentile()/percentiles().
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank > 0 ? rank - 1 : 0];
+}
+
+}  // namespace
+
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
-  if (p <= 0.0) return samples.front();
-  if (p >= 100.0) return samples.back();
-  // Nearest rank: the ceil(p/100 * n)-th smallest sample (1-based).
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
-  return samples[rank > 0 ? rank - 1 : 0];
+  return sorted_percentile(samples, p);
+}
+
+std::vector<double> percentiles(std::vector<double>& samples,
+                                const std::vector<double>& ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    out[i] = sorted_percentile(samples, ps[i]);
+  return out;
 }
 
 std::string ClusterMetrics::to_jsonl() const {
@@ -80,7 +99,11 @@ std::string ClusterMetrics::to_jsonl() const {
       "\"faults_injected\":%ld,\"shard_health\":%s,"
       "\"batches\":%ld,\"size_flushes\":%ld,\"deadline_flushes\":%ld,"
       "\"kick_flushes\":%ld,\"close_flushes\":%ld,\"max_queue_depth\":%zu,"
+      "\"queue_wait_us\":%s,\"service_us\":%s,\"e2e_us\":%s,"
       "\"p50_latency_ms\":%.6f,\"p99_latency_ms\":%.6f}";
+  const std::string queue_wait_json = queue_wait.to_json();
+  const std::string service_json = service.to_json();
+  const std::string e2e_json = e2e.to_json();
   // Two-pass snprintf into an exactly-sized string, as in study.cpp.
   const int len = std::snprintf(
       nullptr, 0, fmt, shards, queries, shard_list.c_str(), corpus_map.c_str(),
@@ -89,7 +112,8 @@ std::string ClusterMetrics::to_jsonl() const {
       cache_lookups, cache_hits, cache_hit_rate, worker_restarts, failovers, retries,
       timeouts, degraded_queries, eval_exceptions, faults_injected,
       health_list.c_str(), batches, size_flushes, deadline_flushes, kick_flushes,
-      close_flushes, max_queue_depth, p50_latency_ms, p99_latency_ms);
+      close_flushes, max_queue_depth, queue_wait_json.c_str(), service_json.c_str(),
+      e2e_json.c_str(), p50_latency_ms, p99_latency_ms);
   std::string line(static_cast<std::size_t>(len > 0 ? len : 0), '\0');
   std::snprintf(&line[0], line.size() + 1, fmt, shards, queries, shard_list.c_str(),
                 corpus_map.c_str(), unknown_corpus_queries, epoch_map.c_str(), refits,
@@ -98,7 +122,8 @@ std::string ClusterMetrics::to_jsonl() const {
                 worker_restarts, failovers, retries, timeouts, degraded_queries,
                 eval_exceptions, faults_injected, health_list.c_str(), batches,
                 size_flushes, deadline_flushes, kick_flushes, close_flushes,
-                max_queue_depth, p50_latency_ms, p99_latency_ms);
+                max_queue_depth, queue_wait_json.c_str(), service_json.c_str(),
+                e2e_json.c_str(), p50_latency_ms, p99_latency_ms);
   return line;
 }
 

@@ -12,11 +12,21 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace isr::cluster {
 
 // Nearest-rank percentile of `samples` (copied and sorted internally);
-// p in [0, 100]. Returns 0 for an empty sample set.
+// p in [0, 100]. Returns 0 for an empty sample set. For more than one
+// percentile over the same samples, prefer percentiles() — one sort.
 double percentile(std::vector<double> samples, double p);
+
+// All requested percentiles in one pass: sorts `samples` once (in place),
+// then answers each p by nearest rank. Results align with `ps`; an empty
+// sample set yields all zeros. Matches percentile()'s conventions
+// (p <= 0 -> min, p >= 100 -> max).
+std::vector<double> percentiles(std::vector<double>& samples,
+                                const std::vector<double>& ps);
 
 struct ClusterMetrics {
   int shards = 0;
@@ -80,9 +90,21 @@ struct ClusterMetrics {
   long close_flushes = 0;     // queue shutdown drained a partial batch
   std::size_t max_queue_depth = 0;  // deepest any shard queue ever was
 
-  // Enqueue -> response written, per request, over the most recent sample
-  // window (the cluster bounds its latency reservoir so a long-lived
-  // service cannot grow without limit).
+  // Per-stage latency histograms (microseconds, log2 buckets, bounded
+  // memory — see obs/histogram.hpp), cumulative since cluster start:
+  //   queue_wait  enqueue -> popped into a batch by a worker
+  //   service     one request's evaluation inside the drained batch
+  //   e2e         enqueue -> response slot written (cache hits and shed
+  //               requests never enter a shard queue and are not counted)
+  // The queue_wait histogram's shard-local EWMA also feeds admission's
+  // completion estimate (cluster.cpp), so shedding reflects measured
+  // stage time.
+  obs::LatencyHistogram queue_wait;
+  obs::LatencyHistogram service;
+  obs::LatencyHistogram e2e;
+
+  // Convenience views of the e2e histogram (estimates, milliseconds) —
+  // kept because benches and dashboards already chart them.
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
 

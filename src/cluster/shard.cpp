@@ -6,12 +6,6 @@
 
 namespace isr::cluster {
 
-namespace {
-// Latency reservoir bound per shard (the cluster keeps its own window on
-// top). Dropping the oldest half amortizes the erase to O(1) per sample.
-constexpr std::size_t kShardLatencyWindow = 65536;
-}  // namespace
-
 const char* shard_health_name(ShardHealth health) {
   switch (health) {
     case ShardHealth::kHealthy: return "healthy";
@@ -32,10 +26,11 @@ Shard::Shard(int index, std::size_t queue_capacity, std::size_t batch_size,
 Shard::~Shard() { stop(); }
 
 void Shard::start(ResponseCache* cache, core::FaultInjector* faults,
-                  FailureHandler on_failed) {
+                  FailureHandler on_failed, obs::TraceRecorder* trace) {
   cache_ = cache;
   faults_ = faults && faults->armed() ? faults : nullptr;
   on_failed_ = std::move(on_failed);
+  trace_ = trace;
   crashed_.store(false, std::memory_order_release);
   worker_ = std::thread([this] { worker_loop(); });
 }
@@ -112,6 +107,12 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
   // A kick can race the worker draining the queue empty; that is not a
   // batch — record nothing and keep watching the queue.
   if (batch.empty()) return DrainStatus::kContinue;
+  // Queue wait ends here: the pop timestamp closes every item's
+  // enqueue->pop interval (fault stalls below count as service, not wait).
+  const auto pop_now = std::chrono::steady_clock::now();
+  // Worker-side trace emission is live-clock only; under the cluster's
+  // replay mode the admission path emits the whole virtual chain instead.
+  const bool tracing = trace_ && trace_->enabled() && !trace_->virtual_clock();
 
   // Park the whole batch in the in-flight ledger BEFORE evaluating any of
   // it: from here until the ledger is cleared after delivery, a crash can
@@ -133,10 +134,17 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
 
   // Evaluate outside any lock: responses are pure functions of
   // (request, fitted models), and each item owns its session slot.
-  const auto eval_start = std::chrono::steady_clock::now();
   std::vector<serve::AdvisorResponse> responses(batch.size());
   std::vector<char> transient(batch.size(), 0);
+  std::vector<double> eval_us(batch.size(), 0.0);
+  std::vector<std::int64_t> eval_begin_us(tracing ? batch.size() : 0, 0);
   std::size_t evaluated = 0;
+  double eval_us_sum = 0.0;
+  // Chained per-item clock: one now() per item, each reading doubling as
+  // the next item's start. Cache inserts and fault checks between items
+  // land in the next item's measurement — ns-scale against µs evals, and
+  // an injected stall charges to service, never to queue wait.
+  auto mark = pop_now;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const StreamItem& item = batch[i];
     const std::uint64_t stream = item.session->id();
@@ -162,6 +170,12 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
       continue;
     }
     responses[i] = evaluate(item);
+    const auto item_done = std::chrono::steady_clock::now();
+    eval_us[i] =
+        std::chrono::duration<double, std::micro>(item_done - mark).count();
+    eval_us_sum += eval_us[i];
+    if (tracing) eval_begin_us[i] = trace_->since_epoch_us(mark);
+    mark = item_done;
     ++evaluated;
     // Degraded responses never reach this path (the cluster delivers them
     // directly), so everything evaluated here is cache-safe: a pure
@@ -174,23 +188,30 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
   }
   const auto now = std::chrono::steady_clock::now();
 
+  // Every popped item waited enqueue->pop regardless of how its
+  // evaluation went; pop_now closes the interval, computed per item in
+  // the stats pass below (arithmetic only, no further clock reads).
+  const auto item_wait_us = [&pop_now](const StreamItem& item) {
+    const double wait =
+        std::chrono::duration<double, std::micro>(pop_now - item.enqueued).count();
+    return wait < 0.0 ? 0.0 : wait;
+  };
+
   if (evaluated > 0) {
     // Feed the live shed estimator: EWMA of measured microseconds per
     // request. Relaxed read-modify-write — concurrent metrics readers see a
     // slightly stale estimate at worst.
-    const double measured_us =
-        std::chrono::duration<double, std::micro>(now - eval_start).count() /
-        static_cast<double>(evaluated);
+    const double measured_us = eval_us_sum / static_cast<double>(evaluated);
     const double old = service_estimate_us_.load(std::memory_order_relaxed);
     service_estimate_us_.store(0.8 * old + 0.2 * measured_us,
                                std::memory_order_relaxed);
   }
-
   // Account the batch BEFORE delivering: the final delivery may wake a
   // close()d session whose client immediately reads metrics(), and the
   // flush that carried its responses must already be counted. Only
   // delivered items count as queries; transient failures are the failover
   // path's to account.
+  double wait_us_sum = 0.0;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.queries += static_cast<long>(evaluated);
@@ -199,15 +220,68 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
     else if (flush == core::BatchFlush::kDeadline) stats_.deadline_flushes += 1;
     else if (flush == core::BatchFlush::kKicked) stats_.kick_flushes += 1;
     else stats_.close_flushes += 1;
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      if (!transient[i])
-        latencies_ms_.push_back(std::chrono::duration<double, std::milli>(
-                                    now - batch[i].enqueued)
-                                    .count());
-    if (latencies_ms_.size() > kShardLatencyWindow)
-      latencies_ms_.erase(latencies_ms_.begin(),
-                          latencies_ms_.begin() +
-                              static_cast<std::ptrdiff_t>(latencies_ms_.size() / 2));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double wait_us = item_wait_us(batch[i]);
+      wait_us_sum += wait_us;
+      queue_wait_us_.record(wait_us);
+      if (transient[i]) continue;  // the failover path's stage to account
+      service_us_.record(eval_us[i]);
+      e2e_us_.record(std::chrono::duration<double, std::micro>(
+                         now - batch[i].enqueued)
+                         .count());
+    }
+  }
+  {
+    // EWMA over measured queue wait: admission adds this to its backlog
+    // estimate so shedding reflects the stage the request is actually
+    // about to pay, not an end-to-end guess.
+    const double measured_wait_us = wait_us_sum / static_cast<double>(batch.size());
+    const double old = queue_wait_estimate_us_.load(std::memory_order_relaxed);
+    queue_wait_estimate_us_.store(0.8 * old + 0.2 * measured_wait_us,
+                                  std::memory_order_relaxed);
+  }
+
+  if (tracing) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      obs::TraceEvent queue_span{};
+      queue_span.name = "queue";
+      queue_span.cat = "req";
+      queue_span.phase = 'X';
+      queue_span.ts_us = trace_->since_epoch_us(batch[i].enqueued);
+      queue_span.dur_us = static_cast<std::int64_t>(item_wait_us(batch[i]));
+      queue_span.stream = batch[i].session->id();
+      queue_span.seq = batch[i].slot;
+      trace_->record(queue_span);
+      if (transient[i]) continue;  // redeliver() annotates the retry
+      obs::TraceEvent eval_span{};
+      eval_span.name = "eval";
+      eval_span.cat = "req";
+      eval_span.phase = 'X';
+      eval_span.ts_us = eval_begin_us[i];
+      eval_span.dur_us = static_cast<std::int64_t>(eval_us[i]);
+      eval_span.stream = batch[i].session->id();
+      eval_span.seq = batch[i].slot;
+      trace_->record(eval_span);
+    }
+  }
+
+  // The drain span and every deliver instant are recorded BEFORE the
+  // corresponding session handoff: the final delivery may wake a client
+  // that immediately exports the trace, and a ring must never owe events
+  // for a request whose future has already resolved. The drain span
+  // therefore closes at pre-delivery time — the handoffs it excludes are
+  // ns-scale against the µs evaluations it covers.
+  if (tracing) {
+    obs::TraceEvent drain_span{};
+    drain_span.name = "batch-drain";
+    drain_span.cat = "shard";
+    drain_span.phase = 'X';
+    drain_span.ts_us = trace_->since_epoch_us(pop_now);
+    drain_span.dur_us = trace_->now_us() - drain_span.ts_us;
+    drain_span.values = 2;
+    drain_span.v0 = static_cast<std::int64_t>(batch.size());
+    drain_span.v1 = static_cast<std::int64_t>(evaluated);
+    trace_->record(drain_span);
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -216,6 +290,16 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
       item.attempt += 1;
       failed.push_back(std::move(item));
     } else {
+      if (tracing) {
+        obs::TraceEvent delivered{};
+        delivered.name = "deliver";
+        delivered.cat = "req";
+        delivered.phase = 'i';
+        delivered.ts_us = trace_->now_us();
+        delivered.stream = batch[i].session->id();
+        delivered.seq = batch[i].slot;
+        trace_->record(delivered);
+      }
       batch[i].session->deliver(batch[i].slot, std::move(responses[i]));
     }
   }
@@ -255,10 +339,13 @@ ShardStats Shard::stats() const {
   return stats_;
 }
 
-void Shard::drain_latencies(std::vector<double>& into) {
+void Shard::merge_stage_histograms(obs::LatencyHistogram& queue_wait,
+                                   obs::LatencyHistogram& service,
+                                   obs::LatencyHistogram& e2e) const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  into.insert(into.end(), latencies_ms_.begin(), latencies_ms_.end());
-  latencies_ms_.clear();
+  queue_wait.merge(queue_wait_us_);
+  service.merge(service_us_);
+  e2e.merge(e2e_us_);
 }
 
 }  // namespace isr::cluster

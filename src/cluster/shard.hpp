@@ -30,6 +30,8 @@
 #include "core/batch_queue.hpp"
 #include "core/fault.hpp"
 #include "cluster/stream.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 
 namespace isr::cluster {
 
@@ -73,8 +75,12 @@ class Shard {
 
   // Starts the dedicated worker thread. `faults` (nullable) injects the
   // deterministic chaos schedule; `on_failed` (nullable) receives items
-  // that failed transiently. Call once.
-  void start(ResponseCache* cache, core::FaultInjector* faults, FailureHandler on_failed);
+  // that failed transiently; `trace` (nullable) records lifecycle spans —
+  // the worker emits queue/eval/deliver events only when the recorder is
+  // live-clocked (under --replay the cluster emits the whole virtual chain
+  // at admission instead). Call once.
+  void start(ResponseCache* cache, core::FaultInjector* faults, FailureHandler on_failed,
+             obs::TraceRecorder* trace = nullptr);
   // Closes the queue (shutdown()) and joins the worker — including a
   // crashed one the watchdog never got to.
   void stop();
@@ -119,11 +125,15 @@ class Shard {
   // Only meaningful after worker_down(); counts are the caller's job.
   void restart();
 
-  // Live shed accounting reads this: an EWMA of measured per-request
-  // evaluation cost in microseconds. Relaxed atomics — a lost update skews
-  // an estimate, never a response.
+  // Live shed accounting reads these: EWMAs of measured per-request
+  // evaluation cost and of measured enqueue->pop queue wait, both in
+  // microseconds. Relaxed atomics — a lost update skews an estimate,
+  // never a response.
   double service_estimate_us() const {
     return service_estimate_us_.load(std::memory_order_relaxed);
+  }
+  double queue_wait_estimate_us() const {
+    return queue_wait_estimate_us_.load(std::memory_order_relaxed);
   }
 
   // Metrics accessors (safe during live streams: stats under a mutex, the
@@ -131,7 +141,11 @@ class Shard {
   ShardStats stats() const;
   std::size_t max_queue_depth() const { return queue_.max_depth(); }
   std::size_t queue_depth() const { return queue_.depth(); }
-  void drain_latencies(std::vector<double>& into);  // moves out recorded ms
+  // Adds this shard's cumulative stage histograms (bounded memory, never
+  // drained) into the cluster-wide roll-ups.
+  void merge_stage_histograms(obs::LatencyHistogram& queue_wait,
+                              obs::LatencyHistogram& service,
+                              obs::LatencyHistogram& e2e) const;
 
  private:
   // Why one drain iteration ended: keep going, queue closed-and-empty
@@ -147,11 +161,13 @@ class Shard {
   std::chrono::nanoseconds batch_deadline_;
   core::OrderedBatchQueue<StreamItem, StreamBefore> queue_;
   std::atomic<double> service_estimate_us_;
+  std::atomic<double> queue_wait_estimate_us_{0.0};
 
   // Wiring fixed by start() before the worker exists; restart() reuses it.
   ResponseCache* cache_ = nullptr;
   core::FaultInjector* faults_ = nullptr;
   FailureHandler on_failed_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::thread worker_;
 
   std::atomic<std::uint64_t> heartbeat_{0};
@@ -164,10 +180,12 @@ class Shard {
 
   mutable std::mutex stats_mutex_;
   ShardStats stats_;
-  // Latency samples accumulate here between metrics() snapshots; bounded
-  // (oldest half dropped past the window) so a stream that never asks for
-  // metrics cannot grow a sample per request forever.
-  std::vector<double> latencies_ms_;
+  // Cumulative per-stage latency histograms (microseconds): fixed ~600
+  // bytes each forever, so a stream that never asks for metrics cannot
+  // grow state — this replaced the old bounded sample reservoir.
+  obs::LatencyHistogram queue_wait_us_;
+  obs::LatencyHistogram service_us_;
+  obs::LatencyHistogram e2e_us_;
 };
 
 }  // namespace isr::cluster

@@ -1,0 +1,65 @@
+// Bounded-memory latency aggregation for the observability layer (and
+// anything above it): a fixed-bucket log2-scale histogram over microsecond
+// values. 64 buckets cover [0, 2^62) us — bucket 0 holds sub-microsecond
+// values, bucket b in [1, 62] holds [2^(b-1), 2^b), the last bucket is the
+// open-ended overflow — so recording costs O(1), memory is a fixed ~600
+// bytes forever (what lets it replace the cluster's 64Ki sample
+// reservoirs), counts are exact, and two histograms merge by adding bucket
+// counts (associative and commutative over the counts, which is what the
+// per-shard -> cluster metrics roll-up relies on). Percentiles are
+// estimates: nearest rank locates the bucket, linear interpolation within
+// it bounds the error by the bucket's 2x width; the exactly-tracked
+// min/max pin p=0 and p=100.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace isr::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  // Bucket index for a value in microseconds: 0 for v < 1 (and any
+  // non-finite garbage), 1 + floor(log2(v)) clamped to the overflow bucket.
+  static int bucket_of(double v_us);
+  // The bucket's inclusive lower bound (0 for bucket 0, else 2^(b-1)).
+  static double bucket_floor_us(int bucket);
+  // The bucket's exclusive upper bound (2^b; the overflow bucket has none
+  // and reports its floor's double).
+  static double bucket_ceil_us(int bucket);
+
+  void record(double v_us);
+  // Adds `other`'s counts (and widens min/max) into this histogram.
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bucket_count(int bucket) const;
+  double sum_us() const { return sum_us_; }
+  double min_us() const { return count_ > 0 ? min_us_ : 0.0; }
+  double max_us() const { return count_ > 0 ? max_us_ : 0.0; }
+
+  // Percentile estimate in microseconds, p in [0, 100]: nearest-rank over
+  // the bucket counts, linearly interpolated inside the selected bucket
+  // (clamped to the recorded min/max, which p <= 0 / p >= 100 return
+  // exactly). 0 when empty.
+  double percentile_us(double p) const;
+
+  // One stable-bytes JSON object (fixed field order, printf-formatted):
+  //   {"count":N,"p50":..,"p90":..,"p99":..,"p999":..,
+  //    "buckets":[[floor_us,count],...]}
+  // with only the non-zero buckets dumped. Percentiles are microseconds
+  // with 3 decimals; floors print exactly (powers of two).
+  std::string to_json() const;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double min_us_ = 0.0;
+  double max_us_ = 0.0;
+};
+
+}  // namespace isr::obs

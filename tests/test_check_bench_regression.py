@@ -134,6 +134,29 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("no baselines found", result.stderr)
 
+    def test_blown_p99_warns_but_never_fails(self):
+        # Latency tails are advisory: 2x above baseline prints WARN, exit 0.
+        self.write(self.baselines, "a.json", {"qps_x": 100.0, "p99_e2e_us": 50.0})
+        self.write(self.current, "a.json", {"qps_x": 100.0, "p99_e2e_us": 500.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("WARN a.json: p99_e2e_us", result.stdout)
+        self.assertIn("advisory only", result.stdout)
+
+    def test_p99_within_2x_stays_silent(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0, "p99_e2e_us": 50.0})
+        self.write(self.current, "a.json", {"qps_x": 100.0, "p99_e2e_us": 99.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 0)
+        self.assertNotIn("WARN", result.stdout)
+
+    def test_p99_missing_from_current_is_not_a_failure(self):
+        self.write(self.baselines, "a.json", {"qps_x": 100.0, "p99_e2e_us": 50.0})
+        self.write(self.current, "a.json", {"qps_x": 100.0})
+        result = run_gate(self.baselines, self.current)
+        self.assertEqual(result.returncode, 0)
+        self.assertNotIn("WARN", result.stdout)
+
     def test_one_bad_record_fails_the_whole_run(self):
         self.write(self.baselines, "a.json", {"qps_x": 100.0})
         self.write(self.baselines, "b.json", {"qps_x": 100.0})

@@ -153,7 +153,9 @@ TEST(RecalRegistryTest, RefitAdvancesEpochMonotonicallyAndKeepsOldBundlesAlive) 
     EXPECT_EQ(pinned[i]->epoch, static_cast<std::uint64_t>(i + 1));
     EXPECT_GT(pinned[i]->corpus_size, 0u);
     // Each refit folded a drift pass in, so the corpus only ever grows.
-    if (i > 0) EXPECT_GT(pinned[i]->corpus_size, pinned[i - 1]->corpus_size);
+    if (i > 0) {
+      EXPECT_GT(pinned[i]->corpus_size, pinned[i - 1]->corpus_size);
+    }
   }
 }
 

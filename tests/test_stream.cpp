@@ -395,15 +395,32 @@ TEST_F(StreamFixture, MetricsStaySaneDuringALiveStream) {
   });
 
   long last_queries = 0;
+  std::uint64_t last_e2e = 0;
   while (!done.load()) {
     const ClusterMetrics m = cluster.metrics();
     EXPECT_GE(m.queries, last_queries);  // monotone under one lock
     EXPECT_LE(m.queries, kRequests);
+    // The stage histograms are cumulative merges of per-shard state: their
+    // counts grow monotonically too, never outrun admissions, and stay
+    // internally consistent (every serviced request waited in a queue and
+    // finished end-to-end; transient retries can only add extra waits).
+    EXPECT_GE(m.e2e.count(), last_e2e);
+    EXPECT_LE(m.e2e.count(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_GE(m.queue_wait.count(), m.service.count());
+    EXPECT_EQ(m.service.count(), m.e2e.count());
+    EXPECT_GE(m.e2e.percentile_us(100.0), m.e2e.percentile_us(0.0));
     EXPECT_FALSE(m.to_jsonl().empty());
     last_queries = m.queries;
+    last_e2e = m.e2e.count();
   }
   producer.join();
-  EXPECT_EQ(cluster.metrics().queries, kRequests);
+  const ClusterMetrics settled = cluster.metrics();
+  EXPECT_EQ(settled.queries, kRequests);
+  // All 600 requests are distinct (no cache hits), none carry deadlines
+  // (no shedding), so every one of them must land in the e2e histogram.
+  EXPECT_EQ(settled.e2e.count(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_NE(settled.to_jsonl().find("\"queue_wait_us\":{"), std::string::npos);
+  EXPECT_NE(settled.to_jsonl().find("\"e2e_us\":{\"count\":600,"), std::string::npos);
 }
 
 // --- Randomized interleaving fuzz (the TSan job's stress surface) -----------
