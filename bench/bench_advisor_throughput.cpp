@@ -124,11 +124,38 @@ int main() {
   const std::vector<serve::AdvisorResponse> parallel = parallel_service.serve_batch(requests);
   const double t_parallel = seconds_since(parallel_start);
 
+  // Serialization leg: one wire buffer reused across every line (the
+  // flush-loop path in serve/jsonl.cpp) vs the allocating per-line form.
+  // Both serialize identical bytes; only the buffer discipline differs.
+  const int ser_passes = 20;
+  std::string wire;
+  std::size_t wire_bytes = 0;
+  const auto reuse_start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < ser_passes; ++pass) {
+    wire.clear();
+    for (const serve::AdvisorResponse& r : serial) {
+      serve::to_jsonl(r, wire);
+      wire += '\n';
+    }
+    wire_bytes = wire.size();
+  }
+  const double t_ser_reuse = seconds_since(reuse_start);
+
+  std::size_t alloc_bytes = 0;
+  const auto alloc_start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < ser_passes; ++pass) {
+    std::size_t total = 0;
+    for (const serve::AdvisorResponse& r : serial) total += serve::to_jsonl(r).size() + 1;
+    alloc_bytes = total;
+  }
+  const double t_ser_alloc = seconds_since(alloc_start);
+  const bool ser_same_bytes = wire_bytes == alloc_bytes;
+
   const bool same = identical(serial, parallel);
   const int fits = registry->fits();
 
   std::size_t answered = 0;
-  for (const serve::AdvisorResponse& r : serial) answered += r.ok ? 1 : 0;
+  for (const serve::AdvisorResponse& r : serial) answered += r.ok() ? 1 : 0;
 
   const double n = static_cast<double>(requests.size());
   const double speedup = t_parallel > 0.0 ? t_serial / t_parallel : 0.0;
@@ -139,6 +166,11 @@ int main() {
   std::printf("%-22s %10d %12.4f %12.0f\n", "serial serve_batch", 1, t_serial, n / t_serial);
   std::printf("%-22s %10d %12.4f %12.0f\n", "parallel serve_batch", threads, t_parallel,
               n / t_parallel);
+  const double ser_n = n * ser_passes;
+  std::printf("%-22s %10d %12.4f %12.0f\n", "to_jsonl (reuse buf)", 1, t_ser_reuse,
+              ser_n / t_ser_reuse);
+  std::printf("%-22s %10d %12.4f %12.0f\n", "to_jsonl (allocating)", 1, t_ser_alloc,
+              ser_n / t_ser_alloc);
   const bool all_ok = answered == requests.size();
   std::printf("\n%zu queries (%zu ok%s); speedup %.2fx; responses byte-identical: %s\n",
               requests.size(), answered, all_ok ? "" : " — DEGENERATE CALIBRATION",
@@ -148,10 +180,14 @@ int main() {
       "JSON {\"bench\":\"advisor_throughput\",\"queries\":%zu,\"threads\":%d,"
       "\"calibration_seconds\":%.6f,\"corpus_observations\":%zu,\"registry_fits\":%d,"
       "\"serial_seconds\":%.6f,\"parallel_seconds\":%.6f,\"qps_serial\":%.1f,"
-      "\"qps_parallel\":%.1f,\"speedup\":%.3f,\"identical\":%s}\n",
+      "\"qps_parallel\":%.1f,\"speedup\":%.3f,"
+      "\"qps_serialize_reuse\":%.1f,\"qps_serialize_alloc\":%.1f,"
+      "\"serialize_bytes_per_line\":%.1f,\"identical\":%s}\n",
       requests.size(), threads, t_calibrate, corpus, fits, t_serial, t_parallel, n / t_serial,
-      n / t_parallel, speedup, same ? "true" : "false");
-  // Three health gates: responses identical, calibration fitted exactly
-  // once (the shared-registry cache hit), every query answered ok.
-  return same && fits == 1 && all_ok ? 0 : 1;
+      n / t_parallel, speedup, ser_n / t_ser_reuse, ser_n / t_ser_alloc,
+      static_cast<double>(wire_bytes) / n, same ? "true" : "false");
+  // Four health gates: responses identical, calibration fitted exactly
+  // once (the shared-registry cache hit), every query answered ok, and the
+  // two serializer forms produced the same byte count.
+  return same && fits == 1 && all_ok && ser_same_bytes ? 0 : 1;
 }

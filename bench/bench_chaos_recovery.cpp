@@ -194,7 +194,7 @@ int main() {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (serve::to_jsonl(chaos[i]) != serve::to_jsonl(replayed[i]))
         replay_identical = false;
-      if (chaos[i].degraded) {
+      if (chaos[i].degraded()) {
         ++degraded;
       } else if (serve::to_jsonl(chaos[i]) != serve::to_jsonl(baseline[i])) {
         survivors_identical = false;

@@ -151,7 +151,7 @@ int main() {
       static_cast<double>(metrics.cache_hits) /
       static_cast<double>(requests.size() > 0 ? requests.size() : 1);
   std::size_t answered = 0;
-  for (const serve::AdvisorResponse& r : serial_responses) answered += r.ok ? 1 : 0;
+  for (const serve::AdvisorResponse& r : serial_responses) answered += r.ok() ? 1 : 0;
   const bool all_ok = answered == requests.size();
 
   const double n = static_cast<double>(requests.size());

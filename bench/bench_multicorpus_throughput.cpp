@@ -210,7 +210,7 @@ int main() {
       static_cast<double>(parallel_metrics.cache_hits) /
       static_cast<double>(requests.size() > 0 ? requests.size() : 1);
   std::size_t answered = 0;
-  for (const serve::AdvisorResponse& r : serial_responses) answered += r.ok ? 1 : 0;
+  for (const serve::AdvisorResponse& r : serial_responses) answered += r.ok() ? 1 : 0;
   const bool all_ok = answered == requests.size();
 
   // --- Skewed traffic: one hot (corpus, arch) key, rebalancing off vs on.

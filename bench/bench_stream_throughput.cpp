@@ -278,7 +278,7 @@ int main() {
       admitted_waits_us.push_back(done - t);
       backlog_us = done;
     }
-    if (overload_responses[static_cast<std::size_t>(i)].shed != model_sheds)
+    if (overload_responses[static_cast<std::size_t>(i)].shed() != model_sheds)
       shed_matches_model = false;
   }
   const double shed_fraction =
@@ -297,7 +297,7 @@ int main() {
   const double n = static_cast<double>(requests.size());
   const bool streams_at_least_match = n / t_streams >= kMatchFloor * (n / t_serialized);
   std::size_t answered = 0;
-  for (const serve::AdvisorResponse& r : serialized_responses) answered += r.ok ? 1 : 0;
+  for (const serve::AdvisorResponse& r : serialized_responses) answered += r.ok() ? 1 : 0;
   const bool all_ok = answered == requests.size();
 
   std::printf("calibration: %zu observations fitted in %.3fs (registry fits: %d)\n\n", corpus,

@@ -203,7 +203,7 @@ int main() {
   }
 
   std::size_t answered = 0;
-  for (const serve::AdvisorResponse& r : absent_responses) answered += r.ok ? 1 : 0;
+  for (const serve::AdvisorResponse& r : absent_responses) answered += r.ok() ? 1 : 0;
   const bool all_ok = answered == requests.size();
 
   std::printf("calibration: %zu observations fitted in %.3fs (registry fits: %d)\n\n", corpus,

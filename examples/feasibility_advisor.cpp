@@ -554,7 +554,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < responses.size(); ++i) {
     const serve::AdvisorRequest& req = requests[i];
     const serve::AdvisorResponse& resp = responses[i];
-    if (!resp.ok) {
+    if (!resp.ok()) {
       std::printf("%-6s %-14s   error: %s\n", req.arch.c_str(),
                   model::renderer_name(req.renderer), resp.error.c_str());
       continue;
@@ -567,7 +567,7 @@ int main(int argc, char** argv) {
   // RT vs rasterization recommendation at this configuration (100 frames),
   // from the CPU1 response's verdict fields.
   for (std::size_t i = 0; i < responses.size(); ++i) {
-    if (requests[i].arch != "CPU1" || !responses[i].ok || !responses[i].has_verdict) continue;
+    if (requests[i].arch != "CPU1" || !responses[i].ok() || !responses[i].has_verdict) continue;
     const serve::AdvisorResponse& resp = responses[i];
     std::printf("\nsurface rendering recommendation (CPU1, 100 frames): %s\n",
                 resp.prefer_ray_tracing ? "RAY TRACING" : "RASTERIZATION");

@@ -1,31 +1,69 @@
 #include "cluster/cache.hpp"
 
-#include <cstdio>
+#include <charconv>
 #include <cstring>
+#include <iterator>
+#include <utility>
 
 #include "math/rng.hpp"
 
 namespace isr::cluster {
 
-std::string canonical_request_key(const serve::AdvisorRequest& r) {
+namespace {
+
+// to_chars-based formatting helpers: the key is rebuilt twice per served
+// request (admission lookup, worker insert), so snprintf's format-string
+// parsing was a measurable slice of the cold path.
+inline char* put_decimal(char* p, long long v) {
+  return std::to_chars(p, p + 24, v).ptr;
+}
+
+inline char* put_hex16(char* p, std::uint64_t v) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    *p++ = kHex[(v >> shift) & 0xF];
+  return p;
+}
+
+}  // namespace
+
+void canonical_request_key_into(const serve::AdvisorRequest& r, std::string& key) {
   std::uint64_t budget_bits = 0;
   static_assert(sizeof(budget_bits) == sizeof(r.budget_seconds), "double must be 64-bit");
   std::memcpy(&budget_bits, &r.budget_seconds, sizeof(budget_bits));
-  char tail[96];
-  std::snprintf(tail, sizeof(tail), "|%s|%d|%d|%d|%016llx|%d|",
-                serve::renderer_token(r.renderer), r.n_per_task, r.tasks, r.image_edge,
-                static_cast<unsigned long long>(budget_bits), r.frames);
-  char head[24];
-  std::snprintf(head, sizeof(head), "%zu:", r.arch.size());
-  char corpus_head[24];
-  std::snprintf(corpus_head, sizeof(corpus_head), "%zu:", r.corpus.size());
-  std::string key;
+  key.clear();
   key.reserve(r.arch.size() + r.corpus.size() + 64);
-  key += head;
+  char scratch[112];
+  char* p = put_decimal(scratch, static_cast<long long>(r.arch.size()));
+  *p++ = ':';
+  key.append(scratch, static_cast<std::size_t>(p - scratch));
   key += r.arch;
-  key += tail;
-  key += corpus_head;
+  p = scratch;
+  *p++ = '|';
+  const char* token = serve::renderer_token(r.renderer);
+  const std::size_t token_len = std::strlen(token);
+  std::memcpy(p, token, token_len);
+  p += token_len;
+  *p++ = '|';
+  p = put_decimal(p, r.n_per_task);
+  *p++ = '|';
+  p = put_decimal(p, r.tasks);
+  *p++ = '|';
+  p = put_decimal(p, r.image_edge);
+  *p++ = '|';
+  p = put_hex16(p, budget_bits);
+  *p++ = '|';
+  p = put_decimal(p, r.frames);
+  *p++ = '|';
+  p = put_decimal(p, static_cast<long long>(r.corpus.size()));
+  *p++ = ':';
+  key.append(scratch, static_cast<std::size_t>(p - scratch));
   key += r.corpus;
+}
+
+std::string canonical_request_key(const serve::AdvisorRequest& r) {
+  std::string key;
+  canonical_request_key_into(r, key);
   return key;
 }
 
@@ -46,34 +84,60 @@ ResponseCache::ResponseCache(std::size_t entries, int ways, std::size_t partitio
     for (int w = 0; w < ways; ++w) {
       auto way = std::make_unique<Way>();
       way->capacity = per_way;
+      // The way can never hold more than its capacity, so ALL of its
+      // storage is paid for here: the index's buckets (no rehash during
+      // fill), a spare list node per slot, and a detached index node per
+      // slot (materialized through a scratch map, then extracted — a
+      // node handle keeps its allocation and its key's buffer). A cold
+      // fill then consumes pre-built nodes instead of calling malloc
+      // per insert, which is most of what made a cache-filling run slower
+      // than an uncached one.
+      way->index.reserve(per_way);
+      for (std::size_t i = 0; i < per_way; ++i) {
+        way->spare.emplace_back();
+        way->spare.back().key.reserve(96);
+      }
+      Index scratch;
+      scratch.reserve(per_way);
+      for (std::size_t i = 0; i < per_way; ++i)
+        scratch.emplace(static_cast<std::uint64_t>(i), way->spare.begin());
+      way->node_pool.reserve(per_way);
+      while (!scratch.empty())
+        way->node_pool.push_back(scratch.extract(scratch.begin()));
       partition.ways.push_back(std::move(way));
     }
   }
 }
 
-ResponseCache::Way& ResponseCache::way_for(std::size_t partition, const std::string& key) {
-  // hash_combine's FNV-1a path over the key bytes; splitmix64-finalized, so
-  // the low bits used for way selection are well mixed.
+ResponseCache::Way& ResponseCache::way_for(std::size_t partition, std::uint64_t hash) {
+  // The key bytes are hashed exactly once per cache operation (FNV-1a +
+  // splitmix64 finalizer via hash_combine); way selection uses the low
+  // bits, the index uses the full value through IdentityHash.
   Partition& p = partitions_[partition];
-  const std::uint64_t h = hash_combine(0x57A9E5ull, key);
-  return *p.ways[static_cast<std::size_t>(h % p.ways.size())];
+  return *p.ways[static_cast<std::size_t>(hash % p.ways.size())];
 }
 
 bool ResponseCache::lookup(std::size_t partition, std::uint64_t epoch,
                            const std::string& key, serve::AdvisorResponse& out) {
   if (!enabled()) return false;
   lookups_.fetch_add(1, std::memory_order_relaxed);
-  Way& way = way_for(partition, key);
+  const std::uint64_t h = hash_combine(0x57A9E5ull, key);
+  Way& way = way_for(partition, h);
   std::lock_guard<std::mutex> lock(way.mutex);
-  const auto it = way.index.find(key);
+  const auto it = way.index.find(h);
   if (it == way.index.end()) return false;
+  // A 64-bit hash collision between distinct keys is a plain miss — the
+  // stored bytes are the identity, the hash is only the lookup shortcut.
+  if (it->second->key != key) return false;
   if (it->second->epoch != epoch) {
-    // Stale entry from a superseded epoch: erase in passing — no future
+    // Stale entry from a superseded epoch: evict in passing — no future
     // lookup can want it. A NEWER entry (the looker pinned an old bundle
-    // mid-swap) is left alone; the post-swap traffic wants it.
+    // mid-swap) is left alone; the post-swap traffic wants it. Both nodes
+    // go back to the way's pre-allocated pools, not to the heap.
     if (it->second->epoch < epoch) {
-      way.lru.erase(it->second);
-      way.index.erase(it);
+      const auto entry = it->second;
+      way.node_pool.push_back(way.index.extract(it));
+      way.spare.splice(way.spare.begin(), way.lru, entry);
     }
     return false;
   }
@@ -87,24 +151,59 @@ void ResponseCache::insert(std::size_t partition, std::uint64_t epoch,
                            const std::string& key,
                            const serve::AdvisorResponse& response) {
   if (!enabled()) return;
-  Way& way = way_for(partition, key);
+  const std::uint64_t h = hash_combine(0x57A9E5ull, key);
+  Way& way = way_for(partition, h);
   std::lock_guard<std::mutex> lock(way.mutex);
-  const auto it = way.index.find(key);
+  const auto it = way.index.find(h);
   if (it != way.index.end()) {
-    it->second->epoch = epoch;
-    it->second->response = response;
+    // Refresh — or, on a 64-bit collision with a different key, replace
+    // the colliding entry (an eviction the LRU was allowed anyway).
+    Entry& entry = *it->second;
+    if (entry.key != key) entry.key.assign(key);
+    entry.epoch = epoch;
+    entry.response = response;
     way.lru.splice(way.lru.begin(), way.lru, it->second);
     return;
   }
   if (way.lru.size() >= way.capacity) {
-    way.index.erase(way.lru.back().key);  // evict least recently used
-    way.lru.pop_back();
+    // Evict-by-recycling: splice the LRU node to the front and overwrite
+    // it, re-homing its index slot through a node handle — a full way
+    // turns over entries with zero list/map allocations (assign() copies
+    // the key bytes into the victim's existing buffer).
+    const auto victim = std::prev(way.lru.end());
+    auto node = way.index.extract(victim->hash);
+    way.lru.splice(way.lru.begin(), way.lru, victim);
+    victim->key.assign(key);
+    victim->hash = h;
+    victim->epoch = epoch;
+    victim->response = response;
+    node.key() = h;
+    node.mapped() = victim;
+    way.index.insert(std::move(node));
+    return;
   }
-  way.lru.emplace_front();
-  way.lru.front().key = key;
-  way.lru.front().epoch = epoch;
-  way.lru.front().response = response;
-  way.index.emplace(way.lru.front().key, way.lru.begin());
+  // Filling: consume one pre-built list node and one pre-built index node
+  // (see the constructor). The fallbacks only matter for entries displaced
+  // into a way beyond its nominal share by invalidate_stale churn.
+  if (!way.spare.empty()) {
+    way.lru.splice(way.lru.begin(), way.spare, way.spare.begin());
+  } else {
+    way.lru.emplace_front();
+  }
+  Entry& entry = way.lru.front();
+  entry.key.assign(key);
+  entry.hash = h;
+  entry.epoch = epoch;
+  entry.response = response;
+  if (!way.node_pool.empty()) {
+    auto node = std::move(way.node_pool.back());
+    way.node_pool.pop_back();
+    node.key() = h;
+    node.mapped() = way.lru.begin();
+    way.index.insert(std::move(node));
+  } else {
+    way.index.emplace(h, way.lru.begin());
+  }
 }
 
 std::size_t ResponseCache::invalidate_stale(std::size_t partition,
@@ -115,8 +214,11 @@ std::size_t ResponseCache::invalidate_stale(std::size_t partition,
     std::lock_guard<std::mutex> lock(way->mutex);
     for (auto it = way->lru.begin(); it != way->lru.end();) {
       if (it->epoch < keep_epoch) {
-        way->index.erase(it->key);
-        it = way->lru.erase(it);
+        // Recycle both nodes into the way's pools (see insert): a refit
+        // sweep frees capacity without surrendering it to the heap.
+        way->node_pool.push_back(way->index.extract(it->hash));
+        const auto stale = it++;
+        way->spare.splice(way->spare.begin(), way->lru, stale);
         ++evicted;
       } else {
         ++it;

@@ -41,6 +41,13 @@ namespace isr::cluster {
 // corpus can never be served for another.
 std::string canonical_request_key(const serve::AdvisorRequest& request);
 
+// Allocation-free form for the serving path: rebuilds the key in `out`
+// (cleared first), reusing its capacity. The key is a pure function of the
+// request, so admission and the drain worker can each rebuild it into a
+// thread-local buffer instead of threading a heap string through the
+// queue. The allocating form above delegates here.
+void canonical_request_key_into(const serve::AdvisorRequest& request, std::string& out);
+
 class ResponseCache {
  public:
   // `entries` caps the TOTAL cached responses; 0 disables the cache
@@ -63,7 +70,11 @@ class ResponseCache {
               serve::AdvisorResponse& out);
 
   // Inserts (or refreshes) `key` under `epoch` in `partition`, evicting the
-  // way's least-recently-used entry when the quota is full.
+  // way's least-recently-used entry when the quota is full. Allocation-free
+  // at steady state: list nodes, index nodes, and key storage are
+  // pre-allocated per way at construction, a cold fill consumes them, and
+  // a full way recycles its LRU victim's node in place — key bytes are
+  // copied into recycled buffers, never freshly heap-allocated.
   void insert(std::size_t partition, std::uint64_t epoch, const std::string& key,
               const serve::AdvisorResponse& response);
 
@@ -83,22 +94,43 @@ class ResponseCache {
 
  private:
   struct Entry {
-    std::string key;
+    std::string key;          // full key bytes, the collision-proof identity
+    std::uint64_t hash = 0;   // the key's 64-bit mixed hash (the index key)
     std::uint64_t epoch = 0;
     serve::AdvisorResponse response;
   };
+  // The index is keyed on the splitmix64-finalized key hash, NOT the key
+  // string: the hash is computed once per operation (it also picks the
+  // way), already mixed (the identity hasher is safe), and 8 bytes to
+  // hash-and-compare instead of ~80. A probe that lands on an entry
+  // verifies the full key bytes before trusting it, so a 64-bit collision
+  // degrades to a cache miss / entry replacement — never a wrong response
+  // (the determinism contract does not rest on hashes).
+  struct IdentityHash {
+    std::size_t operator()(std::uint64_t h) const noexcept {
+      return static_cast<std::size_t>(h);
+    }
+  };
+  using Index = std::unordered_map<std::uint64_t, std::list<Entry>::iterator, IdentityHash>;
   struct Way {
     std::mutex mutex;
     std::size_t capacity = 0;
     // Front = most recently used. The map indexes into the list.
     std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    Index index;
+    // Pre-allocated storage a cold fill draws from instead of the heap:
+    // `spare` holds capacity list nodes (spliced into lru one per insert)
+    // and `node_pool` holds capacity detached index nodes (re-keyed and
+    // re-inserted). Both are built at construction and both are empty once
+    // the way is full — from then on inserts recycle the LRU victim.
+    std::list<Entry> spare;
+    std::vector<Index::node_type> node_pool;
   };
   struct Partition {
     std::vector<std::unique_ptr<Way>> ways;
   };
 
-  Way& way_for(std::size_t partition, const std::string& key);
+  Way& way_for(std::size_t partition, std::uint64_t hash);
 
   std::vector<Partition> partitions_;  // empty when disabled
   std::atomic<long> lookups_{0};

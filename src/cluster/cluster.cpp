@@ -46,8 +46,7 @@ std::uint64_t corpus_key_for(const serve::ServiceConfig& service,
 // noise; the values themselves are deterministic in replay mode.
 serve::AdvisorResponse shed_response(long estimated_us, long deadline_us) {
   serve::AdvisorResponse r;
-  r.ok = false;
-  r.shed = true;
+  r.status = serve::AdvisorResponse::Status::kShed;
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 "shed: estimated completion in %ld us exceeds deadline %ld us",
@@ -63,8 +62,7 @@ serve::AdvisorResponse shed_response(long estimated_us, long deadline_us) {
 // must stay a pure function of the request, and availability is not).
 serve::AdvisorResponse degraded_response(const std::string& why) {
   serve::AdvisorResponse r;
-  r.ok = false;
-  r.degraded = true;
+  r.status = serve::AdvisorResponse::Status::kDegraded;
   r.error = "degraded: " + why;
   return r;
 }
@@ -267,8 +265,12 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   item.slot = slot;
   item.priority = std::max(0, std::min(7, request.priority));
   item.enqueued = std::chrono::steady_clock::now();
-  std::string cache_key;
-  if (cache_->enabled()) cache_key = canonical_request_key(request);
+  // The canonical key lives in a thread-local buffer for exactly this
+  // admission: the lookup reads it and nothing else keeps it (the drain
+  // worker rebuilds the key itself), so the hot path never heap-allocates
+  // for the cache, hit or miss.
+  static thread_local std::string cache_key;
+  if (cache_->enabled()) canonical_request_key_into(request, cache_key);
 
   // Record/replay are correctness modes: the whole admission serializes
   // under the lock so the schedule captures (or pins) every submission,
@@ -276,12 +278,14 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   // relaxed read is stable for the run.
   if (replaying_.load(std::memory_order_relaxed) ||
       recording_.load(std::memory_order_relaxed)) {
-    admit_serialized(session, slot, request, std::move(item), std::move(cache_key));
+    admit_serialized(session, slot, request, std::move(item), cache_key);
     return;
   }
 
+  // Derived from the enqueue timestamp captured above — one clock read per
+  // admission, and the shed estimate can never postdate the queue span.
   const std::int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                                  std::chrono::steady_clock::now() - epoch_)
+                                  item.enqueued - epoch_)
                                   .count();
   queries_.fetch_add(1, std::memory_order_relaxed);
   // Live tracing on this path (wall microseconds since the recorder's
@@ -308,7 +312,7 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
   if (corpus_idx < 0) {
     unknown_corpus_queries_.fetch_add(1, std::memory_order_relaxed);
     serve::AdvisorResponse r;
-    r.ok = false;
+    r.status = serve::AdvisorResponse::Status::kError;
     r.error =
         "unknown corpus \"" + request.corpus + "\" (not resident on this cluster)";
     // All four live-path deliver instants are recorded BEFORE the session
@@ -437,7 +441,6 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
 
   item.corpus_key = corpus.corpus_key;
   if (request.deadline_us > 0) item.deadline_at_us = now_us + request.deadline_us;
-  item.cache_key = std::move(cache_key);
   // Blocking bounded push OUTSIDE the admission lock: backpressure from a
   // full queue stalls this admitter only. Everything order-dependent
   // (shed accounting, admit_seq) is already fixed, and the ordered queue
@@ -460,7 +463,7 @@ void ServingCluster::admit(const std::shared_ptr<SessionState>& session, std::si
 void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& session,
                                       std::size_t slot,
                                       const serve::AdvisorRequest& request,
-                                      StreamItem&& item, std::string&& cache_key) {
+                                      StreamItem&& item, const std::string& cache_key) {
   std::unique_lock<std::mutex> lock(admission_mutex_);
 
   std::int64_t now_us = 0;
@@ -520,7 +523,7 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
       trace_instant("deliver", "unknown-corpus", virt ? now_us : tr->now_us());
     lock.unlock();
     serve::AdvisorResponse r;
-    r.ok = false;
+    r.status = serve::AdvisorResponse::Status::kError;
     r.error =
         "unknown corpus \"" + request.corpus + "\" (not resident on this cluster)";
     session->deliver(slot, std::move(r));
@@ -631,7 +634,6 @@ void ServingCluster::admit_serialized(const std::shared_ptr<SessionState>& sessi
   item.corpus_key = corpus.corpus_key;
   if (request.deadline_us > 0) item.deadline_at_us = now_us + request.deadline_us;
   item.admit_seq = admit_seq_++;
-  item.cache_key = std::move(cache_key);
   Shard& shard = *shards_[shard_idx];
   lock.unlock();
   if (!shard.enqueue(std::move(item))) {

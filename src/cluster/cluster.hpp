@@ -376,7 +376,7 @@ class ServingCluster {
              const serve::AdvisorRequest& request);
   void admit_serialized(const std::shared_ptr<SessionState>& session, std::size_t slot,
                         const serve::AdvisorRequest& request, StreamItem&& item,
-                        std::string&& cache_key);
+                        const std::string& cache_key);
 
   // StreamSession::close support: flush every shard's partial batch so the
   // session's in-flight tail is answered promptly.

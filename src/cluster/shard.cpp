@@ -74,7 +74,7 @@ serve::AdvisorResponse Shard::evaluate(const StreamItem& item) {
   // Admission pins the bundle and constants before enqueueing, so the null
   // branch is a defensive invariant, not a code path.
   if (!item.bundle || !item.constants) {
-    response.ok = false;
+    response.status = serve::AdvisorResponse::Status::kError;
     response.error = "corpus bundle not resident on shard";
     return response;
   }
@@ -86,13 +86,13 @@ serve::AdvisorResponse Shard::evaluate(const StreamItem& item) {
     response = serve::answer_request(*item.bundle, *item.constants, item.request);
   } catch (const std::exception& e) {
     response = serve::AdvisorResponse{};
-    response.ok = false;
+    response.status = serve::AdvisorResponse::Status::kError;
     response.error = std::string("evaluation failed: ") + e.what();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.eval_exceptions += 1;
   } catch (...) {
     response = serve::AdvisorResponse{};
-    response.ok = false;
+    response.status = serve::AdvisorResponse::Status::kError;
     response.error = "evaluation failed: unknown exception";
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.eval_exceptions += 1;
@@ -100,8 +100,63 @@ serve::AdvisorResponse Shard::evaluate(const StreamItem& item) {
   return response;
 }
 
+void Shard::evaluate_batch(std::vector<StreamItem>& batch,
+                           std::vector<serve::AdvisorResponse>& responses) {
+  const std::size_t n = batch.size();
+  responses.clear();
+  responses.resize(n);
+  // Group by the pinned (bundle, constants) pair — one batch can mix
+  // corpora, and items admitted across a recalibration swap pin different
+  // epochs of the same corpus. Same stable selection sweep answer_batch
+  // uses for (arch, renderer); group count is bounded by resident corpora
+  // (x concurrent epochs), not batch size.
+  core::Arena& arena = group_arena_;
+  arena.reset();
+  const serve::AdvisorRequest** reqs = arena.alloc_array<const serve::AdvisorRequest*>(n);
+  serve::AdvisorResponse** resps = arena.alloc_array<serve::AdvisorResponse*>(n);
+  std::uint32_t* item_of = arena.alloc_array<std::uint32_t>(n);
+  unsigned char* taken = arena.alloc_array<unsigned char>(n);
+  for (std::size_t k = 0; k < n; ++k) taken[k] = 0;
+  std::size_t done = 0;
+  std::size_t first = 0;
+  while (done < n) {
+    while (taken[first]) ++first;
+    const StreamItem& head = batch[first];
+    const std::size_t begin = done;
+    for (std::size_t k = first; k < n; ++k) {
+      if (taken[k]) continue;
+      if (batch[k].bundle.get() == head.bundle.get() && batch[k].constants == head.constants) {
+        taken[k] = 1;
+        reqs[done] = &batch[k].request;
+        resps[done] = &responses[k];
+        item_of[done] = static_cast<std::uint32_t>(k);
+        ++done;
+      }
+    }
+    const std::size_t group_n = done - begin;
+    if (!head.bundle || !head.constants) {
+      // Defensive invariant, mirroring evaluate(): admission pins both.
+      for (std::size_t k = begin; k < done; ++k) {
+        resps[k]->status = serve::AdvisorResponse::Status::kError;
+        resps[k]->error = "corpus bundle not resident on shard";
+      }
+      continue;
+    }
+    try {
+      serve::answer_batch(*head.bundle, *head.constants, reqs + begin, group_n,
+                          resps + begin, eval_scratch_);
+    } catch (...) {
+      // The batched evaluator failed (allocation pressure is the only real
+      // way): re-run the group item by item through evaluate(), which
+      // converts the throw into the historical in-slot error bytes.
+      for (std::size_t k = begin; k < done; ++k)
+        responses[item_of[k]] = evaluate(batch[item_of[k]]);
+    }
+  }
+}
+
 Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
-  std::vector<StreamItem> batch;
+  std::vector<StreamItem>& batch = batch_scratch_;
   const core::BatchFlush flush = queue_.pop_batch(batch_size_, batch_deadline_, batch);
   if (flush == core::BatchFlush::kEmpty) return DrainStatus::kStop;
   // A kick can race the worker draining the queue empty; that is not a
@@ -114,6 +169,106 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
   // replay mode the admission path emits the whole virtual chain instead.
   const bool tracing = trace_ && trace_->enabled() && !trace_->virtual_clock();
 
+  // Lane split. With no armed fault injector a worker crash, stall, and
+  // transient failure are all structurally impossible (every fault branch
+  // is injector-gated), so the in-flight ledger deep copy, the per-item
+  // fault checks, and the per-item clock reads buy nothing — the fast lane
+  // drops them and evaluates group-at-a-time through answer_batch. A
+  // live-clock tracer needs per-item eval spans, so it rides the chaos
+  // lane too.
+  if (faults_ || tracing) return drain_chaos_batch(batch, flush, pop_now, tracing, failed);
+
+  evaluate_batch(batch, response_scratch_);
+  const auto eval_done = std::chrono::steady_clock::now();
+  const std::size_t n = batch.size();
+  const double batch_eval_us =
+      std::chrono::duration<double, std::micro>(eval_done - pop_now).count();
+  // One clock pair for the whole batch: stage histograms and the shed
+  // estimator get the batch mean per item (they are metrics, not wire
+  // bytes); the per-item wait/e2e intervals stay exact — they derive from
+  // each item's own admission timestamp.
+  const double per_item_us = batch_eval_us / static_cast<double>(n);
+
+  // Cache fill before delivery (matching the chaos lane's insert-then-
+  // deliver order per item). The canonical key is rebuilt into a
+  // worker-local buffer — cheaper than carrying a heap string through the
+  // queue — and the cache copies its bytes into pre-allocated node
+  // storage, so the whole fill is heap-silent.
+  if (cache_ && cache_->enabled()) {
+    static thread_local std::string key;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!batch[i].bundle) continue;
+      canonical_request_key_into(batch[i].request, key);
+      cache_->insert(static_cast<std::size_t>(batch[i].corpus_index),
+                     batch[i].bundle->epoch, key, response_scratch_[i]);
+    }
+  }
+
+  {
+    const double old = service_estimate_us_.load(std::memory_order_relaxed);
+    service_estimate_us_.store(0.8 * old + 0.2 * per_item_us, std::memory_order_relaxed);
+  }
+
+  const auto item_wait_us = [&pop_now](const StreamItem& item) {
+    const double wait =
+        std::chrono::duration<double, std::micro>(pop_now - item.enqueued).count();
+    return wait < 0.0 ? 0.0 : wait;
+  };
+
+  // Account the batch BEFORE delivering: the final delivery may wake a
+  // close()d session whose client immediately reads metrics(), and the
+  // flush that carried its responses must already be counted.
+  double wait_us_sum = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.queries += static_cast<long>(n);
+    stats_.batches += 1;
+    if (flush == core::BatchFlush::kSize) stats_.size_flushes += 1;
+    else if (flush == core::BatchFlush::kDeadline) stats_.deadline_flushes += 1;
+    else if (flush == core::BatchFlush::kKicked) stats_.kick_flushes += 1;
+    else stats_.close_flushes += 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double wait_us = item_wait_us(batch[i]);
+      wait_us_sum += wait_us;
+      queue_wait_us_.record(wait_us);
+      service_us_.record(per_item_us);
+      e2e_us_.record(
+          std::chrono::duration<double, std::micro>(eval_done - batch[i].enqueued).count());
+    }
+  }
+  {
+    const double measured_wait_us = wait_us_sum / static_cast<double>(n);
+    const double old = queue_wait_estimate_us_.load(std::memory_order_relaxed);
+    queue_wait_estimate_us_.store(0.8 * old + 0.2 * measured_wait_us,
+                                  std::memory_order_relaxed);
+  }
+
+  // Delivery, grouped by session: a run of consecutive items from one
+  // stream (the common shape — serve_batch is one stream) lands under a
+  // single session lock. Slots address the writes, so grouping cannot
+  // reorder anything. The slot arrays ride the group arena, still warm
+  // from evaluation.
+  for (std::size_t i = 0; i < n;) {
+    SessionState* const session = batch[i].session.get();
+    std::size_t j = i + 1;
+    while (j < n && batch[j].session.get() == session) ++j;
+    if (j - i == 1) {
+      session->deliver(batch[i].slot, std::move(response_scratch_[i]));
+    } else {
+      std::size_t* slots = group_arena_.alloc_array<std::size_t>(j - i);
+      for (std::size_t k = i; k < j; ++k) slots[k - i] = batch[k].slot;
+      session->deliver_run(slots, response_scratch_.data() + i, j - i);
+    }
+    i = j;
+  }
+  return DrainStatus::kContinue;
+}
+
+Shard::DrainStatus Shard::drain_chaos_batch(std::vector<StreamItem>& batch,
+                                            core::BatchFlush flush,
+                                            std::chrono::steady_clock::time_point pop_now,
+                                            bool tracing,
+                                            std::vector<StreamItem>& failed) {
   // Park the whole batch in the in-flight ledger BEFORE evaluating any of
   // it: from here until the ledger is cleared after delivery, a crash can
   // lose nothing — the watchdog re-drives exactly what was held.
@@ -182,9 +337,12 @@ Shard::DrainStatus Shard::drain_one_batch(std::vector<StreamItem>& failed) {
     // function of (request, pinned epoch). The entry is stamped with the
     // item's ADMISSION epoch — a concurrent refit's invalidation sweep
     // will clear it if the epoch moved on before this insert landed.
-    if (cache_ && item.bundle)
+    if (cache_ && cache_->enabled() && item.bundle) {
+      static thread_local std::string chaos_key;
+      canonical_request_key_into(item.request, chaos_key);
       cache_->insert(static_cast<std::size_t>(item.corpus_index),
-                     item.bundle->epoch, item.cache_key, responses[i]);
+                     item.bundle->epoch, chaos_key, responses[i]);
+    }
   }
   const auto now = std::chrono::steady_clock::now();
 

@@ -8,8 +8,9 @@
 // bytes a request answers. The worker drains coalesced batches — flushed
 // on batch size, on the coalescing deadline, on a kick (a closing stream
 // flushing its in-flight tail), or on shutdown — in strict-priority/EDF
-// order and evaluates each item through serve::answer_request against its
-// pinned bundle, but an evaluation that throws becomes an in-slot error
+// order and evaluates each batch through serve::answer_batch, grouped by
+// pinned (bundle, constants) pair, but an evaluation that throws becomes an
+// in-slot error
 // response (never a dead thread), an injected transient failure hands the
 // item to the cluster's failure handler for retry/failover, and a
 // (simulated) worker crash parks the undelivered batch in an in-flight
@@ -27,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/batch_queue.hpp"
 #include "core/fault.hpp"
 #include "cluster/stream.hpp"
@@ -155,6 +157,20 @@ class Shard {
 
   void worker_loop();
   DrainStatus drain_one_batch(std::vector<StreamItem>& failed);
+  // Chaos/tracing lane: the historical per-item drain — fault sites,
+  // in-flight ledger parking, per-item clock reads, and per-item trace
+  // spans. Taken only when a fault injector is armed or a live-clock
+  // tracer wants per-item spans.
+  DrainStatus drain_chaos_batch(std::vector<StreamItem>& batch, core::BatchFlush flush,
+                                std::chrono::steady_clock::time_point pop_now,
+                                bool tracing, std::vector<StreamItem>& failed);
+  // Fast-lane evaluation: groups the popped batch by its pinned
+  // (bundle, constants) pair and evaluates each group through one
+  // serve::answer_batch call against the per-shard arena scratch. An
+  // evaluation that throws falls back to the per-item evaluate() for that
+  // group, preserving the in-slot error contract.
+  void evaluate_batch(std::vector<StreamItem>& batch,
+                      std::vector<serve::AdvisorResponse>& responses);
 
   int index_;
   std::size_t batch_size_;
@@ -177,6 +193,16 @@ class Shard {
   // own mutex: the watchdog reads it while the (dead) worker cannot.
   mutable std::mutex inflight_mutex_;
   std::vector<StreamItem> inflight_;
+
+  // Worker-private drain scratch (only the worker thread touches these;
+  // restart() joins the dead worker before a new one exists): the popped
+  // batch, its response slots, the grouping arena, and the arena behind
+  // the batched evaluator's term columns all keep their capacity across
+  // batches, so a warmed-up drain loop runs allocation-free.
+  std::vector<StreamItem> batch_scratch_;
+  std::vector<serve::AdvisorResponse> response_scratch_;
+  core::Arena group_arena_;
+  serve::EvalScratch eval_scratch_;
 
   mutable std::mutex stats_mutex_;
   ShardStats stats_;

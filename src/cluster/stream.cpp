@@ -23,6 +23,15 @@ void SessionState::deliver(std::size_t slot, serve::AdvisorResponse&& response) 
   if (closed_ && completed_ == responses_.size()) cv_.notify_all();
 }
 
+void SessionState::deliver_run(const std::size_t* slots,
+                               serve::AdvisorResponse* responses, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < count; ++i)
+    responses_[slots[i]] = std::move(responses[i]);
+  completed_ += count;
+  if (closed_ && completed_ == responses_.size()) cv_.notify_all();
+}
+
 std::vector<serve::AdvisorResponse> SessionState::wait_drained() {
   std::unique_lock<std::mutex> lock(mutex_);
   closed_ = true;

@@ -75,6 +75,13 @@ class SessionState {
   // errors, shed refusals) and by shard workers (evaluated responses).
   void deliver(std::size_t slot, serve::AdvisorResponse&& response);
 
+  // Batched delivery for a shard's fast-lane drain: one lock acquisition
+  // for a run of responses all landing in this session (responses[i] moves
+  // into slots[i]). Identical outcome to `count` deliver() calls — slots
+  // address the writes, so delivery grouping can never reorder a stream.
+  void deliver_run(const std::size_t* slots, serve::AdvisorResponse* responses,
+                   std::size_t count);
+
   // Marks the session closed and blocks until every allocated slot has its
   // response, then moves the responses out (per-stream submission order).
   std::vector<serve::AdvisorResponse> wait_drained();
@@ -114,7 +121,9 @@ struct StreamItem {
   int priority = 1;
   std::int64_t deadline_at_us = std::numeric_limits<std::int64_t>::max();
   std::uint64_t admit_seq = 0;
-  std::string cache_key;
+  // (No cache key rides here: the canonical key is a pure function of
+  // `request`, so the drain worker rebuilds it into a thread-local buffer
+  // instead of carrying a per-item heap string through the queue.)
   std::chrono::steady_clock::time_point enqueued;  // latency clock start
   // Fault-tolerance bookkeeping: how many injected faults THIS item has
   // personally triggered (eval throws, worker crashes). Part of the fault

@@ -1,0 +1,104 @@
+// Bump allocator over geometrically growing chunks — the per-shard /
+// per-thread scratch backing for the batched evaluation path. reset()
+// rewinds to empty WITHOUT releasing memory, so a steady-state workload
+// (same-shaped batch after batch) allocates from the heap only during
+// warmup and never again; alloc_array<T>() is then a pointer bump.
+//
+// Deliberately POD-oriented: allocations are uninitialized storage and no
+// destructors ever run, which is exactly right for the index/feature/term
+// columns the evaluator needs and statically enforced for everything else
+// (alloc_array requires a trivially destructible T).
+//
+// Not thread-safe: one Arena per worker thread, by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace isr::core {
+
+class Arena {
+ public:
+  // First chunk size; later chunks double (warmup converges in O(log
+  // peak-bytes) heap allocations regardless of the initial guess).
+  explicit Arena(std::size_t first_chunk_bytes = 16 * 1024)
+      : next_chunk_bytes_(first_chunk_bytes > 0 ? first_chunk_bytes : 1024) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Uninitialized storage, aligned to `align` (a power of two no larger
+  // than alignof(std::max_align_t) — new[] chunk bases guarantee that
+  // much). Never returns nullptr; a zero-byte request still returns a
+  // valid, properly aligned pointer.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    while (chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        offset_ = aligned + bytes;
+        used_ += bytes;
+        return c.data.get() + aligned;
+      }
+      ++chunk_;  // spill to the next (larger) chunk; the gap stays unused
+      offset_ = 0;
+    }
+    add_chunk(bytes + align);
+    return allocate(bytes, align);
+  }
+
+  template <class T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Rewind to empty, keeping every chunk: the no-growth-after-warmup
+  // contract. Nothing is destroyed (nothing needs to be).
+  void reset() {
+    chunk_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  // Bytes reserved across all chunks — constant once warmed up, which is
+  // what the arena-reuse test asserts.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  // Bytes handed out since the last reset (excludes alignment gaps).
+  std::size_t used() const { return used_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+  };
+
+  void add_chunk(std::size_t at_least) {
+    std::size_t size = next_chunk_bytes_;
+    while (size < at_least) size *= 2;
+    next_chunk_bytes_ = size * 2;
+    Chunk c;
+    c.data = std::make_unique<unsigned char[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    chunk_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // index of the chunk currently bumping
+  std::size_t offset_ = 0;  // bump offset within that chunk
+  std::size_t used_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace isr::core

@@ -151,33 +151,49 @@ class BatchQueue {
 //     closing stream's in-flight tail gets answered promptly. A kick on an
 //     empty queue is remembered until items arrive or the queue drains.
 //   - No reopen(): the streaming queue lives as long as its shard worker.
+//
+// Storage is a slot pool: items live in fixed slots reused across their
+// lifetime (a moved-out slot keeps its strings' heap capacity for the next
+// occupant), and the heap orders slot INDICES — sift operations move
+// 8-byte integers, never the queued objects themselves. Both structures
+// are bounded by the queue capacity and reserved up front, so a warmed-up
+// queue pushes and pops with zero heap traffic — part of the serving
+// path's steady-state zero-allocation contract.
 template <class T, class Before>
 class OrderedBatchQueue {
  public:
   explicit OrderedBatchQueue(std::size_t capacity, Before before = Before{})
-      : capacity_(capacity > 0 ? capacity : 1), before_(before) {}
+      : capacity_(capacity > 0 ? capacity : 1), before_(before) {
+    slots_.reserve(capacity_);
+    heap_.reserve(capacity_);
+    free_.reserve(capacity_);
+  }
 
   // Blocking bounded push: waits for room, returns false only when the
   // queue is (or becomes) closed — the item is untouched in that case.
   bool push(T&& item) {
+    bool wake;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      push_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      push_cv_.wait(lock, [&] { return closed_ || heap_.size() < capacity_; });
       if (closed_) return false;
       heap_push(std::move(item));
+      wake = heap_.size() >= wanted_;
     }
-    pop_cv_.notify_one();
+    if (wake) pop_cv_.notify_one();
     return true;
   }
 
   // Non-blocking variant, same failure semantics as BatchQueue::try_push.
   bool try_push(T&& item) {
+    bool wake;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || heap_.size() >= capacity_) return false;
       heap_push(std::move(item));
+      wake = heap_.size() >= wanted_;
     }
-    pop_cv_.notify_one();
+    if (wake) pop_cv_.notify_one();
     return true;
   }
 
@@ -211,36 +227,45 @@ class OrderedBatchQueue {
     out.clear();
     if (max_items == 0) max_items = 1;
     std::unique_lock<std::mutex> lock(mutex_);
-    pop_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    // Tell producers how many items this consumer is waiting on, so a push
+    // below the threshold skips its notify: without this, every push while
+    // the consumer waits out the coalescing window is a futex wake (and on
+    // a loaded box, a context switch) just to re-check a false predicate.
+    // kick()/close() still notify unconditionally, and the timed wait's
+    // deadline needs no producer signal at all.
+    wanted_ = 1;
+    pop_cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
     BatchFlush reason;
-    if (items_.size() >= max_items) {
+    if (heap_.size() >= max_items) {
       reason = BatchFlush::kSize;
     } else if (closed_) {
-      reason = items_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
+      reason = heap_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
     } else if (kicked_) {
       reason = BatchFlush::kKicked;
     } else {
+      wanted_ = max_items;
       const auto flush_at = std::chrono::steady_clock::now() + deadline;
       pop_cv_.wait_until(lock, flush_at,
-                         [&] { return closed_ || kicked_ || items_.size() >= max_items; });
-      if (items_.size() >= max_items) reason = BatchFlush::kSize;
-      else if (closed_) reason = items_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
+                         [&] { return closed_ || kicked_ || heap_.size() >= max_items; });
+      if (heap_.size() >= max_items) reason = BatchFlush::kSize;
+      else if (closed_) reason = heap_.empty() ? BatchFlush::kEmpty : BatchFlush::kClosed;
       else if (kicked_) reason = BatchFlush::kKicked;
       else reason = BatchFlush::kDeadline;
     }
-    const std::size_t take = items_.size() < max_items ? items_.size() : max_items;
+    wanted_ = kNoConsumer;  // not waiting anymore; pushes can stay silent
+    const std::size_t take = heap_.size() < max_items ? heap_.size() : max_items;
     out.reserve(take);
     for (std::size_t i = 0; i < take; ++i) out.push_back(heap_pop());
     // A kick's obligation is met once the queue is drained; a fresh kick
     // after new pushes re-arms it.
-    if (items_.empty()) kicked_ = false;
+    if (heap_.empty()) kicked_ = false;
     if (take > 0) push_cv_.notify_all();
     return reason;
   }
 
   std::size_t depth() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
+    return heap_.size();
   }
 
   std::size_t max_depth() const {
@@ -251,21 +276,35 @@ class OrderedBatchQueue {
  private:
   // std::push_heap keeps the *greatest* element (per the comparator) at the
   // front; serving best-first therefore heapifies on the inverted order.
-  bool heap_less(const T& a, const T& b) const { return before_(b, a); }
+  // The heap holds slot indices, so every swap a sift performs moves one
+  // integer; the comparator reads the slots through the indirection.
+  bool heap_less(std::size_t a, std::size_t b) const {
+    return before_(slots_[b], slots_[a]);
+  }
 
   void heap_push(T&& item) {
-    items_.push_back(std::move(item));
-    std::push_heap(items_.begin(), items_.end(),
-                   [this](const T& a, const T& b) { return heap_less(a, b); });
-    if (items_.size() > max_depth_) max_depth_ = items_.size();
+    std::size_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(item);  // reuses the old occupant's buffers
+    } else {
+      slot = slots_.size();
+      slots_.push_back(std::move(item));
+    }
+    heap_.push_back(slot);
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [this](std::size_t a, std::size_t b) { return heap_less(a, b); });
+    if (heap_.size() > max_depth_) max_depth_ = heap_.size();
   }
 
   T heap_pop() {
-    std::pop_heap(items_.begin(), items_.end(),
-                  [this](const T& a, const T& b) { return heap_less(a, b); });
-    T item = std::move(items_.back());
-    items_.pop_back();
-    return item;
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  [this](std::size_t a, std::size_t b) { return heap_less(a, b); });
+    const std::size_t slot = heap_.back();
+    heap_.pop_back();
+    free_.push_back(slot);
+    return std::move(slots_[slot]);
   }
 
   const std::size_t capacity_;
@@ -273,7 +312,15 @@ class OrderedBatchQueue {
   mutable std::mutex mutex_;
   std::condition_variable pop_cv_;
   std::condition_variable push_cv_;
-  std::vector<T> items_;  // binary heap ordered by heap_less
+  // Slot pool (fixed homes for queued items; a freed slot keeps its
+  // buffers), the index heap ordered by heap_less, and the free list.
+  std::vector<T> slots_;
+  std::vector<std::size_t> heap_;
+  std::vector<std::size_t> free_;
+  // Pop-side wake threshold (see pop_batch): the queue depth at which a
+  // push must notify. kNoConsumer while no pop_batch is waiting.
+  static constexpr std::size_t kNoConsumer = static_cast<std::size_t>(-1);
+  std::size_t wanted_ = kNoConsumer;
   std::size_t max_depth_ = 0;
   bool closed_ = false;
   bool kicked_ = false;

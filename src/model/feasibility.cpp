@@ -18,6 +18,13 @@ long saturating_count(double count) {
 
 }  // namespace
 
+long images_for_budget(double budget_seconds, double frame_seconds, double build_seconds) {
+  return frame_seconds > 0.0
+             ? saturating_count(
+                   std::max(0.0, (budget_seconds - build_seconds) / frame_seconds))
+             : 0;
+}
+
 std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_seconds,
                                           int n_per_task, int tasks,
                                           const std::vector<int>& image_edges,
@@ -32,10 +39,7 @@ std::vector<BudgetPoint> images_in_budget(const PerfModel& model, double budget_
     p.frame_seconds = model.predict_render(in);
     // One build at the start of the batch (ray tracing only).
     p.build_seconds = model.predict_build(in);
-    p.images_in_budget =
-        p.frame_seconds > 0.0
-            ? saturating_count(std::max(0.0, (budget_seconds - p.build_seconds) / p.frame_seconds))
-            : 0;
+    p.images_in_budget = images_for_budget(budget_seconds, p.frame_seconds, p.build_seconds);
     out.push_back(p);
   }
   return out;

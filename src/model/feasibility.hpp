@@ -52,4 +52,11 @@ std::vector<RatioCell> rt_vs_rast(const PerfModel& rt, const PerfModel& rast, in
                                   const std::vector<int>& data_sizes,
                                   const MappingConstants& constants = {});
 
+// The images-in-budget count for one already-predicted point: floor of the
+// post-build budget over the frame cost, saturating at LONG_MAX (a
+// double >= 2^63 cast to long is UB, and an absurd budget must yield "all
+// of them", never a negative count). Single source of truth for the sweep
+// above and the batched serving path (serve::answer_batch).
+long images_for_budget(double budget_seconds, double frame_seconds, double build_seconds);
+
 }  // namespace isr::model

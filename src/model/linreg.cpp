@@ -10,9 +10,13 @@
 namespace isr::model {
 
 double FitResult::predict(const std::vector<double>& features) const {
+  return predict(features.data(), features.size());
+}
+
+double FitResult::predict(const double* features, std::size_t count) const {
   double y = 0.0;
   const std::size_t nf = has_intercept ? coefficients.size() - 1 : coefficients.size();
-  for (std::size_t i = 0; i < nf && i < features.size(); ++i)
+  for (std::size_t i = 0; i < nf && i < count; ++i)
     y += coefficients[i] * features[i];
   if (has_intercept) y += coefficients.back();
   return y;

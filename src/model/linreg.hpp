@@ -22,6 +22,10 @@ struct FitResult {
   bool ok = false;
 
   double predict(const std::vector<double>& features) const;
+  // Allocation-free form the batched evaluation path uses; the vector
+  // overload delegates here, so there is exactly one accumulation order
+  // and the two can never drift by a bit.
+  double predict(const double* features, std::size_t count) const;
 };
 
 // Least squares via normal equations (features are few and well scaled

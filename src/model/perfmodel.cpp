@@ -14,16 +14,28 @@ const char* renderer_name(RendererKind kind) {
   return "?";
 }
 
-std::vector<double> render_features(RendererKind kind, const ModelInputs& in) {
+std::size_t render_features_into(RendererKind kind, const ModelInputs& in, double out[2]) {
   switch (kind) {
     case RendererKind::kRayTrace:
-      return {in.active_pixels * std::log2(std::max(in.objects, 2.0)), in.active_pixels};
+      out[0] = in.active_pixels * std::log2(std::max(in.objects, 2.0));
+      out[1] = in.active_pixels;
+      return 2;
     case RendererKind::kRasterize:
-      return {in.objects, in.visible_objects * in.pixels_per_tri};
+      out[0] = in.objects;
+      out[1] = in.visible_objects * in.pixels_per_tri;
+      return 2;
     case RendererKind::kVolume:
-      return {in.active_pixels * in.cells_spanned, in.active_pixels * in.samples_per_ray};
+      out[0] = in.active_pixels * in.cells_spanned;
+      out[1] = in.active_pixels * in.samples_per_ray;
+      return 2;
   }
-  return {};
+  return 0;
+}
+
+std::vector<double> render_features(RendererKind kind, const ModelInputs& in) {
+  double f[2] = {0.0, 0.0};
+  const std::size_t n = render_features_into(kind, in, f);
+  return std::vector<double>(f, f + n);
 }
 
 PerfModel PerfModel::fit(RendererKind kind, const std::vector<RenderSample>& samples) {
@@ -69,12 +81,42 @@ std::vector<double> PerfModel::features_for(const ModelInputs& in) const {
 }
 
 double PerfModel::predict_render(const ModelInputs& in) const {
-  return std::max(0.0, render_fit_.predict(features_for(in)));
+  double f[2];
+  std::size_t nf = render_features_into(kind_, in, f);
+  if (rt_reduced_ && nf > 1) nf = 1;
+  return std::max(0.0, render_fit_.predict(f, nf));
 }
 
 double PerfModel::predict_build(const ModelInputs& in) const {
   if (kind_ != RendererKind::kRayTrace || !build_fit_.ok) return 0.0;
-  return std::max(0.0, build_fit_.predict({in.objects}));
+  const double f = in.objects;
+  return std::max(0.0, build_fit_.predict(&f, 1));
+}
+
+void PerfModel::predict_render_batch(const ModelInputs* in, std::size_t count,
+                                     double* out) const {
+  // One dispatch for the column; the row loop is feature math plus the
+  // shared FitResult accumulation, so each out[i] is the scalar result.
+  const RendererKind kind = kind_;
+  const bool reduced = rt_reduced_;
+  double f[2];
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t nf = render_features_into(kind, in[i], f);
+    if (reduced && nf > 1) nf = 1;
+    out[i] = std::max(0.0, render_fit_.predict(f, nf));
+  }
+}
+
+void PerfModel::predict_build_batch(const ModelInputs* in, std::size_t count,
+                                    double* out) const {
+  if (kind_ != RendererKind::kRayTrace || !build_fit_.ok) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = 0.0;
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const double f = in[i].objects;
+    out[i] = std::max(0.0, build_fit_.predict(&f, 1));
+  }
 }
 
 double PerfModel::predict(const ModelInputs& in) const {

@@ -59,6 +59,11 @@ struct RenderSample {
 // Feature vector for the render-time regression of each model.
 std::vector<double> render_features(RendererKind kind, const ModelInputs& in);
 
+// Allocation-free form: writes the same terms in the same order into `out`
+// (room for 2) and returns how many. render_features delegates here, so
+// the serving hot path and the fitting path can never disagree on a term.
+std::size_t render_features_into(RendererKind kind, const ModelInputs& in, double out[2]);
+
 // One fitted single-node rendering model (one of the paper's six:
 // {ray tracing, rasterization, volume} x {CPU1, GPU1}). fit() runs the
 // multiple linear regression of Eqs. 5.1-5.3 on measured samples; predict()
@@ -78,6 +83,14 @@ class PerfModel {
   // Render-only prediction (build amortized away, the repeated-render case).
   double predict_render(const ModelInputs& in) const;
   double predict_build(const ModelInputs& in) const;
+
+  // Column kernels for the batched serving path: one prediction per input
+  // row, written to out[i]. Bit-identical to the scalar calls row by row —
+  // they share the feature mapping (render_features_into) and the
+  // FitResult accumulation, with the kind dispatch and coefficient lookups
+  // hoisted out of the row loop and zero heap traffic.
+  void predict_render_batch(const ModelInputs* in, std::size_t count, double* out) const;
+  void predict_build_batch(const ModelInputs* in, std::size_t count, double* out) const;
 
   // R^2 of the render-time regression (what Table 12 reports).
   double r_squared() const { return render_fit_.r_squared; }

@@ -12,10 +12,12 @@
 // guarantee model/study.* makes for the calibration corpus itself.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/thread_pool.hpp"
 #include "model/mapping.hpp"
 #include "model/perfmodel.hpp"
@@ -54,20 +56,27 @@ struct AdvisorRequest {
 };
 
 struct AdvisorResponse {
-  bool ok = false;
-  std::string error;  // set when !ok; every other field is then zero
-  // Load shedding (streaming admission only): true when the cluster
-  // refused the request because its estimated completion would miss the
-  // deadline. Always an error response (!ok), so the ok-path wire bytes
-  // are untouched by the flag's existence.
-  bool shed = false;
-  // Fault tolerance (streaming admission only): true when the cluster
-  // admitted the request but could not evaluate it within its
-  // fault-tolerance budget — retry budget exhausted, per-request deadline
-  // passed during retry, the corpus's calibration fit failed, or shutdown
-  // raced the admission. Always an error response (!ok), never cached, and
-  // the error text starts with "degraded: ".
-  bool degraded = false;
+  // Typed request outcome, replacing the old ok-bool + shed/degraded flag
+  // trio (and the error-string sniffing that came with it):
+  //   kOk       — answered; the prediction fields below are valid.
+  //   kShed     — refused at admission: the cluster estimated completion
+  //               would miss the request's deadline (streaming only).
+  //   kDegraded — admitted but unanswerable within the fault-tolerance
+  //               budget: retries exhausted, deadline passed during retry,
+  //               a failed calibration fit, or shutdown raced the
+  //               admission; never cached, error text starts "degraded: ".
+  //   kError    — invalid request, unknown corpus/model, or an evaluation
+  //               failure.
+  // Shed and degraded serialize as error lines with their marker key
+  // ("shed":true / "degraded":true), so the enum changes no wire bytes.
+  enum class Status : unsigned char { kOk = 0, kShed = 1, kDegraded = 2, kError = 3 };
+
+  Status status = Status::kError;
+  std::string error;  // set when !ok(); every other field is then zero
+
+  bool ok() const { return status == Status::kOk; }
+  bool shed() const { return status == Status::kShed; }
+  bool degraded() const { return status == Status::kDegraded; }
 
   // Fig 14: predicted cost of the requested (arch, renderer) configuration.
   double frame_seconds = 0.0;  // per frame, build amortized away
@@ -84,15 +93,50 @@ struct AdvisorResponse {
   bool prefer_ray_tracing = false;
 };
 
+// Wire token for a status ("ok"/"shed"/"degraded"/"error") — metrics and
+// diagnostics share one spelling.
+const char* status_name(AdvisorResponse::Status status);
+
 // Exact equality of every field — the serial-vs-batched identity contract,
 // single source of truth for test_serve and bench_advisor_throughput.
 bool responses_identical(const AdvisorResponse& a, const AdvisorResponse& b);
 
-// The pure per-request evaluation every serving path runs: a function of
+// Reusable scratch for answer_batch: an arena backing the grouping indices
+// and the per-model SoA prediction columns. One per worker thread (it is
+// not thread-safe); rewound and refilled every batch, so a warmed-up
+// worker evaluates batch after batch with zero heap allocation.
+struct EvalScratch {
+  core::Arena arena;
+};
+
+// The CANONICAL evaluation entry point: answers `count` requests into
+// pre-sized response slots. Internally the batch is grouped by
+// (arch, renderer); per group the fitted-model and verdict-model lookups
+// and their error strings are hoisted out of the item loop, configurations
+// are mapped once into an arena-backed column, and each fitted model's
+// polynomial terms are evaluated across the whole group in SoA layout
+// (one prediction column per model). Each response is still a pure
+// function of (fitted models, mapping constants, request[i]) — grouping,
+// batch composition, and evaluation order cannot change a byte, which is
+// what keeps the serial-vs-batched identity contract checkable.
+//
+// Gather form: requests[i]/responses[i] are pointers, so callers holding
+// items in non-contiguous storage (cluster shards draining a mixed-corpus
+// batch) can evaluate without copying requests.
+void answer_batch(const FittedModels& fitted, const model::MappingConstants& constants,
+                  const AdvisorRequest* const* requests, std::size_t count,
+                  AdvisorResponse* const* responses, EvalScratch& scratch);
+
+// Contiguous-span convenience overload of the same evaluator.
+void answer_batch(const FittedModels& fitted, const model::MappingConstants& constants,
+                  const AdvisorRequest* requests, std::size_t count,
+                  AdvisorResponse* responses, EvalScratch& scratch);
+
+// Single-item compatibility wrapper over answer_batch (count = 1), kept so
+// the byte-identity contract stays checkable item by item: a function of
 // (fitted models, mapping constants, request) only, so execution order,
-// thread count, shard assignment, and cache state cannot change a response.
-// serve_one/serve_batch call it internally; src/cluster/ shards call it
-// against their replicated registries.
+// thread count, shard assignment, and cache state cannot change a
+// response. New call sites should prefer answer_batch.
 AdvisorResponse answer_request(const FittedModels& fitted,
                                const model::MappingConstants& constants,
                                const AdvisorRequest& request);
@@ -102,10 +146,19 @@ AdvisorResponse answer_request(const FittedModels& fitted,
 // bytes. Schema documented in docs/ARCHITECTURE.md.
 std::string to_jsonl(const AdvisorResponse& response);
 
+// Zero-copy form: appends the line to a caller-owned reusable buffer (no
+// temporary string churn — an ok line is one snprintf into a stack buffer
+// plus one append). The allocating signature above delegates here; batch
+// serializers reuse one buffer across a whole flush.
+void to_jsonl(const AdvisorResponse& response, std::string& out);
+
 // The wire format's JSON string escaping (quote, backslash, \u00xx control
 // characters) — one definition for every line this repo emits, so error
 // messages and metrics can never diverge on escaping.
 std::string json_escape(const std::string& s);
+
+// Appending form used by the zero-copy serializers.
+void json_escape(const std::string& s, std::string& out);
 
 // Renderer tokens used by the wire format: "raytrace" / "rasterize" /
 // "volume". renderer_from_token returns false on anything else.

@@ -206,13 +206,28 @@ bool parse_request_line(const std::string& line, AdvisorRequest& request, std::s
   return true;
 }
 
+AdvisorResponse::Status response_line_status(const std::string& line) {
+  // The wire format is fixed (to_jsonl): ok lines open {"ok":true, error
+  // lines open {"ok":false, with the shed/degraded marker key (in that
+  // order) directly after — so prefix checks classify without a parse.
+  if (line.rfind("{\"ok\":true,", 0) == 0) return AdvisorResponse::Status::kOk;
+  if (line.rfind("{\"ok\":false,\"shed\":true,", 0) == 0) return AdvisorResponse::Status::kShed;
+  if (line.rfind("{\"ok\":false,\"shed\":true,\"degraded\":true,", 0) == 0 ||
+      line.rfind("{\"ok\":false,\"degraded\":true,", 0) == 0)
+    return AdvisorResponse::Status::kDegraded;
+  return AdvisorResponse::Status::kError;
+}
+
 namespace {
 
 // Serves one accumulated batch: parse failures get error responses in
 // their slots, everything else goes through the handler, and responses
-// come out in request order.
+// come out in request order. `wire` is the caller-owned serialization
+// buffer: every line appends into it (to_jsonl's zero-copy form) and the
+// batch leaves through one ostream write — the buffer's capacity survives
+// across flushes, so a steady-state stream serializes without allocating.
 std::size_t flush_batch(const std::vector<std::string>& lines, const BatchHandler& handler,
-                        std::ostream& out) {
+                        std::ostream& out, std::string& wire) {
   std::vector<AdvisorResponse> responses(lines.size());
   std::vector<AdvisorRequest> valid;
   std::vector<std::size_t> slot;
@@ -225,14 +240,19 @@ std::size_t flush_batch(const std::vector<std::string>& lines, const BatchHandle
       valid.push_back(req);
       slot.push_back(i);
     } else {
-      responses[i].ok = false;
+      responses[i].status = AdvisorResponse::Status::kError;
       responses[i].error = "parse error: " + error;
     }
   }
   const std::vector<AdvisorResponse> served = handler(valid);
   for (std::size_t j = 0; j < served.size() && j < slot.size(); ++j)
     responses[slot[j]] = served[j];
-  for (const AdvisorResponse& r : responses) out << to_jsonl(r) << '\n';
+  wire.clear();
+  for (const AdvisorResponse& r : responses) {
+    to_jsonl(r, wire);
+    wire += '\n';
+  }
+  out.write(wire.data(), static_cast<std::streamsize>(wire.size()));
   out.flush();
   return responses.size();
 }
@@ -243,18 +263,19 @@ std::size_t run_jsonl(std::istream& in, std::ostream& out, const BatchHandler& h
   std::size_t answered = 0;
   std::vector<std::string> batch;
   std::string line;
+  std::string wire;  // reused serialization buffer, one per stream
   while (std::getline(in, line)) {
     const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
     if (blank) {
       if (!batch.empty()) {
-        answered += flush_batch(batch, handler, out);
+        answered += flush_batch(batch, handler, out, wire);
         batch.clear();
       }
       continue;
     }
     batch.push_back(line);
   }
-  if (!batch.empty()) answered += flush_batch(batch, handler, out);
+  if (!batch.empty()) answered += flush_batch(batch, handler, out, wire);
   return answered;
 }
 

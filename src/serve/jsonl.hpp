@@ -36,6 +36,12 @@ namespace isr::serve {
 // and returns true; on failure returns false and sets `error`.
 bool parse_request_line(const std::string& line, AdvisorRequest& request, std::string& error);
 
+// Classifies a response line this repo's wire format emitted: kOk for an
+// "ok":true line, kShed / kDegraded for error lines carrying the marker
+// key, kError otherwise. With to_jsonl this closes the Status round trip
+// (status -> bytes -> status), which test_serve pins down.
+AdvisorResponse::Status response_line_status(const std::string& line);
+
 // What answers a parsed batch: response[i] for request[i]. The front-end is
 // deliberately agnostic about who serves — a single AdvisorService or the
 // sharded cluster (src/cluster/) plug in equally, and layering stays

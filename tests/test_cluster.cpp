@@ -79,7 +79,7 @@ std::vector<AdvisorRequest> mixed_requests() {
 
 AdvisorResponse ok_response(double frame_seconds) {
   AdvisorResponse r;
-  r.ok = true;
+  r.status = AdvisorResponse::Status::kOk;
   r.frame_seconds = frame_seconds;
   return r;
 }
@@ -496,14 +496,14 @@ TEST_F(ClusterFixture, CacheHitsAcrossDeadlinesAndPriorities) {
   relaxed.arch = "CPU1";
   relaxed.image_edge = 256;
   const std::vector<AdvisorResponse> cold = cluster.serve_batch({relaxed});
-  ASSERT_TRUE(cold[0].ok);
+  ASSERT_TRUE(cold[0].ok());
 
   AdvisorRequest hurried = relaxed;
   hurried.deadline_us = 1;  // live admission would shed this on any backlog
   hurried.priority = 0;
   const std::vector<AdvisorResponse> warm = cluster.serve_batch({hurried});
-  EXPECT_TRUE(warm[0].ok);
-  EXPECT_FALSE(warm[0].shed);
+  EXPECT_TRUE(warm[0].ok());
+  EXPECT_FALSE(warm[0].shed());
   EXPECT_EQ(serve::to_jsonl(cold[0]), serve::to_jsonl(warm[0]));
 
   const ClusterMetrics m = cluster.metrics();
@@ -640,11 +640,11 @@ TEST_F(ClusterFixture, UnknownCorpusSelectorGetsInSlotError) {
   requests[1].corpus = "nope";
   const std::vector<AdvisorResponse> responses = cluster.serve_batch(requests);
   ASSERT_EQ(responses.size(), 3u);
-  EXPECT_TRUE(responses[0].ok);
-  EXPECT_FALSE(responses[1].ok);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_FALSE(responses[1].ok());
   EXPECT_NE(responses[1].error.find("unknown corpus \"nope\""), std::string::npos)
       << responses[1].error;
-  EXPECT_TRUE(responses[2].ok);
+  EXPECT_TRUE(responses[2].ok());
 
   // The bad slot never reached the cache or a shard.
   const ClusterMetrics m = cluster.metrics();
@@ -687,7 +687,7 @@ TEST(MultiCorpusTest, TwoFingerprintsFitExactlyTwiceAtAnyShardCount) {
   const std::size_t single = requests.size() / 2;
   int differing = 0;
   for (std::size_t i = 0; i < single; ++i)
-    if (expected[i].ok && expected[i + single].ok &&
+    if (expected[i].ok() && expected[i + single].ok() &&
         serve::to_jsonl(expected[i]) != serve::to_jsonl(expected[i + single]))
       ++differing;
   EXPECT_GT(differing, 0);
@@ -746,8 +746,8 @@ TEST(MultiCorpusTest, OneCorpusFloodCannotEvictAnotherCorpusEntries) {
 
   const long hits_before = cluster.metrics().cache_hits;
   const std::vector<AdvisorResponse> warm = cluster.serve_batch({alt_a, alt_b});
-  EXPECT_TRUE(warm[0].ok);
-  EXPECT_TRUE(warm[1].ok);
+  EXPECT_TRUE(warm[0].ok());
+  EXPECT_TRUE(warm[1].ok());
   EXPECT_EQ(cluster.metrics().cache_hits - hits_before, 2);
 }
 
@@ -791,8 +791,8 @@ TEST(MultiCorpusTest, SharedCalibrationDistinctConstantsStaySeparate) {
   const std::vector<AdvisorResponse> responses =
       cluster.serve_batch({volume, dense_volume});
   ASSERT_EQ(responses.size(), 2u);
-  ASSERT_TRUE(responses[0].ok) << responses[0].error;
-  ASSERT_TRUE(responses[1].ok) << responses[1].error;
+  ASSERT_TRUE(responses[0].ok()) << responses[0].error;
+  ASSERT_TRUE(responses[1].ok()) << responses[1].error;
   EXPECT_NE(responses[0].frame_seconds, responses[1].frame_seconds);
   EXPECT_EQ(cluster.registry_fits(), 1);  // one calibration, one fit
 }

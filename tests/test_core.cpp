@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <utility>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/env.hpp"
 #include "core/parallel_for.hpp"
 #include "core/thread_pool.hpp"
@@ -16,6 +19,65 @@
 
 namespace isr {
 namespace {
+
+TEST(Arena, AllocationsAreAlignedDisjointAndWritable) {
+  core::Arena arena(64);  // tiny first chunk to force spills
+  std::vector<std::pair<unsigned char*, std::size_t>> blocks;
+  for (const std::size_t bytes : {8u, 24u, 1u, 200u, 64u, 3u}) {
+    auto* p = static_cast<unsigned char*>(arena.allocate(bytes, 8));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    // Write the whole block; ASan/valgrind runs would catch an overlap or
+    // an out-of-chunk pointer.
+    for (std::size_t i = 0; i < bytes; ++i) p[i] = static_cast<unsigned char>(i);
+    blocks.emplace_back(p, bytes);
+  }
+  for (std::size_t a = 0; a < blocks.size(); ++a)
+    for (std::size_t b = a + 1; b < blocks.size(); ++b) {
+      const bool disjoint = blocks[a].first + blocks[a].second <= blocks[b].first ||
+                            blocks[b].first + blocks[b].second <= blocks[a].first;
+      EXPECT_TRUE(disjoint) << a << " vs " << b;
+    }
+  EXPECT_EQ(arena.used(), 8u + 24u + 1u + 200u + 64u + 3u);
+
+  double* d = arena.alloc_array<double>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  // A zero-byte request is still a valid aligned pointer, not nullptr.
+  EXPECT_NE(arena.allocate(0, 8), nullptr);
+}
+
+TEST(Arena, ResetRewindsWithoutReleasingAndStopsGrowing) {
+  core::Arena arena(128);
+  // Warmup: a workload bigger than the first chunk, so several chunks are
+  // reserved with geometric growth.
+  const auto workload = [&arena] {
+    for (int i = 0; i < 40; ++i) arena.alloc_array<double>(32);
+  };
+  workload();
+  const std::size_t warm_capacity = arena.capacity();
+  const std::size_t warm_chunks = arena.chunk_count();
+  const std::size_t warm_used = arena.used();
+  EXPECT_GE(warm_chunks, 2u);
+  EXPECT_GE(warm_capacity, warm_used);
+
+  // Steady state: reset + same-shaped workload, many times. Capacity and
+  // chunk count are flat (no heap traffic), and used() restarts from zero
+  // each round rather than accumulating.
+  for (int round = 0; round < 32; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    workload();
+    EXPECT_EQ(arena.capacity(), warm_capacity) << "round " << round;
+    EXPECT_EQ(arena.chunk_count(), warm_chunks) << "round " << round;
+    EXPECT_EQ(arena.used(), warm_used) << "round " << round;
+  }
+
+  // Reset preserves the chunks themselves: the first post-reset pointer is
+  // the same address as the first warmup pointer (reuse, not realloc).
+  arena.reset();
+  void* first_again = arena.allocate(16, 8);
+  arena.reset();
+  EXPECT_EQ(arena.allocate(16, 8), first_again);
+}
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
   core::ThreadPool pool(4);

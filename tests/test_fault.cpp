@@ -327,8 +327,8 @@ TEST_F(FaultClusterFixture, EvalThrowAtFullRateDegradesEveryRequestAfterBoundedR
 
   ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
   for (const AdvisorResponse& r : responses) {
-    EXPECT_FALSE(r.ok);
-    EXPECT_TRUE(r.degraded);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.degraded());
     EXPECT_NE(r.error.find("degraded: retry budget exhausted after 3 attempts"),
               std::string::npos)
         << r.error;
@@ -375,12 +375,12 @@ TEST_F(FaultClusterFixture, WorkerCrashIsRestartedAndTheHeldBatchIsRedriven) {
   ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
   int survived = 0;
   for (std::size_t i = 0; i < responses.size(); ++i) {
-    if (responses[i].ok) {
+    if (responses[i].ok()) {
       ++survived;
       EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(responses[i]))
           << "slot " << i;  // WHO evaluates never changes bytes
     } else {
-      EXPECT_TRUE(responses[i].degraded) << responses[i].error;
+      EXPECT_TRUE(responses[i].degraded()) << responses[i].error;
       EXPECT_NE(responses[i].error.find("retry budget exhausted"), std::string::npos)
           << responses[i].error;
     }
@@ -416,7 +416,7 @@ TEST_F(FaultClusterFixture, SameSeedReproducesTheSameDegradedBytesOnAFreshCluste
   int degraded = 0;
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(serve::to_jsonl(first[i]), serve::to_jsonl(second[i])) << "slot " << i;
-    if (first[i].degraded) {
+    if (first[i].degraded()) {
       ++degraded;
     } else {
       EXPECT_EQ(serve::to_jsonl(expected[i]), serve::to_jsonl(first[i])) << "slot " << i;
@@ -466,8 +466,8 @@ TEST_F(FaultClusterFixture, FitFailureServesExplicitDegradedResponsesInsteadOfCr
 
   ASSERT_EQ(responses.size(), 3u);
   for (const AdvisorResponse& r : responses) {
-    EXPECT_FALSE(r.ok);
-    EXPECT_TRUE(r.degraded);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.degraded());
     EXPECT_NE(
         r.error.find("corpus \"default\" unavailable: calibration fit failed"),
         std::string::npos)
@@ -487,7 +487,7 @@ TEST_F(FaultClusterFixture, QueueStallIsSurvivedWithNormalResponses) {
   const std::vector<AdvisorResponse> responses = run_serial(cluster, workload(8));
 
   ASSERT_EQ(responses.size(), 8u);
-  for (const AdvisorResponse& r : responses) EXPECT_TRUE(r.ok) << r.error;
+  for (const AdvisorResponse& r : responses) EXPECT_TRUE(r.ok()) << r.error;
   const ClusterMetrics m = cluster.metrics();
   EXPECT_GE(m.faults_injected, 1);
   EXPECT_EQ(m.degraded_queries, 0);

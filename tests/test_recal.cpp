@@ -228,7 +228,7 @@ TEST(RecalClusterTest, LazyResidencyFitsExactlyTheQueriedCorpora) {
   const std::vector<AdvisorRequest> alt = mixed_requests("alt");
   requests.insert(requests.end(), alt.begin(), alt.end());
   const std::vector<AdvisorResponse> responses = cluster.serve_batch(requests);
-  for (const AdvisorResponse& r : responses) EXPECT_FALSE(r.degraded);
+  for (const AdvisorResponse& r : responses) EXPECT_FALSE(r.degraded());
 
   EXPECT_EQ(cluster.registry_fits(), 2);  // default + alt, NOT spare
   EXPECT_EQ(cluster.bundle_epoch(""), 1u);

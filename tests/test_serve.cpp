@@ -3,8 +3,10 @@
 // any thread count, and the JSON-lines front-end.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "serve/advisor.hpp"
 #include "serve/jsonl.hpp"
@@ -127,7 +129,7 @@ TEST_F(ServeFixture, AnswersAFeasibilityQuery) {
   req.image_edge = 512;
   req.budget_seconds = 60.0;
   const AdvisorResponse resp = service_->serve_one(req);
-  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.ok()) << resp.error;
   EXPECT_GT(resp.frame_seconds, 0.0);
   EXPECT_GT(resp.build_seconds, 0.0);  // ray tracing pays a BVH build
   EXPECT_GT(resp.images_in_budget, 0);
@@ -147,7 +149,7 @@ TEST_F(ServeFixture, MoreBudgetNeverMeansFewerImages) {
   for (const double budget : {0.0, 10.0, 60.0, 600.0}) {
     req.budget_seconds = budget;
     const AdvisorResponse resp = service_->serve_one(req);
-    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(resp.ok()) << resp.error;
     EXPECT_GE(resp.images_in_budget, previous) << "budget " << budget;
     previous = resp.images_in_budget;
   }
@@ -157,26 +159,26 @@ TEST_F(ServeFixture, UnknownArchAndInvalidValuesAreLoudErrors) {
   AdvisorRequest req;
   req.arch = "TPU9";
   AdvisorResponse resp = service_->serve_one(req);
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
   EXPECT_NE(resp.error.find("TPU9"), std::string::npos);
   EXPECT_EQ(resp.images_in_budget, 0);
 
   req = AdvisorRequest{};
   req.tasks = 0;
   resp = service_->serve_one(req);
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
   EXPECT_NE(resp.error.find("tasks"), std::string::npos);
 
   req = AdvisorRequest{};
   req.budget_seconds = -1.0;
-  EXPECT_FALSE(service_->serve_one(req).ok);
+  EXPECT_FALSE(service_->serve_one(req).ok());
 
   // An absurd but non-negative budget is answerable: the count saturates
   // (model/feasibility.*) rather than overflowing to a negative.
   req = AdvisorRequest{};
   req.budget_seconds = 1e30;
   const AdvisorResponse huge = service_->serve_one(req);
-  ASSERT_TRUE(huge.ok) << huge.error;
+  ASSERT_TRUE(huge.ok()) << huge.error;
   EXPECT_EQ(huge.images_in_budget, std::numeric_limits<long>::max());
 }
 
@@ -215,6 +217,123 @@ TEST_F(ServeFixture, BatchMatchesSerialBitForBitAtAnyThreadCount) {
       EXPECT_EQ(to_jsonl(serial[i]), to_jsonl(batched[i])) << "slot " << i;
     }
   }
+}
+
+TEST_F(ServeFixture, AnswerBatchMatchesAnswerRequestAtEveryBatchSize) {
+  // The redesign's core contract: answer_batch is a pure function of
+  // (fitted models, constants, request[i]) — batch composition and chunk
+  // boundaries cannot change a byte. Reference = the single-item wrapper.
+  const FittedModels& fitted = registry_->models_for(tiny_calibration());
+  const model::MappingConstants& constants = service_->config().constants;
+
+  std::vector<AdvisorRequest> requests;
+  for (const std::string arch : {"CPU1", "GPU1", "TPU9"}) {
+    for (const model::RendererKind kind :
+         {model::RendererKind::kRayTrace, model::RendererKind::kRasterize,
+          model::RendererKind::kVolume}) {
+      for (const int edge : {128, 512, 2048}) {
+        for (const double budget : {0.0, 5.0, 300.0}) {
+          AdvisorRequest req;
+          req.arch = arch;
+          req.renderer = kind;
+          req.image_edge = edge;
+          req.budget_seconds = budget;
+          req.frames = edge / 2;
+          requests.push_back(req);
+        }
+      }
+    }
+  }
+  // Invalid slots interleaved mid-batch: validation errors must stay
+  // in-slot no matter which group their neighbors land in.
+  AdvisorRequest bad;
+  bad.tasks = 0;
+  requests.insert(requests.begin() + 5, bad);
+  bad = AdvisorRequest{};
+  bad.budget_seconds = -2.0;
+  requests.push_back(bad);
+
+  std::vector<AdvisorResponse> reference;
+  for (const AdvisorRequest& req : requests)
+    reference.push_back(answer_request(fitted, constants, req));
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  requests.size()}) {
+    // Contiguous overload, one scratch reused across every chunk.
+    EvalScratch scratch;
+    std::vector<AdvisorResponse> batched(requests.size());
+    for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
+      const std::size_t n = std::min(chunk, requests.size() - begin);
+      answer_batch(fitted, constants, requests.data() + begin, n,
+                   batched.data() + begin, scratch);
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(responses_identical(reference[i], batched[i]))
+          << "chunk " << chunk << " slot " << i;
+      EXPECT_EQ(to_jsonl(reference[i]), to_jsonl(batched[i]))
+          << "chunk " << chunk << " slot " << i;
+    }
+
+    // Gather form over the same chunking: pointer indirection is the
+    // cluster shard's path and must agree byte for byte too.
+    EvalScratch gather_scratch;
+    std::vector<AdvisorResponse> gathered(requests.size());
+    std::vector<const AdvisorRequest*> rp(requests.size());
+    std::vector<AdvisorResponse*> sp(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      rp[i] = &requests[i];
+      sp[i] = &gathered[i];
+    }
+    for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
+      const std::size_t n = std::min(chunk, requests.size() - begin);
+      answer_batch(fitted, constants, rp.data() + begin, n, sp.data() + begin,
+                   gather_scratch);
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_TRUE(responses_identical(reference[i], gathered[i]))
+          << "gather chunk " << chunk << " slot " << i;
+  }
+}
+
+TEST_F(ServeFixture, EvalScratchArenaStopsGrowingAfterWarmup) {
+  // The zero-allocation steady state: one warmup batch sizes the arena;
+  // every identical batch after that bumps pointers inside the same
+  // chunks. Capacity and chunk count must be flat after warmup, and each
+  // batch must start from a rewound arena (same bytes used every time).
+  const FittedModels& fitted = registry_->models_for(tiny_calibration());
+  const model::MappingConstants& constants = service_->config().constants;
+
+  std::vector<AdvisorRequest> requests(64);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].arch = i % 2 ? "CPU1" : "GPU1";
+    requests[i].renderer = static_cast<model::RendererKind>(i % 3);
+    requests[i].image_edge = 128 << (i % 4);
+  }
+  std::vector<AdvisorResponse> responses(requests.size());
+
+  EvalScratch scratch;
+  answer_batch(fitted, constants, requests.data(), requests.size(),
+               responses.data(), scratch);
+  const std::size_t warm_capacity = scratch.arena.capacity();
+  const std::size_t warm_chunks = scratch.arena.chunk_count();
+  const std::size_t warm_used = scratch.arena.used();
+  EXPECT_GT(warm_capacity, 0u);
+  EXPECT_GT(warm_used, 0u);
+
+  for (int round = 0; round < 16; ++round) {
+    answer_batch(fitted, constants, requests.data(), requests.size(),
+                 responses.data(), scratch);
+    EXPECT_EQ(scratch.arena.capacity(), warm_capacity) << "round " << round;
+    EXPECT_EQ(scratch.arena.chunk_count(), warm_chunks) << "round " << round;
+    // Rewound between batches: a same-shaped batch hands out the same
+    // bytes, not an accumulating total.
+    EXPECT_EQ(scratch.arena.used(), warm_used) << "round " << round;
+  }
+
+  // Smaller batches after warmup must fit inside the warmed capacity too.
+  answer_batch(fitted, constants, requests.data(), 7, responses.data(), scratch);
+  EXPECT_EQ(scratch.arena.capacity(), warm_capacity);
+  EXPECT_LT(scratch.arena.used(), warm_used);
 }
 
 TEST(AdvisorServiceTest, SprBaseFollowsCalibrationSamplingDensity) {
@@ -340,7 +459,7 @@ TEST(JsonlService, ResponseLinesMatchServeOneByteForByte) {
 
 TEST(JsonlFormat, ErrorResponsesEscapeJsonMetacharacters) {
   AdvisorResponse r;
-  r.ok = false;
+  r.status = AdvisorResponse::Status::kError;
   r.error = "bad \"value\"\nwith\\slash";
   EXPECT_EQ(to_jsonl(r),
             "{\"ok\":false,\"error\":\"bad \\\"value\\\"\\u000awith\\\\slash\"}");
@@ -351,8 +470,7 @@ TEST(JsonlFormat, DegradedMarkerPrecedesTheErrorAndIsPartOfIdentity) {
   // cluster could not answer within its retry budget carries an explicit
   // "degraded":true marker clients can branch on without parsing the text.
   AdvisorResponse r;
-  r.ok = false;
-  r.degraded = true;
+  r.status = AdvisorResponse::Status::kDegraded;
   r.error = "degraded: retry budget exhausted after 3 attempts";
   EXPECT_EQ(to_jsonl(r),
             "{\"ok\":false,\"degraded\":true,"
@@ -360,10 +478,69 @@ TEST(JsonlFormat, DegradedMarkerPrecedesTheErrorAndIsPartOfIdentity) {
 
   // An ordinary error with the same text is a DIFFERENT response.
   AdvisorResponse plain;
-  plain.ok = false;
+  plain.status = AdvisorResponse::Status::kError;
   plain.error = r.error;
   EXPECT_FALSE(responses_identical(r, plain));
   EXPECT_TRUE(responses_identical(r, r));
+}
+
+TEST(JsonlFormat, StatusRoundTripsThroughWireLines) {
+  // The typed Status must survive serialization: to_jsonl emits the
+  // marker key for each status and response_line_status reads it back, so
+  // cluster metrics classifying replayed wire lines agree with the enum
+  // the server held. (The wire bytes themselves are the pre-enum format.)
+  AdvisorResponse ok;
+  ok.status = AdvisorResponse::Status::kOk;
+  ok.frame_seconds = 0.25;
+  EXPECT_EQ(response_line_status(to_jsonl(ok)), AdvisorResponse::Status::kOk);
+
+  AdvisorResponse shed;
+  shed.status = AdvisorResponse::Status::kShed;
+  shed.error = "shed: estimated completion 12ms exceeds deadline 5ms";
+  const std::string shed_line = to_jsonl(shed);
+  EXPECT_EQ(shed_line.find("{\"ok\":false,\"shed\":true,"), 0u) << shed_line;
+  EXPECT_EQ(response_line_status(shed_line), AdvisorResponse::Status::kShed);
+
+  AdvisorResponse degraded;
+  degraded.status = AdvisorResponse::Status::kDegraded;
+  degraded.error = "degraded: retry budget exhausted";
+  const std::string degraded_line = to_jsonl(degraded);
+  EXPECT_EQ(degraded_line.find("{\"ok\":false,\"degraded\":true,"), 0u) << degraded_line;
+  EXPECT_EQ(response_line_status(degraded_line), AdvisorResponse::Status::kDegraded);
+
+  AdvisorResponse error;
+  error.status = AdvisorResponse::Status::kError;
+  error.error = "unknown arch";
+  EXPECT_EQ(response_line_status(to_jsonl(error)), AdvisorResponse::Status::kError);
+
+  // status_name gives metrics one spelling per status.
+  EXPECT_STREQ(status_name(AdvisorResponse::Status::kOk), "ok");
+  EXPECT_STREQ(status_name(AdvisorResponse::Status::kShed), "shed");
+  EXPECT_STREQ(status_name(AdvisorResponse::Status::kDegraded), "degraded");
+  EXPECT_STREQ(status_name(AdvisorResponse::Status::kError), "error");
+}
+
+TEST(JsonlFormat, AppendFormReusesTheCallerBuffer) {
+  // The zero-copy serializer appends — never clears — so a flush loop can
+  // build one wire buffer across a whole batch, and a warmed buffer
+  // serializes without reallocating.
+  AdvisorResponse r;
+  r.status = AdvisorResponse::Status::kError;
+  r.error = "e";
+  std::string wire = "prefix\n";
+  to_jsonl(r, wire);
+  EXPECT_EQ(wire, "prefix\n{\"ok\":false,\"error\":\"e\"}");
+  EXPECT_EQ(wire.substr(7), to_jsonl(r));
+
+  wire.clear();
+  wire.reserve(4096);
+  const std::size_t warm_capacity = wire.capacity();
+  for (int i = 0; i < 8; ++i) {
+    wire.clear();
+    to_jsonl(r, wire);
+    wire += '\n';
+  }
+  EXPECT_EQ(wire.capacity(), warm_capacity);
 }
 
 // --- Non-finite budgets (every entry point) ---------------------------------
@@ -394,7 +571,7 @@ TEST_F(ServeFixture, NonFiniteBudgetsAreRejectedBeforeEvaluation) {
     AdvisorRequest req;
     req.budget_seconds = bad;
     const AdvisorResponse resp = service_->serve_one(req);
-    EXPECT_FALSE(resp.ok);
+    EXPECT_FALSE(resp.ok());
     EXPECT_NE(resp.error.find("budget_seconds must be finite"), std::string::npos)
         << resp.error;
   }

@@ -282,8 +282,8 @@ TEST_F(StreamFixture, PriorityFloodDoesNotStarveOrDropUrgentWork) {
 
   ASSERT_EQ(urgent_got.size(), urgent_reqs.size());
   ASSERT_EQ(flood_got.size(), flood_reqs.size());
-  for (const AdvisorResponse& r : urgent_got) EXPECT_TRUE(r.ok) << r.error;
-  for (const AdvisorResponse& r : flood_got) EXPECT_TRUE(r.ok) << r.error;
+  for (const AdvisorResponse& r : urgent_got) EXPECT_TRUE(r.ok()) << r.error;
+  for (const AdvisorResponse& r : flood_got) EXPECT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(cluster.metrics().queries,
             static_cast<long>(flood_reqs.size() + urgent_reqs.size()));
 }
@@ -315,7 +315,7 @@ TEST_F(StreamFixture, ShedUnderReplayedOverloadIsDeterministicAndBounded) {
     EXPECT_EQ(cluster.metrics().shed_queries,
               static_cast<long>(std::count_if(
                   responses.begin(), responses.end(),
-                  [](const AdvisorResponse& r) { return r.shed; })));
+                  [](const AdvisorResponse& r) { return r.shed(); })));
     return responses;
   };
 
@@ -327,13 +327,13 @@ TEST_F(StreamFixture, ShedUnderReplayedOverloadIsDeterministicAndBounded) {
   int shed = 0;
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(serve::to_jsonl(first[i]), serve::to_jsonl(second[i])) << "slot " << i;
-    if (first[i].shed) {
+    if (first[i].shed()) {
       ++shed;
-      EXPECT_FALSE(first[i].ok);
+      EXPECT_FALSE(first[i].ok());
       EXPECT_NE(first[i].error.find("shed:"), std::string::npos);
     }
   }
-  EXPECT_FALSE(first[0].shed);  // an empty backlog always admits
+  EXPECT_FALSE(first[0].shed());  // an empty backlog always admits
   EXPECT_GT(shed, kRequests / 4);      // a real 2x overload must shed...
   EXPECT_LT(shed, 3 * kRequests / 4);  // ...but admit its sustainable half
 }
@@ -355,7 +355,7 @@ TEST_F(StreamFixture, CloseFlushesInFlightTailPromptly) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
   ASSERT_EQ(responses.size(), requests.size());
-  for (const AdvisorResponse& r : responses) EXPECT_TRUE(r.ok) << r.error;
+  for (const AdvisorResponse& r : responses) EXPECT_TRUE(r.ok()) << r.error;
   EXPECT_LT(elapsed, 1.0);  // the 2s coalescing deadline never fired
   EXPECT_GE(cluster.metrics().kick_flushes, 1);
 }
@@ -455,7 +455,7 @@ TEST_F(StreamFixture, FuzzedInterleavingsDeliverEveryResponse) {
           const std::vector<AdvisorResponse> responses = open[idx].close();
           answered.fetch_add(static_cast<long>(responses.size()));
           for (const AdvisorResponse& r : responses)
-            if (r.shed) shed.fetch_add(1);
+            if (r.shed()) shed.fetch_add(1);
           open.erase(open.begin() + static_cast<std::ptrdiff_t>(idx));
         };
         for (int op = 0; op < kOpsPerThread; ++op) {
